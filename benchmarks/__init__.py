@@ -1,0 +1,1 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""

@@ -1,0 +1,72 @@
+"""Ablation A4 — attack feasibility and search cost under defenses (§X).
+
+Extends the paper's future-work direction with measurements: for each
+program phase of su (the most exposed utility), how do the four modeled
+defenses change the attack-1 verdict, and what do the weaker attacker
+models cost ROSA?
+"""
+
+import pytest
+
+from repro.core.attacks import READ_DEV_MEM
+from repro.rosa import check
+from repro.rosa.defenses import apply_cfi, apply_data_integrity, apply_seccomp
+from benchmarks.conftest import analysis_for
+
+
+def su_phase_query(phase_index):
+    analysis = analysis_for("su")
+    phase = analysis.phases[phase_index].phase
+    return READ_DEV_MEM.build_query(
+        phase.privileges, phase.uids, phase.gids, analysis.syscalls
+    )
+
+
+DEFENSES = {
+    "undefended": lambda query: query,
+    "seccomp-no-open": lambda query: apply_seccomp(
+        query, ["setuid", "seteuid", "setgid", "setegid", "kill"]
+    ),
+    "arg-integrity": lambda query: apply_data_integrity(query),
+}
+
+
+@pytest.mark.parametrize("defense", sorted(DEFENSES))
+def test_defended_search_time(benchmark, defense):
+    query = DEFENSES[defense](su_phase_query(0))
+    report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+    benchmark.extra_info["verdict"] = report.verdict.value
+
+
+def test_print_defense_matrix(capsys):
+    with capsys.disabled():
+        print("\n=== A4: su attack-1 verdicts under defenses, per phase ===")
+        analysis = analysis_for("su")
+        print(f"{'phase':<10}" + "".join(f"  {name:<16}" for name in sorted(DEFENSES)))
+        for index, phase_analysis in enumerate(analysis.phases):
+            row = [f"su_priv{index + 1:<3}"]
+            for name in sorted(DEFENSES):
+                query = DEFENSES[name](su_phase_query(index))
+                verdict = check(query).verdict
+                row.append(f"  {verdict.symbol} {verdict.value:<13}")
+            print("".join(row))
+
+
+class TestDefenseShapes:
+    def test_seccomp_closes_every_phase(self):
+        analysis = analysis_for("su")
+        for index in range(len(analysis.phases)):
+            query = DEFENSES["seccomp-no-open"](su_phase_query(index))
+            assert not check(query).vulnerable
+
+    def test_arg_integrity_closes_every_phase(self):
+        analysis = analysis_for("su")
+        for index in range(len(analysis.phases)):
+            query = DEFENSES["arg-integrity"](su_phase_query(index))
+            assert not check(query).vulnerable
+
+    def test_undefended_matches_pipeline(self):
+        analysis = analysis_for("su")
+        for index, phase_analysis in enumerate(analysis.phases):
+            expected = phase_analysis.verdicts[1].verdict
+            assert check(su_phase_query(index)).verdict is expected

@@ -1,0 +1,100 @@
+"""Ablation A1 — state-space behaviour of the bounded model checker.
+
+§VIII's explanation of ROSA's timing: successful attacks stop at the
+first witness, failing attacks must exhaust the reachable space, and the
+space grows with the wildcard domains (users, files, syscall budget).
+This ablation measures all three effects directly.
+"""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.rewriting import Configuration
+from repro.rosa import RosaQuery, check, goals, model, syscalls
+from repro.rosa.syscalls import WILDCARD
+
+
+def devmem_query(caps, extra_users=0, repeat=1):
+    """An attack-1-style query with a configurable wildcard user domain."""
+    objects = [
+        model.process_for_user(1, uid=1000, gid=1000),
+        model.file_obj(10, name="/dev/mem", owner=0, group=15, perms=0o640),
+        model.dir_entry(11, name="/dev", owner=0, group=0, perms=0o755, inode=10),
+        model.user(20, 0),
+        model.user(21, 1000),
+        model.group(30, 15),
+        model.group(31, 1000),
+    ]
+    for index in range(extra_users):
+        objects.append(model.user(40 + index, 5000 + index))
+    capset = CapabilitySet.parse(caps).as_frozenset()
+    messages = []
+    for _ in range(repeat):
+        messages.extend(
+            [
+                syscalls.sys_open(1, WILDCARD, "r", capset),
+                syscalls.sys_setuid(1, WILDCARD, capset),
+                syscalls.sys_setresuid(1, WILDCARD, WILDCARD, WILDCARD, capset),
+                syscalls.sys_chown(1, WILDCARD, WILDCARD, WILDCARD, capset),
+                syscalls.sys_chmod(1, WILDCARD, 0o777, capset),
+            ]
+        )
+    return RosaQuery(
+        f"devmem[{caps}/u{extra_users}/r{repeat}]",
+        Configuration(objects + messages),
+        goals.file_opened_for_read(10),
+    )
+
+
+class TestSuccessVsFailure:
+    def test_successful_attack_explores_less(self, capsys):
+        success = check(devmem_query("CapSetuid"))
+        failure = check(devmem_query("(empty)"))
+        assert success.vulnerable and not failure.vulnerable
+        with capsys.disabled():
+            print(
+                f"\n=== A1: success explores {success.states_explored} states, "
+                f"failure exhausts {failure.states_explored} ==="
+            )
+        assert failure.states_explored > success.states_explored
+
+    @pytest.mark.parametrize("caps", ["CapSetuid", "CapDacOverride", "CapChown"])
+    def test_successful_search_time(self, benchmark, caps):
+        query = devmem_query(caps)
+        report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+        assert report.vulnerable
+
+    def test_failing_search_time(self, benchmark):
+        query = devmem_query("(empty)")
+        report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+        assert not report.vulnerable
+
+
+class TestWildcardDomainScaling:
+    @pytest.mark.parametrize("extra_users", [0, 2, 4])
+    def test_failing_search_scales_with_users(self, benchmark, extra_users):
+        query = devmem_query("(empty)", extra_users=extra_users)
+        report = benchmark.pedantic(lambda: check(query), rounds=5, iterations=1)
+        benchmark.extra_info["states"] = report.states_seen
+
+    def test_state_count_grows_with_domain(self, capsys):
+        counts = []
+        for extra_users in (0, 2, 4):
+            report = check(devmem_query("(empty)", extra_users=extra_users))
+            counts.append(report.states_seen)
+        with capsys.disabled():
+            print(f"\n=== A1: failing-search states vs wildcard users: {counts} ===")
+        assert counts[0] <= counts[1] <= counts[2]
+
+
+class TestSyscallBudgetScaling:
+    @pytest.mark.parametrize("repeat", [1, 2])
+    def test_failing_search_scales_with_budget(self, benchmark, repeat):
+        query = devmem_query("(empty)", repeat=repeat)
+        report = benchmark.pedantic(lambda: check(query), rounds=3, iterations=1)
+        benchmark.extra_info["states"] = report.states_seen
+
+    def test_budget_increases_states(self):
+        one = check(devmem_query("(empty)", repeat=1))
+        two = check(devmem_query("(empty)", repeat=2))
+        assert two.states_seen >= one.states_seen

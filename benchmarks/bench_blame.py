@@ -1,0 +1,73 @@
+"""Blame analysis bench — automating the paper's §VII-D observations.
+
+Times the necessary-capability computation and prints the blame tables
+that correspond to the paper's manual findings (CAP_SETUID is su's
+refactoring target; passwd's DAC capabilities are mutually redundant).
+"""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core.attacks import ATTACKS_BY_ID
+from repro.core.blame import (
+    minimal_blocking_sets,
+    necessary_capabilities,
+    render_blame,
+)
+from benchmarks.conftest import analysis_for
+
+
+def test_print_blame_tables(capsys):
+    with capsys.disabled():
+        print("\n=== Capability blame (automated §VII-D reasoning) ===")
+        for program in ("passwd", "su"):
+            print()
+            print(render_blame(analysis_for(program)))
+
+
+@pytest.mark.parametrize("program", ["passwd", "su"])
+def test_blame_time_per_phase(benchmark, program):
+    analysis = analysis_for(program)
+    phase = analysis.phases[0].phase
+    attack = ATTACKS_BY_ID[4]
+
+    def blame_once():
+        return necessary_capabilities(
+            attack, phase.privileges, phase.uids, phase.gids, analysis.syscalls
+        )
+
+    result = benchmark.pedantic(blame_once, rounds=5, iterations=1)
+    benchmark.extra_info["blamed"] = result.describe()
+
+
+class TestPaperObservations:
+    def test_su_refactoring_target_is_setuid(self):
+        """§VII-D2: 'The last privilege to remain live is CAP_SETUID ...
+        helping guide the developer on where to focus refactoring.'"""
+        analysis = analysis_for("su")
+        phase = analysis.phases[0].phase
+        blamed = necessary_capabilities(
+            ATTACKS_BY_ID[4], phase.privileges, phase.uids, phase.gids,
+            analysis.syscalls,
+        )
+        assert blamed == CapabilitySet.of("CapSetuid")
+
+    def test_passwd_attack1_needs_a_removal_pair(self):
+        """passwd's phase 1 holds several independent read routes
+        (DacReadSearch, DacOverride, Setuid, Setgid-to-kmem, Chown,
+        Fowner): no single removal suffices — which is exactly why the
+        paper's refactoring rebuilds the program around *credentials*
+        instead of trimming capabilities."""
+        analysis = analysis_for("passwd")
+        phase = analysis.phases[0].phase
+        single = necessary_capabilities(
+            ATTACKS_BY_ID[1], phase.privileges, phase.uids, phase.gids,
+            analysis.syscalls,
+        )
+        assert single == CapabilitySet.empty()
+        pairs = minimal_blocking_sets(
+            ATTACKS_BY_ID[1], phase.privileges, phase.uids, phase.gids,
+            analysis.syscalls, max_size=2,
+        )
+        # With five independent routes even pairs cannot block it.
+        assert pairs == []

@@ -1,0 +1,74 @@
+"""Figures 10–11 — ROSA search time for the refactored programs.
+
+The paper observes that analysing the refactored programs is generally
+*slower*: more attacks fail, and failing attacks force ROSA to exhaust
+the state space (§VIII).  The assertion at the bottom checks that shape.
+"""
+
+import time
+
+import pytest
+
+from repro.core.attacks import ALL_ATTACKS
+from repro.rosa import check
+from benchmarks.conftest import REFACTORED_PROGRAMS, analysis_for
+
+
+def _figure_params():
+    params = []
+    for program in REFACTORED_PROGRAMS:
+        analysis = analysis_for(program)
+        for index in range(len(analysis.phases)):
+            for attack in ALL_ATTACKS:
+                params.append(
+                    pytest.param(
+                        program,
+                        index,
+                        attack,
+                        id=f"{program}_priv{index + 1}-attack{attack.attack_id}",
+                    )
+                )
+    return params
+
+
+@pytest.mark.parametrize("program,phase_index,attack", _figure_params())
+def test_search_time(benchmark, program, phase_index, attack):
+    analysis = analysis_for(program)
+    phase = analysis.phases[phase_index].phase
+    query = attack.build_query(
+        phase.privileges, phase.uids, phase.gids, analysis.syscalls
+    )
+    report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+    benchmark.extra_info["verdict"] = report.verdict.value
+
+
+def _mean_verdict_time(analysis):
+    total = 0.0
+    queries = 0
+    for phase_analysis in analysis.phases:
+        phase = phase_analysis.phase
+        for attack in ALL_ATTACKS:
+            query = attack.build_query(
+                phase.privileges, phase.uids, phase.gids, analysis.syscalls
+            )
+            start = time.perf_counter()
+            check(query)
+            total += time.perf_counter() - start
+            queries += 1
+    return total / queries
+
+
+def test_refactored_searches_are_not_faster(capsys):
+    """§VIII: verdicts on the refactored programs take longer on average
+    (more exhausted-space negatives)."""
+    originals = [_mean_verdict_time(analysis_for(p)) for p in ("passwd", "su")]
+    refactored = [_mean_verdict_time(analysis_for(p)) for p in REFACTORED_PROGRAMS]
+    with capsys.disabled():
+        print("\n=== Figures 10-11: mean verdict time (ms) ===")
+        for name, value in zip(("passwd", "su"), originals):
+            print(f"  {name:<10} {value * 1000:7.3f}")
+        for name, value in zip(REFACTORED_PROGRAMS, refactored):
+            print(f"  {name:<10} {value * 1000:7.3f}")
+    # The shape claim, with slack for timer noise: refactored analyses are
+    # at least comparable — never dramatically faster.
+    assert sum(refactored) > 0.5 * sum(originals)

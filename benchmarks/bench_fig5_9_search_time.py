@@ -1,0 +1,71 @@
+"""Figures 5–9 — ROSA search time per (program, privilege phase, attack).
+
+The paper runs each (phase, attack) query 10 times and reports mean and
+standard deviation of ROSA's verdict time; ``benchmark.pedantic`` with 10
+rounds reproduces that methodology.  The printed series is the figure
+data: one line per (phase, attack) with the verdict and timing.
+"""
+
+import pytest
+
+from repro.core.attacks import ALL_ATTACKS
+from repro.rosa import check
+from benchmarks.conftest import ORIGINAL_PROGRAMS, analysis_for
+
+
+def _figure_params():
+    params = []
+    for program in ORIGINAL_PROGRAMS:
+        analysis = analysis_for(program)
+        for index, phase_analysis in enumerate(analysis.phases, start=1):
+            for attack in ALL_ATTACKS:
+                params.append(
+                    pytest.param(
+                        program,
+                        index - 1,
+                        attack,
+                        id=f"{program}_priv{index}-attack{attack.attack_id}",
+                    )
+                )
+    return params
+
+
+@pytest.mark.parametrize("program,phase_index,attack", _figure_params())
+def test_search_time(benchmark, program, phase_index, attack):
+    analysis = analysis_for(program)
+    phase = analysis.phases[phase_index].phase
+    query = attack.build_query(
+        phase.privileges, phase.uids, phase.gids, analysis.syscalls,
+        label=f"{phase.name}/attack{attack.attack_id}",
+    )
+    report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+    benchmark.extra_info["verdict"] = report.verdict.value
+    benchmark.extra_info["states"] = report.states_seen
+    # Sanity: the timed verdict matches the pipeline's verdict.
+    expected = analysis.phases[phase_index].verdicts[attack.attack_id].verdict
+    assert report.verdict is expected
+
+
+def test_print_figure_series(capsys):
+    with capsys.disabled():
+        print("\n=== Figures 5-9: ROSA search time (ms, mean of 10) ===")
+        import time
+
+        for program in ORIGINAL_PROGRAMS:
+            analysis = analysis_for(program)
+            print(f"\n-- {program} --")
+            for phase_analysis in analysis.phases:
+                phase = phase_analysis.phase
+                cells = []
+                for attack in ALL_ATTACKS:
+                    query = attack.build_query(
+                        phase.privileges, phase.uids, phase.gids, analysis.syscalls
+                    )
+                    samples = []
+                    for _ in range(10):
+                        start = time.perf_counter()
+                        report = check(query)
+                        samples.append((time.perf_counter() - start) * 1000)
+                    mean = sum(samples) / len(samples)
+                    cells.append(f"a{attack.attack_id}:{report.verdict.symbol}{mean:7.2f}")
+                print(f"  {phase.name:<16} " + "  ".join(cells))

@@ -1,0 +1,55 @@
+"""Extension study — privilege separation vs the paper's sshd finding.
+
+The paper leaves sshd exposed for ≈99 % of execution and points at its
+structural causes (§VII-C).  This study measures the mitigation OpenSSH
+actually ships: a monitor/child split where the forked session child
+permanently destroys its copy of every capability before doing the
+heavy work.  Regenerates a Table-III-style block for both processes and
+the combined-exposure comparison.
+"""
+
+import pytest
+
+from repro.core.attacks import ALL_ATTACKS
+from repro.core.multiprocess import analyze_multiprocess
+from repro.programs import spec_by_name
+from benchmarks.conftest import analysis_for
+
+
+@pytest.fixture(scope="module")
+def privsep():
+    return analyze_multiprocess(spec_by_name("sshdPrivsep"))
+
+
+def test_print_study(privsep, capsys):
+    monolithic = analysis_for("sshd")
+    with capsys.disabled():
+        print("\n=== Privilege-separation study (extension) ===")
+        print()
+        print(privsep.render())
+        print("\ncombined exposure (instruction-weighted, all processes):")
+        print(f"{'attack':<24} {'monolithic sshd':>16} {'privsep sshd':>14}")
+        table = privsep.exposure_table()
+        for attack in ALL_ATTACKS:
+            mono = monolithic.vulnerability_window(attack.attack_id)
+            print(f"{attack.name:<24} {mono:>16.1%} {table[attack.name]:>14.1%}")
+
+
+def test_privsep_pipeline_time(benchmark):
+    benchmark.pedantic(
+        lambda: analyze_multiprocess(spec_by_name("sshdPrivsep")),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestStudyShapes:
+    def test_exposure_ratio(self, privsep):
+        monolithic = analysis_for("sshd")
+        split = privsep.combined_exposure(ALL_ATTACKS[0])
+        assert monolithic.vulnerability_window(1) / max(split, 1e-9) > 5
+
+    def test_child_dominates_instruction_count(self, privsep):
+        parent, *children = privsep.reports
+        child_total = sum(child.total for child in children)
+        assert child_total / privsep.total_instructions > 0.85

@@ -1,0 +1,51 @@
+"""Table I — the four modeled attacks.
+
+Regenerates the attack inventory and times one canonical ROSA verdict
+per attack: the program has the full syscall surface, a dangerous
+capability, and regular-user credentials.
+"""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core.attacks import ALL_ATTACKS
+from repro.rosa import check
+
+SURFACE = frozenset(
+    {
+        "open_read", "open_write", "setuid", "seteuid", "setresuid",
+        "setgid", "setegid", "setresgid", "kill", "chmod", "chown",
+        "unlink", "rename", "socket", "bind", "connect",
+    }
+)
+USER = (1000, 1000, 1000)
+
+#: A capability that makes each attack feasible, per the Table I column.
+ENABLING_CAPS = {
+    1: "CapDacReadSearch",
+    2: "CapDacOverride",
+    3: "CapNetBindService",
+    4: "CapKill",
+}
+
+
+def test_print_table1(capsys):
+    with capsys.disabled():
+        print("\n=== Table I: Modeled Attacks ===")
+        for attack in ALL_ATTACKS:
+            print(f"  {attack.attack_id}  {attack.description}")
+
+
+@pytest.mark.parametrize("attack", ALL_ATTACKS, ids=lambda a: a.name)
+def test_attack_verdict_time(benchmark, attack):
+    caps = CapabilitySet.of(ENABLING_CAPS[attack.attack_id])
+    query = attack.build_query(caps, USER, USER, SURFACE)
+    report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+    assert report.vulnerable
+
+
+@pytest.mark.parametrize("attack", ALL_ATTACKS, ids=lambda a: f"{a.name}-blocked")
+def test_blocked_attack_verdict_time(benchmark, attack):
+    query = attack.build_query(CapabilitySet.empty(), USER, USER, SURFACE)
+    report = benchmark.pedantic(lambda: check(query), rounds=10, iterations=1)
+    assert not report.vulnerable

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench module regenerates one of the paper's tables or figures.  The
+full pipeline runs once per program per session; the benchmarks then time
+the pieces the paper times (chiefly ROSA searches, Figures 5–11) and
+print the regenerated rows so `pytest benchmarks/ --benchmark-only -s`
+reproduces the evaluation section end to end.
+"""
+
+import pytest
+
+from repro.core import PrivAnalyzer
+from repro.programs import spec_by_name
+
+ORIGINAL_PROGRAMS = ("passwd", "ping", "sshd", "su", "thttpd")
+REFACTORED_PROGRAMS = ("passwdRef", "suRef")
+
+_cache = {}
+
+
+def analysis_for(name):
+    """Run (and cache) the full PrivAnalyzer pipeline for one program."""
+    if name not in _cache:
+        _cache[name] = PrivAnalyzer().analyze(spec_by_name(name))
+    return _cache[name]
+
+
+@pytest.fixture(scope="session")
+def analyses():
+    """Pipeline results for the five Table III programs."""
+    return {name: analysis_for(name) for name in ORIGINAL_PROGRAMS}
+
+
+@pytest.fixture(scope="session")
+def refactored_analyses():
+    """Pipeline results for the two Table V programs."""
+    return {name: analysis_for(name) for name in REFACTORED_PROGRAMS}

@@ -1,0 +1,100 @@
+"""Analyze your own program: write PrivC, get a privilege-risk report.
+
+Demonstrates the full toolchain on a new program (a small "backup agent"
+that reads the shadow database and writes an archive), including what the
+AutoPriv transform inserted and what ChronoPriv observed — the workflow a
+developer would use on their own code.
+
+    python examples/analyze_your_program.py
+"""
+
+from repro.caps import CapabilitySet
+from repro.core import PrivAnalyzer
+from repro.ir import print_function
+from repro.programs.common import ProgramSpec
+
+BACKUP_AGENT = """
+// backup-agent: archive the shadow database to the user's home.
+
+str read_database() {
+    priv_raise(CAP_DAC_READ_SEARCH);
+    int fd = open("/etc/shadow", "r");
+    str content = "";
+    if (fd >= 0) {
+        content = read(fd);
+        close(fd);
+    }
+    priv_lower(CAP_DAC_READ_SEARCH);
+    return content;
+}
+
+int write_archive(str content) {
+    int fd = open("/home/user/shadow.bak", "wc", 0o600);
+    if (fd < 0) { return -1; }
+    // "compress": checksum each entry while writing.
+    int line = 0;
+    while (line < 8) {
+        str entry = str_field(content, line, "\\n");
+        if (strlen(entry) > 0) {
+            int sum = 0;
+            int c = 0;
+            while (c < strlen(entry)) {
+                sum = (sum * 31 + c) % 65521;
+                c = c + 1;
+            }
+            write(fd, strcat(entry, "\\n"));
+        }
+        line = line + 1;
+    }
+    close(fd);
+    return 0;
+}
+
+void main() {
+    str content = read_database();
+    if (strlen(content) == 0) {
+        print_str("backup: cannot read database");
+        exit(1);
+    }
+    if (write_archive(content) < 0) {
+        print_str("backup: cannot write archive");
+        exit(1);
+    }
+    print_str("backup: done");
+    exit(0);
+}
+"""
+
+
+def main() -> None:
+    spec = ProgramSpec(
+        name="backup-agent",
+        description="archives /etc/shadow into the invoking user's home",
+        source=BACKUP_AGENT,
+        permitted=CapabilitySet.of("CapDacReadSearch"),
+    )
+    analyzer = PrivAnalyzer()
+    analysis = analyzer.analyze(spec)
+
+    print("=== What AutoPriv did ===")
+    print(f"removed at entry: {analysis.transform.entry_removed.describe()}")
+    for function, block, index, caps in analysis.transform.insertions:
+        print(f"  inserted priv_remove({caps.describe()}) at @{function}:%{block}:{index}")
+    print()
+    print("=== Transformed + instrumented IR of read_database ===")
+    print(print_function(analysis.module.get_function("read_database")))
+    print()
+    print("=== What ChronoPriv observed ===")
+    print(analysis.chrono.render())
+    print()
+    print("=== Risk assessment ===")
+    print(analysis.render_table())
+    print()
+    window = analysis.vulnerability_window(1)
+    print(f"Window for /dev/mem reads: {window:.1%} of execution —")
+    print("CAP_DAC_READ_SEARCH reads *any* file while permitted, so keep")
+    print("its live range as short as this program does.")
+
+
+if __name__ == "__main__":
+    main()

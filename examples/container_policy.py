@@ -1,0 +1,62 @@
+"""Audit a container's capability policy against the modeled attacks.
+
+The paper's introduction motivates PrivAnalyzer with Docker: containers
+keep a default capability set, and nobody can say what that set actually
+buys an attacker who compromises the contained process.  This example
+checks capability bundles (including Docker's historical default) against
+the four modeled attacks, assuming a fully exposed syscall surface (no
+seccomp profile).
+
+    python examples/container_policy.py
+"""
+
+from repro.caps import CapabilitySet
+from repro.core.attacks import ALL_ATTACKS
+from repro.rosa import check
+
+#: Everything an unfiltered workload might invoke.
+FULL_SURFACE = frozenset(
+    {
+        "open_read", "open_write", "setuid", "seteuid", "setresuid",
+        "setgid", "setegid", "setresgid", "kill", "chmod", "fchmod",
+        "chown", "fchown", "unlink", "rename", "socket", "bind", "connect",
+    }
+)
+
+POLICIES = {
+    "docker-default": CapabilitySet.of(
+        "CapChown", "CapDacOverride", "CapFowner", "CapFsetid", "CapKill",
+        "CapSetgid", "CapSetuid", "CapSetpcap", "CapNetBindService",
+        "CapNetRaw", "CapSysChroot", "CapMknod", "CapAuditWrite",
+        "CapSetfcap",
+    ),
+    "web-server": CapabilitySet.of("CapNetBindService"),
+    "file-manager": CapabilitySet.of("CapChown", "CapFowner"),
+    "dropped-all": CapabilitySet.empty(),
+}
+
+UIDS = (1000, 1000, 1000)
+
+
+def main() -> None:
+    print("Capability policy audit (process runs as uid 1000, no seccomp):")
+    print()
+    header = f"{'policy':<16}" + "".join(
+        f"  {attack.name:<22}" for attack in ALL_ATTACKS
+    )
+    print(header)
+    for name, policy in POLICIES.items():
+        cells = []
+        for attack in ALL_ATTACKS:
+            query = attack.build_query(policy, UIDS, UIDS, FULL_SURFACE)
+            report = check(query)
+            cells.append(f"  {report.verdict.symbol} {report.verdict.value:<20}")
+        print(f"{name:<16}" + "".join(cells))
+    print()
+    print("Reading: the Docker default set leaves every modeled attack open")
+    print("if the workload's syscalls are not additionally filtered; a")
+    print("purpose-built set (web-server) only exposes port masquerading.")
+
+
+if __name__ == "__main__":
+    main()

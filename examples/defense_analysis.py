@@ -1,0 +1,74 @@
+"""Model defense-weakened attackers (the paper's §X future work).
+
+The base attack model lets an exploited program issue its system calls
+in any order with corrupted arguments.  Deployed defenses shrink that
+power.  This example re-checks the canonical /dev/mem attack under:
+
+* seccomp — a syscall allowlist;
+* CFI — calls restricted to the program's own order;
+* argument integrity (CPI-style) — no wildcard corruption.
+
+    python examples/defense_analysis.py
+"""
+
+from repro.rewriting import Configuration
+from repro.rosa import RosaQuery, check, goals, model, syscalls
+from repro.rosa.defenses import compare_defenses
+from repro.rosa.syscalls import WILDCARD
+
+
+def build_query(program_opens_before_setuid: bool):
+    """A program holding CAP_SETUID that opens a file and setuids.
+
+    Whether it opens *before* or *after* setuid decides what a
+    CFI-constrained attacker can achieve.
+    """
+    capset = frozenset(syscalls.caps(["CapSetuid"]))
+    setuid_msg = syscalls.sys_setuid(1, WILDCARD, capset)
+    open_msg = syscalls.sys_open(1, WILDCARD, "r", capset)
+    config = Configuration(
+        [
+            model.process_for_user(1, uid=1000, gid=1000),
+            model.file_obj(10, name="/dev/mem", owner=0, group=15, perms=0o640),
+            model.user(20, 0),
+            model.user(21, 1000),
+            setuid_msg,
+            open_msg,
+        ]
+    )
+    order = (
+        [open_msg, setuid_msg]
+        if program_opens_before_setuid
+        else [setuid_msg, open_msg]
+    )
+    query = RosaQuery(
+        "read-devmem", config, goals.file_opened_for_read(10)
+    )
+    return query, order
+
+
+def main() -> None:
+    print("Attack: read /dev/mem; program capabilities: CapSetuid.")
+    print()
+    for opens_first in (False, True):
+        query, order = build_query(opens_first)
+        shape = "open(); setuid()" if opens_first else "setuid(); open()"
+        comparison = compare_defenses(
+            query,
+            program_order=order,
+            seccomp_allowlist=["open"],  # filter setuid away
+        )
+        print(f"program shape: {shape}")
+        for name, verdict in comparison.verdicts.items():
+            print(f"  {name:<14} {verdict}")
+        print()
+    print("Observations:")
+    print(" * seccomp filtering setuid kills the attack outright;")
+    print(" * CFI only helps when the program's own call order (open before")
+    print("   setuid) is the reverse of the order the attack recipe needs;")
+    print(" * argument integrity helps exactly when the program's own")
+    print("   arguments are harmless (here: wildcards dropped entirely).")
+
+
+if __name__ == "__main__":
+    main()

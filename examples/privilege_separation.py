@@ -1,0 +1,47 @@
+"""Privilege separation: measuring OpenSSH's answer to the sshd problem.
+
+The paper's Table III shows sshd holding every capability for ~99 % of
+execution — privilege brackets cannot help a server whose connection
+loop structurally needs them.  This example measures the fix OpenSSH
+actually deploys: fork a session child that permanently destroys its
+copy of the capabilities before doing the heavy work.
+
+Runs both sshd variants through the library (the multi-process pipeline
+attaches a ChronoPriv recorder to every forked child), prints the
+per-process phase tables, and compares the instruction-weighted
+exposure.
+
+    python examples/privilege_separation.py
+"""
+
+from repro.core import PrivAnalyzer
+from repro.core.attacks import ALL_ATTACKS
+from repro.core.multiprocess import analyze_multiprocess
+from repro.programs import spec_by_name
+
+
+def main() -> None:
+    print("Monolithic sshd (the paper's Table III):")
+    monolithic = PrivAnalyzer().analyze(spec_by_name("sshd"))
+    print(monolithic.render_table())
+    print()
+
+    privsep = analyze_multiprocess(spec_by_name("sshdPrivsep"))
+    print("Privilege-separated sshd, per process:")
+    print()
+    print(privsep.render())
+    print()
+    print(f"{'attack':<24} {'monolithic':>12} {'privsep':>10}")
+    exposure = privsep.exposure_table()
+    for attack in ALL_ATTACKS:
+        mono = monolithic.vulnerability_window(attack.attack_id)
+        print(f"{attack.name:<24} {mono:>12.1%} {exposure[attack.name]:>10.1%}")
+    print()
+    print("The session child runs >99% of the instructions with an empty")
+    print("permitted set — the fork boundary achieves what privilege")
+    print("bracketing alone could not (and what AutoPriv cannot derive:")
+    print("the monitor still needs its capabilities for the next client).")
+
+
+if __name__ == "__main__":
+    main()

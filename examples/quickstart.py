@@ -1,0 +1,40 @@
+"""Quickstart: measure how effectively a privileged program uses privileges.
+
+Runs the full PrivAnalyzer pipeline (AutoPriv -> ChronoPriv -> ROSA) on
+the paper's passwd model and prints its Table III row block: which
+privilege sets are held, for what share of execution, and which of the
+four modeled attacks each phase is vulnerable to.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import PrivAnalyzer
+from repro.programs import spec_by_name
+
+
+def main() -> None:
+    spec = spec_by_name("passwd")
+    print(f"Analyzing {spec.name!r}: {spec.description}")
+    print(f"Installed permitted set: {spec.permitted.describe()}")
+    print()
+
+    analysis = PrivAnalyzer().analyze(spec)
+
+    print(analysis.render_table())
+    print()
+    print("Attacks: 1=read /dev/mem, 2=write /dev/mem, "
+          "3=bind privileged port, 4=SIGKILL the sshd server")
+    print()
+    for attack_id, label in [(1, "read /dev/mem"), (2, "write /dev/mem"),
+                             (3, "bind privileged port"), (4, "kill sshd")]:
+        window = analysis.vulnerability_window(attack_id)
+        print(f"  vulnerable to {label:<22} for {window:6.1%} of execution")
+    print(f"  invulnerable to everything     for "
+          f"{analysis.invulnerable_window():6.1%} of execution")
+    print()
+    print("The paper's conclusion in one line: merely dropping dead")
+    print("privileges is not enough — passwd stays exposed almost all run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""PrivAnalyzer reproduction — measuring the efficacy of Linux privilege use.
+
+A from-scratch Python reproduction of *PrivAnalyzer: Measuring the
+Efficacy of Linux Privilege Use* (DSN 2019), including every substrate
+the paper's toolchain depends on:
+
+* :mod:`repro.caps` — the Linux capability/credential model;
+* :mod:`repro.ir`, :mod:`repro.frontend` — an LLVM-flavoured IR and the
+  PrivC mini-C frontend (the LLVM 3.7.1 substitute);
+* :mod:`repro.autopriv` — static privilege liveness + dead-privilege
+  removal (the AutoPriv compiler);
+* :mod:`repro.chronopriv` — dynamic privilege-retention measurement;
+* :mod:`repro.oskernel`, :mod:`repro.vm` — a simulated Linux kernel and
+  an IR interpreter to execute instrumented programs;
+* :mod:`repro.rewriting` — a bounded term/object rewriting engine (the
+  Maude 2.7 substitute);
+* :mod:`repro.rosa` — the ROSA bounded model checker;
+* :mod:`repro.core` — the PrivAnalyzer pipeline, the four modeled
+  attacks, and the risk metrics of the paper's Tables III and V;
+* :mod:`repro.programs` — PrivC models of passwd, su, ping, thttpd and
+  sshd, plus the refactored passwd/su.
+
+Quickstart::
+
+    from repro.core import PrivAnalyzer
+    from repro.programs import spec_by_name
+
+    analysis = PrivAnalyzer().analyze(spec_by_name("passwd"))
+    print(analysis.render_table())
+    print(f"vulnerable to /dev/mem reads for "
+          f"{analysis.vulnerability_window(1):.0%} of execution")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,35 @@
+"""AutoPriv: static privilege liveness and dead-privilege removal.
+
+The first stage of the PrivAnalyzer pipeline (§V).  Finds the program
+points where each privilege becomes dead — unusable on every forward path
+— and inserts ``priv_remove`` calls there, making those privileges
+unavailable to an attacker from that point on.
+"""
+
+from repro.autopriv.liveness import PrivLiveness, analyze_module
+from repro.autopriv.privuse import (
+    PRIV_LOWER,
+    PRIV_RAISE,
+    PRIV_REMOVE,
+    direct_uses,
+    fold_constant,
+    instruction_uses,
+    mask_argument,
+    registered_signal_handlers,
+)
+from repro.autopriv.transform import TransformReport, transform_module
+
+__all__ = [
+    "PRIV_LOWER",
+    "PRIV_RAISE",
+    "PRIV_REMOVE",
+    "PrivLiveness",
+    "TransformReport",
+    "analyze_module",
+    "direct_uses",
+    "fold_constant",
+    "instruction_uses",
+    "mask_argument",
+    "registered_signal_handlers",
+    "transform_module",
+]

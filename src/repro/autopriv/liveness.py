@@ -1,0 +1,193 @@
+"""Interprocedural privilege liveness.
+
+AutoPriv (§V) computes, for every program point, which privileges might
+still be used on some path forward — including uses that happen after the
+current function returns.  A privilege absent from that set is *dead* and
+can be removed from the permitted set.
+
+The analysis has three layers:
+
+1. **Call-graph closure** — ``uses(F)``: the privileges function ``F`` or
+   anything it (transitively, via the possibly-conservative call graph)
+   calls may raise.
+2. **Return liveness fixpoint** — ``live_out(F)``: the privileges that
+   may still be used after ``F`` returns, i.e. the union over all call
+   sites of ``F`` of the liveness just after that call.  ``main`` has an
+   empty return liveness.
+3. **Intra-procedural backward data-flow** — within each function,
+   block-level liveness seeded at returns with ``live_out(F)``, with each
+   call site generating ``uses(callee)``.
+
+Privileges used by registered signal handlers are pinned live for the
+whole program: a handler can run at any instruction (§VII-C), so its
+privileges never die.  This is exactly the mechanism that keeps sshd's
+privileges alive in the paper's Table III.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.caps import Capability, CapabilitySet
+from repro.ir import BasicBlock, Call, CallGraph, Function, Instruction, Module
+from repro.ir.dataflow import SetDataflowProblem, solve
+from repro.autopriv import privuse
+
+CapFacts = FrozenSet[Capability]
+
+
+def _facts(caps: CapabilitySet) -> CapFacts:
+    return caps.as_frozenset()
+
+
+@dataclasses.dataclass
+class PrivLiveness:
+    """The complete liveness solution for one module."""
+
+    module: Module
+    callgraph: CallGraph
+    #: Transitive privilege uses per function.
+    uses: Dict[Function, CapabilitySet]
+    #: Privileges that may be used after each function returns.
+    live_out: Dict[Function, CapabilitySet]
+    #: Privileges pinned live forever (signal handlers' uses).
+    pinned: CapabilitySet
+    #: Per-block liveness at block entry/exit, per function.
+    block_in: Dict[Function, Dict[BasicBlock, CapFacts]]
+    block_out: Dict[Function, Dict[BasicBlock, CapFacts]]
+
+    def call_uses(self, call: Call) -> CapabilitySet:
+        """Privileges a call site may (transitively) use."""
+        used = privuse.instruction_uses(call)
+        for target in self.callgraph.resolve_call(call):
+            used = used | self.uses.get(target, CapabilitySet.empty())
+        return used
+
+    def live_after_instruction(
+        self, function: Function, block: BasicBlock, index: int
+    ) -> CapabilitySet:
+        """Privileges live immediately after ``block.instructions[index]``.
+
+        Walks backward from the block's out-set through the instructions
+        following ``index``, adding each one's generated uses.
+        """
+        live = set(self.block_out[function][block])
+        for instruction in reversed(block.instructions[index + 1 :]):
+            live |= self._instruction_gen(instruction)
+        return CapabilitySet(live) | self.pinned
+
+    def _instruction_gen(self, instruction: Instruction) -> CapFacts:
+        if isinstance(instruction, Call):
+            return _facts(self.call_uses(instruction))
+        return frozenset()
+
+
+class _BlockLiveness(SetDataflowProblem):
+    """Backward may-liveness of privileges within one function."""
+
+    direction = "backward"
+    meet = "union"
+
+    def __init__(self, analysis_uses, live_out: CapabilitySet) -> None:
+        self._gen_for = analysis_uses
+        self._live_out = _facts(live_out)
+
+    def gen(self, block: BasicBlock) -> CapFacts:
+        generated: set = set()
+        for instruction in block.instructions:
+            generated |= self._gen_for(instruction)
+        return frozenset(generated)
+
+    def kill(self, block: BasicBlock) -> CapFacts:
+        # Privileges do not die syntactically: removal points are where we
+        # *insert* kills, so the analysis itself never kills.
+        return frozenset()
+
+    def boundary(self) -> CapFacts:
+        return self._live_out
+
+
+def analyze_module(
+    module: Module,
+    entry: str = "main",
+    indirect_targets_filter: str = "address-taken",
+) -> PrivLiveness:
+    """Run the full interprocedural privilege-liveness analysis."""
+    callgraph = CallGraph(module, indirect_targets_filter)
+
+    # Layer 1: transitive uses per function.
+    uses: Dict[Function, CapabilitySet] = {}
+    for function in module.functions.values():
+        used = privuse.direct_uses(function) if not function.is_declaration else CapabilitySet.empty()
+        for callee in callgraph.transitive_callees(function):
+            used = used | privuse.direct_uses(callee)
+        uses[function] = used
+
+    # Pinned privileges: whatever registered signal handlers may use.
+    pinned = CapabilitySet.empty()
+    for handler in privuse.registered_signal_handlers(module):
+        pinned = pinned | uses.get(handler, CapabilitySet.empty())
+
+    def instruction_gen(instruction: Instruction) -> CapFacts:
+        if isinstance(instruction, Call):
+            generated = privuse.instruction_uses(instruction)
+            for target in callgraph.resolve_call(instruction):
+                generated = generated | uses.get(target, CapabilitySet.empty())
+            return _facts(generated)
+        return frozenset()
+
+    # Layer 2 + 3: iterate return-liveness and per-function block liveness
+    # to a joint fixpoint.
+    live_out: Dict[Function, CapabilitySet] = {
+        function: CapabilitySet.empty() for function in module.functions.values()
+    }
+    block_in: Dict[Function, Dict[BasicBlock, CapFacts]] = {}
+    block_out: Dict[Function, Dict[BasicBlock, CapFacts]] = {}
+
+    defined = list(module.defined_functions())
+    changed = True
+    while changed:
+        changed = False
+        for function in defined:
+            problem = _BlockLiveness(instruction_gen, live_out[function])
+            result = solve(problem, function)
+            if (
+                block_in.get(function) != result.block_in
+                or block_out.get(function) != result.block_out
+            ):
+                block_in[function] = result.block_in
+                block_out[function] = result.block_out
+                changed = True
+        # Propagate liveness-after-call-site into callees' live_out.
+        new_live_out = {
+            function: CapabilitySet.empty() for function in module.functions.values()
+        }
+        for function in defined:
+            for block in function.blocks:
+                if block not in block_out.get(function, {}):
+                    continue  # unreachable block
+                live = set(block_out[function][block])
+                for index in range(len(block.instructions) - 1, -1, -1):
+                    instruction = block.instructions[index]
+                    if isinstance(instruction, Call):
+                        # ``live`` currently holds liveness *after* this call.
+                        for target in callgraph.resolve_call(instruction):
+                            new_live_out[target] = new_live_out[target] | CapabilitySet(live)
+                    live |= instruction_gen(instruction)
+        entry_function = module.functions.get(entry)
+        if entry_function is not None:
+            new_live_out[entry_function] = CapabilitySet.empty()
+        if new_live_out != live_out:
+            live_out = new_live_out
+            changed = True
+
+    return PrivLiveness(
+        module=module,
+        callgraph=callgraph,
+        uses=uses,
+        live_out=live_out,
+        pinned=pinned,
+        block_in=block_in,
+        block_out=block_out,
+    )

@@ -1,0 +1,114 @@
+"""Discovering where a program uses privileges.
+
+A *privilege use* is a call to the AutoPriv runtime wrapper
+``priv_raise(mask)`` (§II): the program is about to perform an operation
+requiring those capabilities.  The mask argument is usually a constant
+expression (``CAP_SETUID | CAP_CHOWN``); we fold IR constant expressions
+to recover it.  A mask we cannot resolve statically is treated as "all
+capabilities" — the conservative answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.caps import Capability, CapabilitySet
+from repro.ir import BinOp, Call, ConstantInt, Function, Instruction, Module, Value
+from repro.ir.instructions import BINARY_OPS
+
+#: Name of the runtime wrapper whose argument names the capabilities used.
+PRIV_RAISE = "priv_raise"
+#: The other wrappers, recognised so analyses can treat them specially.
+PRIV_LOWER = "priv_lower"
+PRIV_REMOVE = "priv_remove"
+#: Registering a signal handler makes the handler's privilege uses
+#: asynchronous (§VII-C: "signal handlers can be called at any time").
+SIGNAL_REGISTER = "signal"
+
+FULL_MASK = CapabilitySet.full()
+
+
+def fold_constant(value: Value) -> Optional[int]:
+    """Evaluate an integer-constant IR expression, or None.
+
+    Handles the shapes lowering produces for capability masks: integer
+    literals and trees of binary operations over them.
+    """
+    if isinstance(value, ConstantInt):
+        return value.value
+    if isinstance(value, BinOp):
+        lhs = fold_constant(value.operands[0])
+        rhs = fold_constant(value.operands[1])
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return value.type.wrap(BINARY_OPS[value.op](lhs, rhs))
+        except ZeroDivisionError:
+            return None
+    return None
+
+
+def mask_argument(call: Call) -> CapabilitySet:
+    """The capability set named by a ``priv_*`` call's mask argument."""
+    if not call.args:
+        return FULL_MASK
+    mask = fold_constant(call.args[0])
+    if mask is None:
+        return FULL_MASK
+    try:
+        return CapabilitySet.from_mask(mask)
+    except ValueError:
+        return FULL_MASK
+
+
+def is_priv_call(call: Call, wrapper: str) -> bool:
+    target = call.direct_target
+    return target is not None and target.name == wrapper
+
+
+def _is_use(instruction: Instruction) -> bool:
+    """Is this instruction a privilege *use*?
+
+    Programs following the AutoPriv discipline bracket privileged
+    operations with ``priv_raise`` / ``priv_lower`` (§II).  Both wrappers
+    count as uses: the privilege must stay permitted from the raise
+    through the bracketed system calls up to the matching lower — so the
+    closing ``priv_lower`` is the last point the privilege is needed, and
+    removal happens after it.
+    """
+    return isinstance(instruction, Call) and (
+        is_priv_call(instruction, PRIV_RAISE) or is_priv_call(instruction, PRIV_LOWER)
+    )
+
+
+def direct_uses(function: Function) -> CapabilitySet:
+    """Capabilities used by raise/lower brackets directly inside ``function``."""
+    used = CapabilitySet.empty()
+    for instruction in function.instructions():
+        if _is_use(instruction):
+            used = used | mask_argument(instruction)
+    return used
+
+
+def instruction_uses(instruction: Instruction) -> CapabilitySet:
+    """Capabilities used by this one instruction (non-transitively)."""
+    if _is_use(instruction):
+        return mask_argument(instruction)
+    return CapabilitySet.empty()
+
+
+def registered_signal_handlers(module: Module) -> Set[Function]:
+    """Functions passed as handlers to ``signal()`` anywhere in the module."""
+    from repro.ir import FunctionRef
+
+    handlers: Set[Function] = set()
+    for function in module.defined_functions():
+        for instruction in function.instructions():
+            if not isinstance(instruction, Call):
+                continue
+            if not is_priv_call(instruction, SIGNAL_REGISTER):
+                continue
+            for arg in instruction.args:
+                if isinstance(arg, FunctionRef):
+                    handlers.add(arg.function)
+    return handlers

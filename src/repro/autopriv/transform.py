@@ -1,0 +1,143 @@
+"""The AutoPriv transformation: drop privileges the moment they die.
+
+Given the liveness solution, insert ``priv_remove(mask)`` calls at every
+live→dead transition — after the last instruction on a path that can use
+a privilege — plus one sweep at program entry for privileges the program
+can never use.  The paper's compiler additionally inserts a ``prctl()``
+call disabling the kernel's root-uid capability fixups (§VII-B); we do
+the same.
+
+Privileges used by registered signal handlers are never removed: the
+handler may run at any time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.caps import CapabilitySet
+from repro.ir import Call, ConstantInt, Function, I64, Module
+from repro.ir.instructions import Instruction
+from repro.ir.types import VOID
+from repro.autopriv import privuse
+from repro.autopriv.liveness import PrivLiveness, analyze_module
+
+
+@dataclasses.dataclass
+class TransformReport:
+    """What the transform did — used by tests and the A2 ablation."""
+
+    #: (function name, block name, instruction index, removed set) per
+    #: inserted priv_remove call.
+    insertions: List[Tuple[str, str, int, CapabilitySet]]
+    #: Privileges removed immediately at program entry.
+    entry_removed: CapabilitySet
+    #: Privileges pinned live by signal handlers (never removed).
+    pinned: CapabilitySet
+
+    @property
+    def insertion_count(self) -> int:
+        return len(self.insertions) + (1 if self.entry_removed else 0)
+
+
+def _runtime_fn(module: Module, name: str, param_types) -> "Function":
+    """The runtime wrapper, reusing the program's own (possibly variadic)
+    implicit declaration when one exists."""
+    existing = module.functions.get(name)
+    if existing is not None:
+        return existing
+    return module.declare(name, I64, param_types)
+
+
+def _remove_call(module: Module, mask: CapabilitySet) -> Call:
+    remove_fn = _runtime_fn(module, privuse.PRIV_REMOVE, [I64])
+    return Call(remove_fn.ref(), [ConstantInt(I64, mask.to_mask())], I64)
+
+
+def transform_module(
+    module: Module,
+    initial_permitted: CapabilitySet,
+    entry: str = "main",
+    insert_lockdown: bool = True,
+    indirect_targets_filter: str = "address-taken",
+) -> TransformReport:
+    """Insert ``priv_remove`` calls in place; returns what was inserted."""
+    liveness = analyze_module(module, entry, indirect_targets_filter)
+    insertions: List[Tuple[str, str, int, CapabilitySet]] = []
+    candidates = initial_permitted - liveness.pinned
+
+    for function in module.defined_functions():
+        if function not in liveness.block_in:
+            continue
+        from repro.ir import predecessors
+
+        preds = predecessors(function)
+        block_in = liveness.block_in[function]
+        block_out = liveness.block_out[function]
+        for block in function.blocks:
+            if block not in block_in:
+                continue  # unreachable
+            # Walk the block backward tracking instruction-level liveness.
+            live_after = set(block_out[block])
+            transitions: List[Tuple[int, CapabilitySet]] = []
+            for index in range(len(block.instructions) - 1, -1, -1):
+                instruction = block.instructions[index]
+                generated = _instruction_gen(liveness, instruction)
+                live_before = live_after | generated
+                dying = (
+                    CapabilitySet(live_before - live_after) & candidates
+                )
+                if dying and not instruction.is_terminator:
+                    transitions.append((index, dying))
+                live_after = live_before
+            # Insert from the highest index down so indices stay valid.
+            for index, dying in transitions:
+                block.insert(index + 1, _remove_call(module, dying))
+                insertions.append((function.name, block.name, index + 1, dying))
+
+            # Edge deaths: a privilege live out of some predecessor (on
+            # behalf of a *different* successor) but dead on entry here —
+            # e.g. the false edge around an if-guarded bracket, or a loop
+            # exit edge.  Removal at block entry is safe: liveness at
+            # block entry is path-insensitive, so the privilege is dead
+            # on every path from here regardless of the edge taken.
+            reachable_preds = [pred for pred in preds[block] if pred in block_out]
+            if not reachable_preds:
+                continue
+            incoming = set()
+            for pred in reachable_preds:
+                incoming |= set(block_out[pred])
+            dying_at_entry = CapabilitySet(incoming - set(block_in[block])) & candidates
+            if dying_at_entry:
+                block.insert(0, _remove_call(module, dying_at_entry))
+                insertions.append((function.name, block.name, 0, dying_at_entry))
+
+    # Entry sweep: privileges never live at program start die immediately.
+    entry_removed = CapabilitySet.empty()
+    entry_function = module.functions.get(entry)
+    if entry_function is not None and not entry_function.is_declaration:
+        entry_block = entry_function.entry
+        live_at_entry = CapabilitySet(
+            liveness.block_in.get(entry_function, {}).get(entry_block, frozenset())
+        )
+        entry_removed = candidates - live_at_entry
+        position = 0
+        if insert_lockdown:
+            lockdown = _runtime_fn(module, "prctl_lockdown", [])
+            entry_block.insert(0, Call(lockdown.ref(), [], I64))
+            position = 1
+        if entry_removed:
+            entry_block.insert(position, _remove_call(module, entry_removed))
+
+    return TransformReport(
+        insertions=insertions,
+        entry_removed=entry_removed,
+        pinned=liveness.pinned,
+    )
+
+
+def _instruction_gen(liveness: PrivLiveness, instruction: Instruction):
+    if isinstance(instruction, Call):
+        return liveness.call_uses(instruction).as_frozenset()
+    return frozenset()

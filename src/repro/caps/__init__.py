@@ -1,0 +1,26 @@
+"""Linux capability and credential model.
+
+This package is the shared vocabulary of the whole reproduction: the
+:class:`Capability` enum, immutable :class:`CapabilitySet` values, the
+per-task effective/permitted/inheritable :class:`CapabilityState`, and the
+six-id :class:`Credentials` tuple.
+"""
+
+from repro.caps.capability import (
+    Capability,
+    POWERFUL_CAPABILITIES,
+    parse_capability,
+)
+from repro.caps.capset import CapabilitySet, CapabilityState
+from repro.caps.credentials import Credentials, ROOT_GID, ROOT_UID
+
+__all__ = [
+    "Capability",
+    "CapabilitySet",
+    "CapabilityState",
+    "Credentials",
+    "POWERFUL_CAPABILITIES",
+    "ROOT_GID",
+    "ROOT_UID",
+    "parse_capability",
+]

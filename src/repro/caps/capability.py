@@ -1,0 +1,120 @@
+"""The Linux capability vocabulary.
+
+Linux divides the power of the root user into distinct *capabilities*
+(called *privileges* throughout the PrivAnalyzer paper).  Each capability
+bypasses a specific subset of the access-control rules that the root user
+of a classic Unix system bypasses wholesale.  This module defines the full
+capability vocabulary of capability(7) as of Linux 4.x (the kernel the
+paper's Ubuntu 16.04 testbed ran) plus helpers for converting between the
+kernel-style names (``CAP_SETUID``) and the camel-case names the paper's
+tables use (``CapSetuid``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Capability(enum.IntEnum):
+    """One Linux capability, numbered as in ``<linux/capability.h>``.
+
+    The integer values match the kernel's capability numbers so that
+    bit-mask representations produced by :class:`repro.caps.CapabilitySet`
+    are directly comparable with real ``/proc/<pid>/status`` ``CapPrm``
+    lines.
+    """
+
+    CAP_CHOWN = 0
+    CAP_DAC_OVERRIDE = 1
+    CAP_DAC_READ_SEARCH = 2
+    CAP_FOWNER = 3
+    CAP_FSETID = 4
+    CAP_KILL = 5
+    CAP_SETGID = 6
+    CAP_SETUID = 7
+    CAP_SETPCAP = 8
+    CAP_LINUX_IMMUTABLE = 9
+    CAP_NET_BIND_SERVICE = 10
+    CAP_NET_BROADCAST = 11
+    CAP_NET_ADMIN = 12
+    CAP_NET_RAW = 13
+    CAP_IPC_LOCK = 14
+    CAP_IPC_OWNER = 15
+    CAP_SYS_MODULE = 16
+    CAP_SYS_RAWIO = 17
+    CAP_SYS_CHROOT = 18
+    CAP_SYS_PTRACE = 19
+    CAP_SYS_PACCT = 20
+    CAP_SYS_ADMIN = 21
+    CAP_SYS_BOOT = 22
+    CAP_SYS_NICE = 23
+    CAP_SYS_RESOURCE = 24
+    CAP_SYS_TIME = 25
+    CAP_SYS_TTY_CONFIG = 26
+    CAP_MKNOD = 27
+    CAP_LEASE = 28
+    CAP_AUDIT_WRITE = 29
+    CAP_AUDIT_CONTROL = 30
+    CAP_SETFCAP = 31
+    CAP_MAC_OVERRIDE = 32
+    CAP_MAC_ADMIN = 33
+    CAP_SYSLOG = 34
+    CAP_WAKE_ALARM = 35
+    CAP_BLOCK_SUSPEND = 36
+    CAP_AUDIT_READ = 37
+
+    @property
+    def camel_name(self) -> str:
+        """The camel-case spelling used in the paper's tables.
+
+        >>> Capability.CAP_DAC_READ_SEARCH.camel_name
+        'CapDacReadSearch'
+        """
+        parts = self.name.split("_")[1:]
+        return "Cap" + "".join(part.capitalize() for part in parts)
+
+    def __str__(self) -> str:
+        return self.camel_name
+
+
+# Lookup tables built once at import time.
+_BY_KERNEL_NAME = {cap.name: cap for cap in Capability}
+_BY_CAMEL_NAME = {cap.camel_name: cap for cap in Capability}
+_BY_LOWER_NAME = {cap.name.lower(): cap for cap in Capability}
+
+
+def parse_capability(name: str) -> Capability:
+    """Parse a capability from any accepted spelling.
+
+    Accepted spellings: the kernel name (``CAP_SETUID``, case-insensitive)
+    and the paper's camel-case name (``CapSetuid``).
+
+    :raises ValueError: if the name matches no capability.
+    """
+    if name in _BY_CAMEL_NAME:
+        return _BY_CAMEL_NAME[name]
+    upper = name.upper()
+    if upper in _BY_KERNEL_NAME:
+        return _BY_KERNEL_NAME[upper]
+    if name.lower() in _BY_LOWER_NAME:
+        return _BY_LOWER_NAME[name.lower()]
+    raise ValueError(f"unknown capability name: {name!r}")
+
+
+#: Capabilities that, per the paper's §VII-D discussion, are individually
+#: sufficient to mount powerful privilege-escalation attacks.  Used by the
+#: risk report to highlight the privileges worth refactoring away first.
+POWERFUL_CAPABILITIES = frozenset(
+    {
+        Capability.CAP_SETUID,
+        Capability.CAP_SETGID,
+        Capability.CAP_CHOWN,
+        Capability.CAP_FOWNER,
+        Capability.CAP_DAC_OVERRIDE,
+        Capability.CAP_DAC_READ_SEARCH,
+        Capability.CAP_KILL,
+        Capability.CAP_SYS_ADMIN,
+        Capability.CAP_SYS_PTRACE,
+        Capability.CAP_SYS_RAWIO,
+    }
+)

@@ -1,0 +1,107 @@
+"""Process credentials: the user/group identity of a Linux task.
+
+Each Linux task carries three user ids and three group ids
+(credentials(7)):
+
+* *real* (ruid/rgid) — who started the process;
+* *effective* (euid/egid) — whom the kernel's permission checks consult;
+* *saved* (suid/sgid) — a stash an unprivileged process may switch its
+  effective id back to.
+
+ChronoPriv records all six ids because the DAC permission checks ROSA
+models depend on them (§V-A).  The paper's refactoring lesson "change
+credentials early" (§VII-E) works precisely because an unprivileged
+``setresuid`` may permute the current real/effective/saved values without
+any capability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, Tuple
+
+#: Conventional uid of the superuser.
+ROOT_UID = 0
+#: Conventional gid of the root group.
+ROOT_GID = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Credentials:
+    """The immutable credential tuple of one task.
+
+    ``supplementary`` is the supplementary group list set by
+    ``setgroups(2)``; DAC group checks consult the effective gid *and* the
+    supplementary groups.
+    """
+
+    ruid: int
+    euid: int
+    suid: int
+    rgid: int
+    egid: int
+    sgid: int
+    supplementary: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def for_user(
+        cls, uid: int, gid: int, supplementary: Iterable[int] = ()
+    ) -> "Credentials":
+        """Credentials of a freshly logged-in user: all three ids equal."""
+        return cls(uid, uid, uid, gid, gid, gid, frozenset(supplementary))
+
+    @classmethod
+    def for_root(cls) -> "Credentials":
+        """Credentials of a root-owned task."""
+        return cls.for_user(ROOT_UID, ROOT_GID)
+
+    # -- renderings matching the paper's tables -----------------------------
+
+    @property
+    def uid_triple(self) -> Tuple[int, int, int]:
+        """(ruid, euid, suid) — the order of the paper's *UID* column."""
+        return (self.ruid, self.euid, self.suid)
+
+    @property
+    def gid_triple(self) -> Tuple[int, int, int]:
+        """(rgid, egid, sgid) — the order of the paper's *GID* column."""
+        return (self.rgid, self.egid, self.sgid)
+
+    def describe_uids(self) -> str:
+        return ",".join(str(uid) for uid in self.uid_triple)
+
+    def describe_gids(self) -> str:
+        return ",".join(str(gid) for gid in self.gid_triple)
+
+    # -- queries used by permission checks ----------------------------------
+
+    def groups(self) -> FrozenSet[int]:
+        """All groups DAC checks match against: egid plus supplementary."""
+        return self.supplementary | {self.egid}
+
+    def may_set_uid_unprivileged(self, uid: int) -> bool:
+        """May ``setresuid`` assign ``uid`` to any id slot without CAP_SETUID?
+
+        credentials(7): an unprivileged process may set each of its three
+        uids to any of the *current* real, effective or saved uid.
+        """
+        return uid in (self.ruid, self.euid, self.suid)
+
+    def may_set_gid_unprivileged(self, gid: int) -> bool:
+        """The group analogue of :meth:`may_set_uid_unprivileged`."""
+        return gid in (self.rgid, self.egid, self.sgid)
+
+    # -- transitions ---------------------------------------------------------
+
+    def replace(self, **changes) -> "Credentials":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def with_all_uids(self, uid: int) -> "Credentials":
+        return self.replace(ruid=uid, euid=uid, suid=uid)
+
+    def with_all_gids(self, gid: int) -> "Credentials":
+        return self.replace(rgid=gid, egid=gid, sgid=gid)
+
+    def __str__(self) -> str:
+        return f"uid={self.describe_uids()} gid={self.describe_gids()}"

@@ -1,0 +1,25 @@
+"""ChronoPriv: dynamic privilege-retention measurement.
+
+The second stage of the PrivAnalyzer pipeline (§V-A).  Instruments a
+program to count IR instructions per basic block, and attributes each
+count to the current combination of permitted capability set and process
+credentials.  The output — which privilege sets were live, with which
+uids/gids, for how many instructions — feeds the ROSA model checker.
+"""
+
+from repro.chronopriv.instrument import (
+    CHRONO_COUNT,
+    InstrumentationReport,
+    instrument_module,
+)
+from repro.chronopriv.report import ChronoPhase, ChronoReport
+from repro.chronopriv.runtime import ChronoRecorder
+
+__all__ = [
+    "CHRONO_COUNT",
+    "ChronoPhase",
+    "ChronoRecorder",
+    "ChronoReport",
+    "InstrumentationReport",
+    "instrument_module",
+]

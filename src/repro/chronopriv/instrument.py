@@ -1,0 +1,68 @@
+"""ChronoPriv's instrumentation pass.
+
+Adds, at the top of every basic block, a call to ``__chrono_count(n)``
+where ``n`` is the number of IR instructions in the block — excluding
+``unreachable`` (executing one terminates the program, §VI) and excluding
+the counting call itself.  At runtime the ChronoPriv recorder attributes
+each increment to the current (permitted set, credentials) phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.ir import Call, ConstantInt, I64, Module, Unreachable
+
+#: Name of the counting hook the VM resolves.
+CHRONO_COUNT = "__chrono_count"
+
+
+@dataclasses.dataclass
+class InstrumentationReport:
+    """Static accounting of what the pass inserted."""
+
+    blocks_instrumented: int
+    instructions_counted: int
+    #: Per-function counted instruction totals.
+    per_function: Dict[str, int]
+
+
+def instrument_module(module: Module) -> InstrumentationReport:
+    """Insert counting calls in place; idempotent per module."""
+    count_fn = module.declare(CHRONO_COUNT, I64, [I64])
+    blocks = 0
+    total = 0
+    per_function: Dict[str, int] = {}
+    for function in module.defined_functions():
+        function_total = 0
+        for block in function.blocks:
+            if _already_instrumented(block):
+                continue
+            countable = sum(
+                1
+                for instruction in block.instructions
+                if not isinstance(instruction, Unreachable)
+            )
+            if countable == 0:
+                continue
+            block.insert(0, Call(count_fn.ref(), [ConstantInt(I64, countable)], I64))
+            blocks += 1
+            total += countable
+            function_total += countable
+        per_function[function.name] = function_total
+    return InstrumentationReport(
+        blocks_instrumented=blocks,
+        instructions_counted=total,
+        per_function=per_function,
+    )
+
+
+def _already_instrumented(block) -> bool:
+    if not block.instructions:
+        return False
+    first = block.instructions[0]
+    if not isinstance(first, Call):
+        return False
+    target = first.direct_target
+    return target is not None and target.name == CHRONO_COUNT

@@ -1,0 +1,64 @@
+"""ChronoPriv report structures and rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.caps import CapabilitySet
+
+
+@dataclasses.dataclass
+class ChronoPhase:
+    """One row of the paper's Table III: a privilege/credential phase."""
+
+    name: str
+    privileges: CapabilitySet
+    uids: Tuple[int, int, int]
+    gids: Tuple[int, int, int]
+    instruction_count: int
+    percent: float
+
+    def describe_uids(self) -> str:
+        return ",".join(str(uid) for uid in self.uids)
+
+    def describe_gids(self) -> str:
+        return ",".join(str(gid) for gid in self.gids)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.privileges.describe()} "
+            f"uid={self.describe_uids()} gid={self.describe_gids()} "
+            f"{self.instruction_count:,} ({self.percent:.2f}%)"
+        )
+
+
+@dataclasses.dataclass
+class ChronoReport:
+    """All phases of one program run, in first-observation order."""
+
+    program: str
+    phases: List[ChronoPhase]
+    total: int
+
+    def phase(self, name: str) -> ChronoPhase:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r}")
+
+    def render(self) -> str:
+        """A fixed-width text table in the paper's column layout."""
+        header = (
+            f"{'Name':<18} {'Privileges':<58} {'UID (r,e,s)':<16} "
+            f"{'GID (r,e,s)':<16} {'Dyn. Instr. Count':>20}"
+        )
+        rows = [header, "-" * len(header)]
+        for phase in self.phases:
+            rows.append(
+                f"{phase.name:<18} {phase.privileges.describe():<58} "
+                f"{phase.describe_uids():<16} {phase.describe_gids():<16} "
+                f"{phase.instruction_count:>12,} ({phase.percent:5.2f}%)"
+            )
+        rows.append(f"{'total':<18} {'':<58} {'':<16} {'':<16} {self.total:>12,}")
+        return "\n".join(rows)

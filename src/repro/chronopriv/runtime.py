@@ -1,0 +1,82 @@
+"""ChronoPriv's runtime: attribute instruction counts to privilege phases.
+
+A *phase* is one combination of permitted capability set and process
+credentials — the key of the paper's Table III rows.  The recorder hooks
+the VM's ``__chrono_count`` intrinsic and attributes each block's count
+to the phase in effect when the block starts; phases are numbered in
+first-observation order and re-entering a previously seen combination
+accumulates into the same row, exactly as the paper groups its results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.caps import CapabilitySet
+from repro.chronopriv.report import ChronoPhase, ChronoReport
+from repro.oskernel import Kernel, Process
+
+PhaseKey = Tuple[CapabilitySet, Tuple[int, int, int], Tuple[int, int, int]]
+
+
+class ChronoRecorder:
+    """Accumulates per-phase dynamic instruction counts for one process."""
+
+    def __init__(self, program_name: str, process: Process) -> None:
+        self.program_name = program_name
+        self.process = process
+        self._counts: Dict[PhaseKey, int] = {}
+        self._order: List[PhaseKey] = []
+        self._current_key: Optional[PhaseKey] = None
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, vm, kernel: Kernel) -> None:
+        """Install the counting hook and the credential-change observer."""
+        vm.register_intrinsic("__chrono_count", self._on_count)
+        kernel.cred_observers.append(self._on_cred_change)
+        self._refresh_key()
+
+    def _on_cred_change(self, process: Process) -> None:
+        if process.pid == self.process.pid:
+            self._refresh_key()
+
+    def _refresh_key(self) -> None:
+        creds = self.process.creds
+        self._current_key = (
+            self.process.caps.permitted,
+            creds.uid_triple,
+            creds.gid_triple,
+        )
+
+    def _on_count(self, vm, args) -> int:
+        key = self._current_key
+        if key is None:  # pragma: no cover - attach() always sets it
+            self._refresh_key()
+            key = self._current_key
+        if key not in self._counts:
+            self._counts[key] = 0
+            self._order.append(key)
+        self._counts[key] += args[0]
+        return 0
+
+    # -- results --------------------------------------------------------------------
+
+    def report(self) -> ChronoReport:
+        """The phase table in first-seen order, with percentages."""
+        total = sum(self._counts.values())
+        phases = []
+        for index, key in enumerate(self._order, start=1):
+            permitted, uids, gids = key
+            count = self._counts[key]
+            phases.append(
+                ChronoPhase(
+                    name=f"{self.program_name}_priv{index}",
+                    privileges=permitted,
+                    uids=uids,
+                    gids=gids,
+                    instruction_count=count,
+                    percent=(100.0 * count / total) if total else 0.0,
+                )
+            )
+        return ChronoReport(program=self.program_name, phases=phases, total=total)

@@ -1,0 +1,220 @@
+"""The ``privanalyzer`` command-line interface.
+
+Subcommands:
+
+* ``list`` — the built-in program models (Table II + refactors);
+* ``analyze <program>`` — run the full pipeline on a built-in model or a
+  ``.privc`` source file, printing the Table-III-style report (or
+  Markdown/JSON/CSV with ``--format``);
+* ``hints <program>`` — refactoring guidance modelled on §VII-D/E;
+* ``rosa <file>`` — check a Maude-style query file (Figure 2/4 syntax);
+* ``table3`` / ``table5`` — regenerate the paper's headline tables.
+
+Examples::
+
+    privanalyzer analyze passwd
+    privanalyzer analyze agent.privc --caps CapSetuid,CapDacReadSearch
+    privanalyzer rosa examples/queries/figure2.rosa
+    privanalyzer table5 --format markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.caps import CapabilitySet
+from repro.core import PrivAnalyzer
+from repro.core import report as report_mod
+from repro.programs import PROGRAM_MODULES, spec_by_name
+from repro.programs.common import ProgramSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="privanalyzer",
+        description="Measure how effectively a program uses Linux privileges "
+        "(PrivAnalyzer, DSN 2019 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in program models")
+
+    analyze = sub.add_parser("analyze", help="run the full pipeline on a program")
+    analyze.add_argument("program", help="built-in name or path to a .privc file")
+    analyze.add_argument(
+        "--caps",
+        default=None,
+        help="comma-separated permitted capability set (required for .privc files)",
+    )
+    analyze.add_argument("--arg", action="append", default=[], dest="argv",
+                         help="program argument (repeatable)")
+    analyze.add_argument("--stdin", action="append", default=[],
+                         help="line typed at a prompt (repeatable)")
+    analyze.add_argument("--uid", type=int, default=1000)
+    analyze.add_argument("--gid", type=int, default=1000)
+    analyze.add_argument(
+        "--format", choices=("table", "markdown", "json", "csv"), default="table"
+    )
+    analyze.add_argument("--optimize", action="store_true",
+                         help="run IR optimisation before the analyses")
+    analyze.add_argument(
+        "--callgraph", choices=("address-taken", "type-matched"),
+        default="address-taken",
+        help="indirect-call resolution for AutoPriv",
+    )
+
+    hints = sub.add_parser("hints", help="refactoring guidance (paper §VII-D/E)")
+    hints.add_argument("program")
+    hints.add_argument(
+        "--blame", action="store_true",
+        help="also run capability blame analysis per vulnerable phase",
+    )
+
+    rosa = sub.add_parser("rosa", help="check a Maude-style ROSA query file")
+    rosa.add_argument("file", help="path to a query in Figure 2/4 syntax")
+    rosa.add_argument("--max-states", type=int, default=200_000)
+    rosa.add_argument("--max-seconds", type=float, default=60.0)
+    rosa.add_argument(
+        "--explain", action="store_true",
+        help="narrate the witness step by step when vulnerable",
+    )
+
+    for table in ("table3", "table5"):
+        table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
+        table_parser.add_argument(
+            "--format", choices=("table", "markdown", "csv"), default="table"
+        )
+
+    return parser
+
+
+def _resolve_spec(args) -> ProgramSpec:
+    if args.program in PROGRAM_MODULES:
+        return spec_by_name(args.program)
+    path = Path(args.program)
+    if not path.exists():
+        raise SystemExit(
+            f"privanalyzer: {args.program!r} is neither a built-in program "
+            f"({', '.join(sorted(PROGRAM_MODULES))}) nor a file"
+        )
+    if args.caps is None:
+        raise SystemExit("privanalyzer: --caps is required for .privc files")
+    return ProgramSpec(
+        name=path.stem,
+        description=f"user program from {path}",
+        source=path.read_text(),
+        permitted=CapabilitySet.parse(args.caps),
+        uid=args.uid,
+        gid=args.gid,
+        argv=tuple(args.argv),
+        stdin=tuple(args.stdin),
+    )
+
+
+def _cmd_list(args, out) -> int:
+    print(f"{'name':<12} {'permitted set':<60} description", file=out)
+    for name in sorted(PROGRAM_MODULES):
+        spec = spec_by_name(name)
+        print(f"{name:<12} {spec.permitted.describe():<60} {spec.description}", file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    spec = _resolve_spec(args)
+    analyzer = PrivAnalyzer(
+        indirect_targets_filter=args.callgraph, optimize=args.optimize
+    )
+    analysis = analyzer.analyze(spec)
+    if args.format == "table":
+        print(analysis.render_table(), file=out)
+        print(file=out)
+        print(report_mod.summary_table([analysis]), file=out)
+    elif args.format == "markdown":
+        print(report_mod.to_markdown(analysis), file=out)
+    elif args.format == "json":
+        print(report_mod.to_json(analysis), file=out)
+    else:
+        print(report_mod.to_csv([analysis]), end="", file=out)
+    return 0
+
+
+def _cmd_hints(args, out) -> int:
+    spec = spec_by_name(args.program) if args.program in PROGRAM_MODULES else None
+    if spec is None:
+        raise SystemExit(f"privanalyzer: unknown program {args.program!r}")
+    analysis = PrivAnalyzer().analyze(spec)
+    hints = report_mod.refactoring_hints(analysis)
+    if not hints:
+        print(f"{spec.name}: no refactoring hints — privilege use looks tight.", file=out)
+    else:
+        print(f"Refactoring hints for {spec.name}:", file=out)
+        for hint in hints:
+            print(f"  - {hint}", file=out)
+    if args.blame:
+        from repro.core.blame import render_blame
+
+        print(file=out)
+        print(render_blame(analysis), file=out)
+    return 0
+
+
+def _cmd_rosa(args, out) -> int:
+    from repro.rewriting import SearchBudget
+    from repro.rosa import check, explain_witness
+    from repro.rosa.dsl import parse_query
+
+    text = Path(args.file).read_text()
+    query = parse_query(text, name=Path(args.file).stem)
+    budget = SearchBudget(max_states=args.max_states, max_seconds=args.max_seconds)
+    report = check(query, budget, track_states=args.explain)
+    print(report.summary(), file=out)
+    if args.explain and report.vulnerable:
+        print(explain_witness(report), file=out)
+    return 0 if not report.vulnerable else 1
+
+
+def _cmd_table(args, out, names) -> int:
+    analyzer = PrivAnalyzer()
+    analyses = [analyzer.analyze(spec_by_name(name)) for name in names]
+    if args.format == "markdown":
+        for analysis in analyses:
+            print(report_mod.to_markdown(analysis), file=out)
+            print(file=out)
+    elif args.format == "csv":
+        print(report_mod.to_csv(analyses), end="", file=out)
+    else:
+        for analysis in analyses:
+            print(analysis.render_table(), file=out)
+            print(file=out)
+        print(report_mod.summary_table(analyses), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args, out)
+        if args.command == "analyze":
+            return _cmd_analyze(args, out)
+        if args.command == "hints":
+            return _cmd_hints(args, out)
+        if args.command == "rosa":
+            return _cmd_rosa(args, out)
+        if args.command == "table3":
+            return _cmd_table(args, out, ("passwd", "ping", "sshd", "su", "thttpd"))
+        if args.command == "table5":
+            return _cmd_table(args, out, ("passwdRef", "suRef"))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, Unix style.
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

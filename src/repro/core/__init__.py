@@ -1,0 +1,42 @@
+"""PrivAnalyzer: the paper's primary contribution.
+
+Composes AutoPriv (static privilege removal), ChronoPriv (dynamic
+privilege-retention measurement) and ROSA (bounded model checking of
+privilege-escalation attacks) into the tool of Figure 1, and provides
+the four modeled attacks of Table I plus the risk metrics of Tables
+III and V.
+"""
+
+from repro.core.attacks import (
+    ALL_ATTACKS,
+    ATTACKS_BY_ID,
+    Attack,
+    BIND_PRIVILEGED_PORT,
+    KILL_SSHD,
+    READ_DEV_MEM,
+    WRITE_DEV_MEM,
+)
+from repro.core.extract import INTRINSIC_TO_ROSA, syscalls_used
+from repro.core.pipeline import PhaseAnalysis, PrivAnalyzer, ProgramAnalysis
+from repro.core import blame, multiprocess, report
+from repro.core.multiprocess import MultiProcessAnalysis, analyze_multiprocess
+
+__all__ = [
+    "ALL_ATTACKS",
+    "ATTACKS_BY_ID",
+    "Attack",
+    "BIND_PRIVILEGED_PORT",
+    "INTRINSIC_TO_ROSA",
+    "KILL_SSHD",
+    "PhaseAnalysis",
+    "PrivAnalyzer",
+    "ProgramAnalysis",
+    "READ_DEV_MEM",
+    "WRITE_DEV_MEM",
+    "MultiProcessAnalysis",
+    "analyze_multiprocess",
+    "blame",
+    "multiprocess",
+    "report",
+    "syscalls_used",
+]

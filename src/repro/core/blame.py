@@ -1,0 +1,143 @@
+"""Capability blame analysis.
+
+The paper identifies refactoring targets by hand: comparing
+passwd_priv3 with passwd_priv4 shows that dropping ``CAP_SETUID`` is
+what makes attack 4 infeasible (§VII-D1), and su's "last privilege to
+remain live" points where to focus (§VII-D2).  This module automates
+that reasoning: for a vulnerable (phase, attack) pair, which
+capabilities are *individually necessary* for the attack — i.e. removing
+just that capability flips the verdict to invulnerable?
+
+A capability can also be *sufficient-but-redundant* (several independent
+routes exist): then no single removal flips the verdict, and the minimal
+fix is a set.  :func:`minimal_blocking_sets` enumerates minimal removal
+sets up to a configurable size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.caps import Capability, CapabilitySet
+from repro.core.attacks import Attack
+from repro.rewriting import SearchBudget
+from repro.rosa.query import Verdict, check
+
+DEFAULT_BUDGET = SearchBudget(max_states=100_000, max_seconds=30.0)
+
+
+def _vulnerable(
+    attack: Attack,
+    caps: CapabilitySet,
+    uids,
+    gids,
+    surface: FrozenSet[str],
+    budget: SearchBudget,
+) -> bool:
+    query = attack.build_query(caps, uids, gids, surface)
+    return check(query, budget).verdict is Verdict.VULNERABLE
+
+
+def necessary_capabilities(
+    attack: Attack,
+    caps: CapabilitySet,
+    uids,
+    gids,
+    surface: FrozenSet[str],
+    budget: SearchBudget = DEFAULT_BUDGET,
+) -> CapabilitySet:
+    """Capabilities whose individual removal defeats the attack.
+
+    Empty when the phase is already invulnerable, and also when every
+    single removal leaves an alternative route (see
+    :func:`minimal_blocking_sets` for those cases).
+    """
+    if not _vulnerable(attack, caps, uids, gids, surface, budget):
+        return CapabilitySet.empty()
+    necessary = []
+    for cap in caps:
+        reduced = caps.remove(cap)
+        if not _vulnerable(attack, reduced, uids, gids, surface, budget):
+            necessary.append(cap)
+    return CapabilitySet(necessary)
+
+
+def minimal_blocking_sets(
+    attack: Attack,
+    caps: CapabilitySet,
+    uids,
+    gids,
+    surface: FrozenSet[str],
+    max_size: int = 2,
+    budget: SearchBudget = DEFAULT_BUDGET,
+) -> List[CapabilitySet]:
+    """Minimal capability sets whose removal defeats the attack.
+
+    Enumerates subsets by increasing size (up to ``max_size``); a set is
+    reported only if no reported subset of it already blocks the attack.
+    An empty list means the attack either was not feasible to begin with,
+    or survives every removal up to ``max_size`` (e.g. it rests on the
+    credentials alone).
+    """
+    if not _vulnerable(attack, caps, uids, gids, surface, budget):
+        return []
+    blocking: List[CapabilitySet] = []
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(list(caps), size):
+            candidate = CapabilitySet(combo)
+            if any(found.issubset(candidate) for found in blocking):
+                continue
+            reduced = caps - candidate
+            if not _vulnerable(attack, reduced, uids, gids, surface, budget):
+                blocking.append(candidate)
+    return blocking
+
+
+def blame_phases(analysis, budget: SearchBudget = DEFAULT_BUDGET) -> Dict[str, Dict[int, CapabilitySet]]:
+    """Per-phase, per-attack necessary capabilities for a whole analysis.
+
+    Returns ``{phase name: {attack id: necessary caps}}``, covering only
+    the vulnerable cells.
+    """
+    result: Dict[str, Dict[int, CapabilitySet]] = {}
+    from repro.core.attacks import ATTACKS_BY_ID
+
+    for phase_analysis in analysis.phases:
+        phase = phase_analysis.phase
+        row: Dict[int, CapabilitySet] = {}
+        for attack_id, report in phase_analysis.verdicts.items():
+            if report.verdict is not Verdict.VULNERABLE:
+                continue
+            row[attack_id] = necessary_capabilities(
+                ATTACKS_BY_ID[attack_id],
+                phase.privileges,
+                phase.uids,
+                phase.gids,
+                analysis.syscalls,
+                budget,
+            )
+        if row:
+            result[phase.name] = row
+    return result
+
+
+def render_blame(analysis, budget: SearchBudget = DEFAULT_BUDGET) -> str:
+    """A human-readable blame report for one program analysis."""
+    blame = blame_phases(analysis, budget)
+    if not blame:
+        return f"{analysis.spec.name}: no vulnerable phases — nothing to blame."
+    lines = [f"Capability blame for {analysis.spec.name}:"]
+    for phase_name, row in blame.items():
+        for attack_id, caps in sorted(row.items()):
+            if caps:
+                lines.append(
+                    f"  {phase_name} / attack {attack_id}: removing any of "
+                    f"{caps.describe()} defeats the attack"
+                )
+            else:
+                lines.append(
+                    f"  {phase_name} / attack {attack_id}: no single capability "
+                    "removal helps (multiple routes or credentials suffice)"
+                )
+    return "\n".join(lines)

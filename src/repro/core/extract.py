@@ -1,0 +1,61 @@
+"""Extracting a program's system-call surface from its IR.
+
+The attack model (§III) restricts attackers to the system calls the
+original program uses; PrivAnalyzer therefore feeds ROSA exactly the
+program's syscall list.  Library helpers expand to the syscalls they
+issue internally — ``getspnam`` reads the shadow database through
+``open``, so a program using it exposes the ``open`` syscall to an
+attacker (who may of course pass any arguments, including opening for
+write).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.ir import Call, Module
+
+#: Intrinsic name → the ROSA message kinds its syscalls expose to attacks.
+#: ``open`` expands to both modes: the attacker chooses the flags.
+INTRINSIC_TO_ROSA = {
+    "open": ("open_read", "open_write"),
+    "getspnam": ("open_read", "open_write"),
+    "setuid": ("setuid",),
+    "seteuid": ("seteuid",),
+    "setresuid": ("setresuid",),
+    "setgid": ("setgid",),
+    "setegid": ("setegid",),
+    "setresgid": ("setresgid",),
+    "setgroups1": ("setgroups",),
+    "setgroups0": ("setgroups",),
+    "kill": ("kill",),
+    "chmod": ("chmod",),
+    "fchmod": ("fchmod",),
+    "chown": ("chown",),
+    "fchown": ("fchown",),
+    "unlink": ("unlink",),
+    "rename": ("rename",),
+    "socket": ("socket",),
+    "socket_raw": ("socket",),
+    "bind": ("bind",),
+    "connect": ("connect",),
+}
+
+
+def syscalls_used(module: Module) -> FrozenSet[str]:
+    """The ROSA syscall surface of a program.
+
+    Collects direct calls to intrinsic wrappers in every defined function
+    (an indirect call can only reach address-taken functions, which are
+    defined in the module, so declarations are never indirect targets).
+    """
+    used = set()
+    for function in module.defined_functions():
+        for instruction in function.instructions():
+            if not isinstance(instruction, Call):
+                continue
+            target = instruction.direct_target
+            if target is None:
+                continue
+            used.update(INTRINSIC_TO_ROSA.get(target.name, ()))
+    return frozenset(used)

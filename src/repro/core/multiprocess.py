@@ -1,0 +1,128 @@
+"""Multi-process privilege analysis.
+
+The PrivAnalyzer pipeline measures one process; forking programs
+(privilege-separated servers) need per-process phase tables and an
+aggregate risk metric.  This module runs a spec with a ChronoPriv
+recorder attached to the main process *and* to every child spawned via
+``spawn_wait``, and computes the instruction-weighted exposure across
+all of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.autopriv import transform_module
+from repro.chronopriv import ChronoRecorder, ChronoReport, instrument_module
+from repro.core.attacks import ALL_ATTACKS, Attack
+from repro.core.extract import syscalls_used
+from repro.frontend import compile_source
+from repro.ir import Module, verify_module
+from repro.oskernel.setup import build_kernel
+from repro.programs.common import ProgramSpec
+from repro.rewriting import SearchBudget
+from repro.rosa.query import check
+from repro.vm import Interpreter
+
+
+@dataclasses.dataclass
+class MultiProcessAnalysis:
+    """Per-process ChronoPriv reports for one forking program run."""
+
+    spec: ProgramSpec
+    module: Module
+    #: The main process's report first, then children in spawn order.
+    reports: List[ChronoReport]
+    stdout: List[str]
+    exit_code: int
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(report.total for report in self.reports)
+
+    def syscall_surface(self) -> frozenset:
+        return syscalls_used(self.module)
+
+    def combined_exposure(
+        self,
+        attack: Attack,
+        budget: SearchBudget = SearchBudget(max_states=100_000, max_seconds=30.0),
+    ) -> float:
+        """Fraction of all processes' instructions executed while the
+        executing process was vulnerable to ``attack``."""
+        surface = self.syscall_surface()
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        vulnerable = 0
+        for report in self.reports:
+            for phase in report.phases:
+                query = attack.build_query(
+                    phase.privileges, phase.uids, phase.gids, surface
+                )
+                if check(query, budget).verdict.value == "vulnerable":
+                    vulnerable += phase.instruction_count
+        return vulnerable / total
+
+    def exposure_table(self) -> Dict[str, float]:
+        """Combined exposure per modeled attack, by attack name."""
+        return {
+            attack.name: self.combined_exposure(attack) for attack in ALL_ATTACKS
+        }
+
+    def render(self) -> str:
+        chunks = []
+        for report in self.reports:
+            chunks.append(report.render())
+        return "\n\n".join(chunks)
+
+
+def analyze_multiprocess(spec: ProgramSpec) -> MultiProcessAnalysis:
+    """Compile, transform, instrument and run ``spec`` with per-process
+    ChronoPriv recorders (main process + every ``spawn_wait`` child)."""
+    module = compile_source(spec.source, spec.name)
+    transform_module(module, spec.permitted)
+    instrument_module(module)
+    verify_module(module)
+
+    kernel = build_kernel(refactored_ownership=spec.refactored_fs)
+    process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+    vm = Interpreter(
+        module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
+    )
+    vm.env.update(
+        {key: list(value) if isinstance(value, list) else value
+         for key, value in spec.env.items()}
+    )
+    if spec.setup is not None:
+        spec.setup(kernel, vm)
+
+    main_recorder = ChronoRecorder(spec.name, process)
+    main_recorder.attach(vm, kernel)
+    child_recorders: List[ChronoRecorder] = []
+
+    def on_child(child_vm) -> None:
+        recorder = ChronoRecorder(
+            f"{spec.name}-child{len(child_recorders) + 1}", child_vm.process
+        )
+        recorder.attach(child_vm, kernel)
+        child_recorders.append(recorder)
+
+    vm.child_observers.append(on_child)
+    exit_code = vm.run()
+    if exit_code != spec.expected_exit:
+        raise RuntimeError(
+            f"{spec.name}: workload exited with {exit_code}, "
+            f"expected {spec.expected_exit}; stdout={vm.stdout!r}"
+        )
+    reports = [main_recorder.report()] + [
+        recorder.report() for recorder in child_recorders
+    ]
+    return MultiProcessAnalysis(
+        spec=spec,
+        module=module,
+        reports=reports,
+        stdout=vm.stdout,
+        exit_code=exit_code,
+    )

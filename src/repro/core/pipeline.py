@@ -1,0 +1,220 @@
+"""The PrivAnalyzer pipeline: AutoPriv → ChronoPriv → ROSA (Figure 1).
+
+:class:`PrivAnalyzer` drives the three stages over one
+:class:`~repro.programs.common.ProgramSpec`:
+
+1. compile the PrivC source, run the AutoPriv transform (insert
+   ``priv_remove`` at privilege-death points plus the prctl lockdown),
+   and add ChronoPriv's counting instrumentation;
+2. execute the instrumented program on a fresh simulated machine with
+   the paper's workload, recording privilege/credential phases;
+3. for every observed phase and every modeled attack, build and check a
+   ROSA query, yielding the ✓/✗/⊙ verdict grid of Tables III and V.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.autopriv import TransformReport, transform_module
+from repro.chronopriv import (
+    ChronoPhase,
+    ChronoRecorder,
+    ChronoReport,
+    InstrumentationReport,
+    instrument_module,
+)
+from repro.core.attacks import ALL_ATTACKS, Attack
+from repro.core.extract import syscalls_used
+from repro.frontend import compile_source
+from repro.ir import Module, verify_module
+from repro.oskernel.setup import build_kernel
+from repro.programs.common import ProgramSpec
+from repro.rewriting import SearchBudget
+from repro.rosa.query import RosaReport, Verdict, check
+from repro.vm import Interpreter
+
+
+@dataclasses.dataclass
+class PhaseAnalysis:
+    """One Table III row: a phase and its per-attack verdicts."""
+
+    phase: ChronoPhase
+    verdicts: Dict[int, RosaReport]
+
+    def vulnerable_to(self, attack_id: int) -> bool:
+        report = self.verdicts.get(attack_id)
+        return report is not None and report.verdict is Verdict.VULNERABLE
+
+    def vulnerable_to_any(self) -> bool:
+        return any(self.vulnerable_to(attack_id) for attack_id in self.verdicts)
+
+    def symbols(self) -> str:
+        return " ".join(
+            self.verdicts[attack_id].verdict.symbol for attack_id in sorted(self.verdicts)
+        )
+
+
+@dataclasses.dataclass
+class ProgramAnalysis:
+    """Everything PrivAnalyzer learned about one program."""
+
+    spec: ProgramSpec
+    module: Module
+    transform: TransformReport
+    instrumentation: InstrumentationReport
+    chrono: ChronoReport
+    syscalls: frozenset
+    phases: List[PhaseAnalysis]
+    exit_code: int
+    stdout: List[str]
+
+    # -- the paper's headline metrics -------------------------------------------
+
+    def vulnerability_window(self, attack_id: int, timeout_vulnerable: bool = False) -> float:
+        """Fraction (0–1) of dynamic instructions executed while the
+        program was vulnerable to ``attack_id``.
+
+        ``timeout_vulnerable`` counts ⊙ phases as vulnerable; the paper
+        counts them as invulnerable (§VII-D2), the default here.
+        """
+        if self.chrono.total == 0:
+            return 0.0
+        vulnerable = 0
+        for phase_analysis in self.phases:
+            report = phase_analysis.verdicts.get(attack_id)
+            if report is None:
+                continue
+            hit = report.verdict is Verdict.VULNERABLE or (
+                timeout_vulnerable and report.verdict is Verdict.TIMEOUT
+            )
+            if hit:
+                vulnerable += phase_analysis.phase.instruction_count
+        return vulnerable / self.chrono.total
+
+    def invulnerable_window(self) -> float:
+        """Fraction of instructions in phases invulnerable to *all* attacks."""
+        if self.chrono.total == 0:
+            return 1.0
+        safe = sum(
+            phase_analysis.phase.instruction_count
+            for phase_analysis in self.phases
+            if not phase_analysis.vulnerable_to_any()
+        )
+        return safe / self.chrono.total
+
+    def render_table(self) -> str:
+        """A Table III / Table V style text table."""
+        attack_ids = sorted(self.phases[0].verdicts) if self.phases else []
+        header = (
+            f"{'Name':<20} {'Privileges':<58} {'UID r,e,s':<15} {'GID r,e,s':<15} "
+            f"{'Dyn. Instr. Count':>22}  " + " ".join(str(a) for a in attack_ids)
+        )
+        lines = [header, "-" * len(header)]
+        for phase_analysis in self.phases:
+            phase = phase_analysis.phase
+            lines.append(
+                f"{phase.name:<20} {phase.privileges.describe():<58} "
+                f"{phase.describe_uids():<15} {phase.describe_gids():<15} "
+                f"{phase.instruction_count:>12,} ({phase.percent:5.2f}%)  "
+                + phase_analysis.symbols()
+            )
+        return "\n".join(lines)
+
+
+class PrivAnalyzer:
+    """The tool: measure how effectively one program uses Linux privileges."""
+
+    def __init__(
+        self,
+        attacks: Sequence[Attack] = ALL_ATTACKS,
+        budget: Optional[SearchBudget] = None,
+        indirect_targets_filter: str = "address-taken",
+        message_repeat: int = 1,
+        optimize: bool = False,
+    ) -> None:
+        self.attacks = tuple(attacks)
+        self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
+        self.indirect_targets_filter = indirect_targets_filter
+        self.message_repeat = message_repeat
+        self.optimize = optimize
+
+    # -- stage 1: compile + AutoPriv + ChronoPriv ---------------------------------
+
+    def compile(self, spec: ProgramSpec) -> tuple:
+        """Compile the spec's source and run both compiler stages."""
+        from repro.ir.passes import optimize_module
+
+        module = compile_source(spec.source, spec.name)
+        if self.optimize:
+            optimize_module(module)
+        transform = transform_module(
+            module,
+            spec.permitted,
+            indirect_targets_filter=self.indirect_targets_filter,
+        )
+        instrumentation = instrument_module(module)
+        verify_module(module)
+        return module, transform, instrumentation
+
+    # -- stage 2: dynamic analysis --------------------------------------------------
+
+    def run_dynamic(self, spec: ProgramSpec, module: Module) -> tuple:
+        """Execute the instrumented program with the spec's workload."""
+        kernel = build_kernel(refactored_ownership=spec.refactored_fs)
+        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+        vm = Interpreter(
+            module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
+        )
+        vm.env.update(spec.env)
+        recorder = ChronoRecorder(spec.name, process)
+        recorder.attach(vm, kernel)
+        if spec.setup is not None:
+            spec.setup(kernel, vm)
+        exit_code = vm.run()
+        return recorder.report(), exit_code, vm.stdout
+
+    # -- stage 3: bounded model checking ----------------------------------------------
+
+    def check_phase(
+        self, phase: ChronoPhase, program_syscalls: frozenset
+    ) -> PhaseAnalysis:
+        verdicts: Dict[int, RosaReport] = {}
+        for attack in self.attacks:
+            query = attack.build_query(
+                phase.privileges,
+                phase.uids,
+                phase.gids,
+                program_syscalls,
+                repeat=self.message_repeat,
+                label=f"{phase.name}/attack{attack.attack_id}",
+            )
+            verdicts[attack.attack_id] = check(query, self.budget)
+        return PhaseAnalysis(phase=phase, verdicts=verdicts)
+
+    # -- the whole pipeline ----------------------------------------------------------------
+
+    def analyze(self, spec: ProgramSpec) -> ProgramAnalysis:
+        module, transform, instrumentation = self.compile(spec)
+        chrono, exit_code, stdout = self.run_dynamic(spec, module)
+        if exit_code != spec.expected_exit:
+            raise RuntimeError(
+                f"{spec.name}: workload exited with {exit_code}, "
+                f"expected {spec.expected_exit}; stdout={stdout!r}"
+            )
+        program_syscalls = syscalls_used(module)
+        phases = [
+            self.check_phase(phase, program_syscalls) for phase in chrono.phases
+        ]
+        return ProgramAnalysis(
+            spec=spec,
+            module=module,
+            transform=transform,
+            instrumentation=instrumentation,
+            chrono=chrono,
+            syscalls=program_syscalls,
+            phases=phases,
+            exit_code=exit_code,
+            stdout=stdout,
+        )

@@ -1,0 +1,23 @@
+"""PrivC: the mini-C frontend the test programs are written in.
+
+``compile_source`` runs the whole pipeline: lexer → parser → semantic
+analysis → IR lowering → verification.
+"""
+
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lower import LowerError, compile_source
+from repro.frontend.parser import ParseError, parse
+from repro.frontend.sema import SemaError, analyze, builtin_constants
+
+__all__ = [
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "SemaError",
+    "Token",
+    "analyze",
+    "builtin_constants",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,179 @@
+"""The PrivC lexer."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List
+
+from repro.frontend.ast import Pos
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "str",
+        "fnptr",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "extern",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "string", "ident", "keyword", "op", "eof"
+    text: str
+    value: int = 0
+    pos: Pos = Pos(0, 0)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.pos})"
+
+
+class LexError(SyntaxError):
+    def __init__(self, message: str, pos: Pos) -> None:
+        super().__init__(f"{pos}: {message}")
+        self.pos = pos
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn PrivC source into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def pos() -> Pos:
+        return Pos(line, column)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        # whitespace
+        if char in " \t\r\n":
+            advance()
+            continue
+        # comments: // and /* */
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", index):
+            start = pos()
+            advance(2)
+            while index < length and not source.startswith("*/", index):
+                advance()
+            if index >= length:
+                raise LexError("unterminated block comment", start)
+            advance(2)
+            continue
+        # string literal
+        if char == '"':
+            start = pos()
+            advance()
+            chars: List[str] = []
+            while index < length and source[index] != '"':
+                if source[index] == "\\":
+                    advance()
+                    if index >= length:
+                        break
+                    escape = source[index]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    advance()
+                else:
+                    chars.append(source[index])
+                    advance()
+            if index >= length:
+                raise LexError("unterminated string literal", start)
+            advance()  # closing quote
+            tokens.append(Token("string", "".join(chars), pos=start))
+            continue
+        # number (decimal, hex 0x, octal 0o — file modes read naturally)
+        if char.isdigit():
+            start = pos()
+            begin = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                advance(2)
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    advance()
+                text = source[begin:index]
+                value = int(text, 16)
+            elif source.startswith("0o", index) or source.startswith("0O", index):
+                advance(2)
+                while index < length and source[index] in "01234567":
+                    advance()
+                text = source[begin:index]
+                value = int(text[2:], 8)
+            else:
+                while index < length and source[index].isdigit():
+                    advance()
+                text = source[begin:index]
+                value = int(text)
+            tokens.append(Token("int", text, value, start))
+            continue
+        # identifier / keyword
+        if char.isalpha() or char == "_":
+            start = pos()
+            begin = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance()
+            text = source[begin:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, pos=start))
+            continue
+        # operator
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                start = pos()
+                advance(len(op))
+                tokens.append(Token("op", op, pos=start))
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", pos())
+    tokens.append(Token("eof", "", pos=pos()))
+    return tokens

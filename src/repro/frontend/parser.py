@@ -1,0 +1,296 @@
+"""The PrivC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.lexer import Token, tokenize
+
+TYPE_NAMES = ("int", "str", "fnptr", "void")
+
+#: Binary operator precedence (higher binds tighter), C-like.
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.pos}: {message} (got {token.kind} {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self.at(kind, text):
+            return self.advance()
+        raise ParseError(f"expected {text or kind}", self.current)
+
+    # -- toplevel -------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while not self.at("eof"):
+            if self.accept("keyword", "extern"):
+                functions.append(self._parse_extern())
+                continue
+            type_token = self.expect("keyword")
+            if type_token.text not in TYPE_NAMES:
+                raise ParseError("expected a type", type_token)
+            name_token = self.expect("ident")
+            if self.at("op", "("):
+                functions.append(self._parse_function(type_token.text, name_token))
+            else:
+                globals_.append(self._parse_global(name_token))
+        return ast.Program(globals_, functions)
+
+    def _parse_extern(self) -> ast.FuncDecl:
+        """``extern int open(str path, str flags);`` — explicit declaration."""
+        type_token = self.expect("keyword")
+        if type_token.text not in TYPE_NAMES:
+            raise ParseError("expected a return type", type_token)
+        name_token = self.expect("ident")
+        params = self._parse_params()
+        self.expect("op", ";")
+        return ast.FuncDecl(name_token.pos, type_token.text, name_token.text, params, None)
+
+    def _parse_global(self, name_token: Token) -> ast.GlobalDecl:
+        init = 0
+        if self.accept("op", "="):
+            negative = self.accept("op", "-") is not None
+            value_token = self.expect("int")
+            init = -value_token.value if negative else value_token.value
+        self.expect("op", ";")
+        return ast.GlobalDecl(name_token.pos, name_token.text, init)
+
+    def _parse_function(self, return_type: str, name_token: Token) -> ast.FuncDecl:
+        params = self._parse_params()
+        body = self._parse_block()
+        return ast.FuncDecl(name_token.pos, return_type, name_token.text, params, body)
+
+    def _parse_params(self) -> List[Tuple[str, str]]:
+        self.expect("op", "(")
+        params: List[Tuple[str, str]] = []
+        if not self.at("op", ")"):
+            while True:
+                type_token = self.expect("keyword")
+                if type_token.text not in TYPE_NAMES or type_token.text == "void":
+                    raise ParseError("expected a parameter type", type_token)
+                param_name = self.expect("ident")
+                params.append((type_token.text, param_name.text))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params
+
+    # -- statements --------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self.expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self.at("op", "}"):
+            statements.append(self._parse_statement())
+        self.expect("op", "}")
+        return ast.Block(open_token.pos, statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            if token.text in ("int", "str", "fnptr"):
+                return self._parse_vardecl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None if self.at("op", ";") else self._parse_expr()
+                self.expect("op", ";")
+                return ast.Return(token.pos, value)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(token.pos)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(token.pos)
+            raise ParseError("unexpected keyword", token)
+        return self._parse_simple_statement(expect_semicolon=True)
+
+    def _parse_vardecl(self) -> ast.VarDecl:
+        type_token = self.advance()
+        name_token = self.expect("ident")
+        init = None
+        if self.accept("op", "="):
+            init = self._parse_expr()
+        self.expect("op", ";")
+        return ast.VarDecl(type_token.pos, type_token.text, name_token.text, init)
+
+    def _parse_if(self) -> ast.If:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        then_body = self._parse_block()
+        else_body: Optional[ast.Block] = None
+        if self.accept("keyword", "else"):
+            if self.at("keyword", "if"):
+                # else-if chains: wrap the nested if in a synthetic block.
+                nested = self._parse_if()
+                else_body = ast.Block(nested.pos, [nested])
+            else:
+                else_body = self._parse_block()
+        return ast.If(token.pos, cond, then_body, else_body)
+
+    def _parse_while(self) -> ast.While:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        return ast.While(token.pos, cond, self._parse_block())
+
+    def _parse_for(self) -> ast.For:
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.at("op", ";"):
+            if self.at("keyword", "int") or self.at("keyword", "str") or self.at("keyword", "fnptr"):
+                init = self._parse_vardecl()  # consumes the ';'
+            else:
+                init = self._parse_simple_statement(expect_semicolon=True)
+        else:
+            self.expect("op", ";")
+        cond = None if self.at("op", ";") else self._parse_expr()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self._parse_simple_statement(expect_semicolon=False)
+        self.expect("op", ")")
+        return ast.For(token.pos, init, cond, step, self._parse_block())
+
+    def _parse_simple_statement(self, expect_semicolon: bool) -> ast.Stmt:
+        """Assignment or expression statement."""
+        token = self.current
+        if token.kind == "ident" and self.tokens[self.index + 1].text == "=" and self.tokens[self.index + 1].kind == "op":
+            # Plain assignment `name = expr` (== is a distinct token).
+            name_token = self.advance()
+            self.expect("op", "=")
+            value = self._parse_expr()
+            if expect_semicolon:
+                self.expect("op", ";")
+            return ast.Assign(name_token.pos, name_token.text, value)
+        expr = self._parse_expr()
+        if expect_semicolon:
+            self.expect("op", ";")
+        return ast.ExprStmt(token.pos, expr)
+
+    # -- expressions (precedence climbing) ---------------------------------------------
+
+    def _parse_expr(self, min_precedence: int = 1) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op" or token.text not in PRECEDENCE:
+                break
+            precedence = PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                break
+            self.advance()
+            rhs = self._parse_expr(precedence + 1)
+            lhs = ast.Binary(token.pos, token.text, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            return ast.Unary(token.pos, token.text, self._parse_unary())
+        if token.kind == "op" and token.text == "&":
+            self.advance()
+            name_token = self.expect("ident")
+            return ast.AddrOf(token.pos, name_token.text)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.at("op", "("):
+            open_token = self.advance()
+            args: List[ast.Expr] = []
+            if not self.at("op", ")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+            expr = ast.CallExpr(open_token.pos, expr, args)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(token.pos, token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StrLit(token.pos, token.text)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Ident(token.pos, token.text)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse PrivC source into an AST."""
+    return Parser(source).parse_program()

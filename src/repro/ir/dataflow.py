@@ -1,0 +1,115 @@
+"""A generic iterative data-flow framework over basic blocks.
+
+AutoPriv's privilege-liveness analysis (§V) is a backward may-analysis:
+a privilege is *live* at a point if some path from that point reaches a
+use of the privilege.  Rather than hard-coding that one analysis, we
+provide the standard worklist framework for set-based (powerset lattice)
+problems; :mod:`repro.autopriv.liveness` instantiates it.
+
+The framework works at basic-block granularity with gen/kill transfer
+functions and exposes the in/out sets per block; analyses needing
+instruction-level results refine within a block themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, TypeVar
+
+from repro.ir.cfg import postorder, predecessors, reverse_postorder
+from repro.ir.function import BasicBlock, Function
+
+Fact = TypeVar("Fact")
+BlockSets = Dict[BasicBlock, FrozenSet]
+
+
+@dataclasses.dataclass
+class DataflowResult:
+    """Per-block in/out sets of one analysis run."""
+
+    block_in: BlockSets
+    block_out: BlockSets
+
+
+class SetDataflowProblem:
+    """A forward or backward union/intersection data-flow problem.
+
+    Subclasses (or instances) provide:
+
+    * ``direction`` — ``"forward"`` or ``"backward"``;
+    * ``meet`` — ``"union"`` (may) or ``"intersection"`` (must);
+    * :meth:`gen` and :meth:`kill` — per-block transfer sets;
+    * :meth:`boundary` — the fact at the entry (forward) / exits (backward);
+    * :meth:`initial` — the optimistic initial value for interior blocks.
+    """
+
+    direction = "forward"
+    meet = "union"
+
+    def gen(self, block: BasicBlock) -> FrozenSet:
+        raise NotImplementedError
+
+    def kill(self, block: BasicBlock) -> FrozenSet:
+        raise NotImplementedError
+
+    def boundary(self) -> FrozenSet:
+        return frozenset()
+
+    def initial(self) -> FrozenSet:
+        return frozenset()
+
+    def transfer(self, block: BasicBlock, incoming: FrozenSet) -> FrozenSet:
+        """``gen ∪ (incoming − kill)`` — override for non-gen/kill problems."""
+        return self.gen(block) | (incoming - self.kill(block))
+
+
+def solve(problem: SetDataflowProblem, function: Function) -> DataflowResult:
+    """Run the iterative worklist algorithm to a fixpoint."""
+    if function.is_declaration:
+        return DataflowResult({}, {})
+    forward = problem.direction == "forward"
+    order = reverse_postorder(function) if forward else postorder(function)
+    preds = predecessors(function)
+
+    def neighbours_in(block: BasicBlock):
+        """The blocks whose facts flow into ``block``."""
+        return preds[block] if forward else list(block.successors())
+
+    def is_boundary(block: BasicBlock) -> bool:
+        if forward:
+            return block is function.entry
+        terminator = block.terminator
+        return terminator is None or not block.successors()
+
+    merge: Callable = frozenset.union if problem.meet == "union" else frozenset.intersection
+    block_in: BlockSets = {block: problem.initial() for block in order}
+    block_out: BlockSets = {block: problem.initial() for block in order}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            sources = neighbours_in(block)
+            if sources:
+                facts = [
+                    (block_out if forward else block_in)[source] for source in sources
+                ]
+                incoming = facts[0]
+                for fact in facts[1:]:
+                    incoming = merge(incoming, fact)
+                if is_boundary(block):
+                    incoming = merge(incoming, problem.boundary())
+            elif is_boundary(block):
+                incoming = problem.boundary()
+            else:
+                incoming = problem.initial()
+            outgoing = problem.transfer(block, incoming)
+            if forward:
+                if incoming != block_in[block] or outgoing != block_out[block]:
+                    block_in[block], block_out[block] = incoming, outgoing
+                    changed = True
+            else:
+                if incoming != block_out[block] or outgoing != block_in[block]:
+                    block_out[block], block_in[block] = incoming, outgoing
+                    changed = True
+    return DataflowResult(block_in, block_out)

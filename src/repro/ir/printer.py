@@ -1,0 +1,90 @@
+"""Textual IR rendering, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.types import VOID
+from repro.ir.values import Value
+
+
+def print_function(function: Function) -> str:
+    """Render one function in an LLVM-flavoured textual form."""
+    header_params = ", ".join(
+        f"{arg.type} %{arg.name}" for arg in function.arguments
+    )
+    if function.is_declaration:
+        return f"declare {function.return_type} @{function.name}({header_params})"
+
+    # Assign stable %N names to unnamed instruction results.
+    names: Dict[Value, str] = {}
+    counter = 0
+    for argument in function.arguments:
+        names[argument] = argument.name
+    for instruction in function.instructions():
+        if instruction.type is VOID:
+            continue
+        if instruction.name:
+            names[instruction] = instruction.name
+        else:
+            names[instruction] = str(counter)
+            counter += 1
+
+    def operand_text(value: Value) -> str:
+        if value in names:
+            return f"%{names[value]}"
+        return value.short()
+
+    lines = [f"define {function.return_type} @{function.name}({header_params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for instruction in block.instructions:
+            text = _render_with_names(instruction, operand_text)
+            if instruction.type is not VOID:
+                text = f"%{names[instruction]} = {text}"
+            lines.append(f"  {text}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_with_names(instruction: Instruction, operand_text) -> str:
+    from repro.ir.instructions import Branch, Call, ICmp, Jump, Phi, Ret
+
+    if isinstance(instruction, Call):
+        args = ", ".join(operand_text(arg) for arg in instruction.args)
+        return f"call {operand_text(instruction.callee)}({args})"
+    if isinstance(instruction, ICmp):
+        lhs, rhs = instruction.operands
+        return f"icmp {instruction.predicate} {operand_text(lhs)}, {operand_text(rhs)}"
+    if isinstance(instruction, Branch):
+        return (
+            f"br {operand_text(instruction.operands[0])}, "
+            f"label %{instruction.if_true.name}, label %{instruction.if_false.name}"
+        )
+    if isinstance(instruction, Jump):
+        return f"jmp label %{instruction.target.name}"
+    if isinstance(instruction, Ret):
+        if instruction.value is not None:
+            return f"ret {operand_text(instruction.value)}"
+        return "ret void"
+    if isinstance(instruction, Phi):
+        parts = ", ".join(
+            f"[{operand_text(value)}, %{block.name}]"
+            for block, value in instruction.incoming.items()
+        )
+        return f"phi {parts}"
+    ops = ", ".join(operand_text(op) for op in instruction.operands)
+    return f"{instruction.opcode} {ops}".rstrip()
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    chunks = [f"; module {module.name}"]
+    for name, var in sorted(module.globals.items()):
+        chunks.append(f"@{name} = global i64 {var.initial}")
+    for function in module.functions.values():
+        chunks.append(print_function(function))
+    return "\n\n".join(chunks)

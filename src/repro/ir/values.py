@@ -1,0 +1,127 @@
+"""IR values: everything an instruction can use as an operand.
+
+The value hierarchy mirrors LLVM's: constants, globals, function
+arguments and instructions are all :class:`Value`.  Values carry a type
+and an optional name used by the printer; identity (not name) defines a
+value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import IntType, PTR, Type
+
+
+class Value:
+    """Base class of all IR values."""
+
+    def __init__(self, vtype: Type, name: str = "") -> None:
+        self.type = vtype
+        self.name = name
+
+    def short(self) -> str:
+        """Compact operand rendering used inside instruction text."""
+        return f"%{self.name}" if self.name else "%?"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short()}: {self.type}>"
+
+
+class ConstantInt(Value):
+    """An integer literal of a given width."""
+
+    def __init__(self, vtype: IntType, value: int) -> None:
+        super().__init__(vtype)
+        self.value = vtype.wrap(value)
+
+    def short(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((ConstantInt, self.type, self.value))
+
+
+class ConstantString(Value):
+    """A string literal; lowered as a pointer to immutable bytes."""
+
+    def __init__(self, value: str) -> None:
+        super().__init__(PTR)
+        self.value = value
+
+    def short(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantString) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((ConstantString, self.value))
+
+
+class GlobalVariable(Value):
+    """A module-level mutable cell, always addressed through a pointer."""
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        super().__init__(PTR, name)
+        self.initial = initial
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, vtype: Type, name: str, index: int) -> None:
+        super().__init__(vtype, name)
+        self.index = index
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionRef(Value):
+    """The address of a function — what ``&f`` lowers to.
+
+    Calling through a :class:`FunctionRef`-typed value that is not a
+    compile-time constant is an *indirect call*; the call graph
+    over-approximates its targets (see :mod:`repro.ir.callgraph`).
+    """
+
+    def __init__(self, function) -> None:
+        super().__init__(PTR, function.name)
+        self.function = function
+
+    def short(self) -> str:
+        return f"@{self.function.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FunctionRef) and other.function is self.function
+
+    def __hash__(self) -> int:
+        return hash((FunctionRef, id(self.function)))
+
+
+class UndefValue(Value):
+    """An undefined value (reading uninitialised storage)."""
+
+    def __init__(self, vtype: Type) -> None:
+        super().__init__(vtype)
+
+    def short(self) -> str:
+        return "undef"
+
+
+def const_int(value: int, vtype: Optional[IntType] = None) -> ConstantInt:
+    """Convenience: an i64 constant unless a width is given."""
+    from repro.ir.types import I64
+
+    return ConstantInt(vtype or I64, value)

@@ -1,0 +1,117 @@
+"""Structural verification of IR modules.
+
+The verifier enforces the invariants the rest of the toolchain relies on,
+and reports *all* violations rather than stopping at the first — a
+module built by a buggy lowering usually has several related problems.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Call, Instruction, Jump, Phi
+from repro.ir.module import Module
+from repro.ir.values import Argument, ConstantInt, ConstantString, FunctionRef, GlobalVariable, UndefValue
+
+
+class VerificationError(ValueError):
+    """Raised by :func:`verify_module` with every problem found."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("IR verification failed:\n" + "\n".join(f"  - {p}" for p in problems))
+        self.problems = problems
+
+
+def verify_module(module: Module) -> None:
+    """Check every defined function; raise :class:`VerificationError` on problems."""
+    problems: List[str] = []
+    for function in module.defined_functions():
+        problems.extend(_verify_function(module, function))
+    if problems:
+        raise VerificationError(problems)
+
+
+def _verify_function(module: Module, function: Function) -> List[str]:
+    problems: List[str] = []
+    where = f"@{function.name}"
+    blocks = set(function.blocks)
+    defined_values = set(function.arguments)
+    for block in function.blocks:
+        defined_values.update(block.instructions)
+
+    if not function.blocks:
+        return problems
+
+    for block in function.blocks:
+        label = f"{where}:%{block.name}"
+        if block.parent is not function:
+            problems.append(f"{label}: block parent pointer is wrong")
+        if block.terminator is None:
+            problems.append(f"{label}: block lacks a terminator")
+        for index, instruction in enumerate(block.instructions):
+            if instruction.is_terminator and index != len(block.instructions) - 1:
+                problems.append(
+                    f"{label}: terminator {instruction.opcode} not at block end"
+                )
+            problems.extend(
+                _verify_instruction(module, function, block, instruction, defined_values)
+            )
+    return problems
+
+
+def _verify_instruction(module, function, block, instruction: Instruction, defined_values) -> List[str]:
+    problems: List[str] = []
+    label = f"@{function.name}:%{block.name}: {instruction.opcode}"
+
+    # Branch targets must be blocks of this function.
+    for target in instruction.successors():
+        if target not in set(function.blocks):
+            problems.append(f"{label}: branch target %{target.name} not in function")
+
+    # Operands must be constants, globals, or values defined in this function.
+    for operand in instruction.operands:
+        if isinstance(
+            operand,
+            (ConstantInt, ConstantString, FunctionRef, GlobalVariable, UndefValue),
+        ):
+            continue
+        if isinstance(operand, (Argument, Instruction)):
+            if operand not in defined_values:
+                problems.append(
+                    f"{label}: operand {operand.short()} defined in another function"
+                )
+            continue
+        problems.append(f"{label}: unsupported operand kind {type(operand).__name__}")
+
+    # Direct calls must match the callee's arity (varargs excepted).
+    if isinstance(instruction, Call):
+        target = instruction.direct_target
+        if target is not None and not target.type.vararg:
+            expected = len(target.type.param_types)
+            actual = len(instruction.args)
+            if expected != actual:
+                problems.append(
+                    f"{label}: call to @{target.name} passes {actual} args, "
+                    f"expects {expected}"
+                )
+
+    # Phi nodes must cover their predecessors (checked loosely: each
+    # incoming block must be a block of this function).
+    if isinstance(instruction, Phi):
+        for incoming_block in instruction.incoming:
+            if incoming_block not in set(function.blocks):
+                problems.append(f"{label}: phi incoming from foreign block")
+
+    # Conditional branches need an i1 condition.
+    if isinstance(instruction, Branch):
+        cond = instruction.operands[0]
+        from repro.ir.types import BOOL
+
+        if cond.type is not BOOL:
+            problems.append(f"{label}: branch condition is {cond.type}, not i1")
+
+    if isinstance(instruction, Jump) and not instruction.successors():
+        problems.append(f"{label}: jump without target")
+
+    return problems

@@ -1,0 +1,56 @@
+"""A simulated Linux kernel: the substrate instrumented programs run on.
+
+Processes with full Linux credentials and capability sets, a
+permission-checked file system, signals and TCP ports.  Syscall semantics
+follow credentials(7), capabilities(7) and path_resolution(7) — the same
+rules the ROSA model checker encodes, so dynamic behaviour and model
+agree.
+"""
+
+from repro.oskernel.errors import (
+    EACCES,
+    EADDRINUSE,
+    EBADF,
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    ENOENT,
+    EPERM,
+    ESRCH,
+    SyscallError,
+    errno_name,
+)
+from repro.oskernel.filesystem import CHAR_DEVICE, DIRECTORY, FileSystem, Inode, REGULAR, Stat
+from repro.oskernel.kernel import KEEP_ID, Kernel
+from repro.oskernel.process import KSocket, OpenFile, Process, RUNNING, ZOMBIE
+from repro.oskernel import permissions, setup, signals
+
+__all__ = [
+    "CHAR_DEVICE",
+    "DIRECTORY",
+    "EACCES",
+    "EADDRINUSE",
+    "EBADF",
+    "EBUSY",
+    "EEXIST",
+    "EINVAL",
+    "ENOENT",
+    "EPERM",
+    "ESRCH",
+    "FileSystem",
+    "Inode",
+    "KEEP_ID",
+    "KSocket",
+    "Kernel",
+    "OpenFile",
+    "Process",
+    "REGULAR",
+    "RUNNING",
+    "Stat",
+    "SyscallError",
+    "ZOMBIE",
+    "errno_name",
+    "permissions",
+    "setup",
+    "signals",
+]

@@ -1,0 +1,55 @@
+"""Errno values and the syscall failure exception."""
+
+from __future__ import annotations
+
+# The errno values our syscall surface can produce (numbers from Linux).
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EBADF = 9
+EACCES = 13
+EBUSY = 16
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+EMFILE = 24
+EADDRINUSE = 98
+
+_NAMES = {
+    EPERM: "EPERM",
+    ENOENT: "ENOENT",
+    ESRCH: "ESRCH",
+    EBADF: "EBADF",
+    EACCES: "EACCES",
+    EBUSY: "EBUSY",
+    EEXIST: "EEXIST",
+    ENOTDIR: "ENOTDIR",
+    EISDIR: "EISDIR",
+    EINVAL: "EINVAL",
+    EMFILE: "EMFILE",
+    EADDRINUSE: "EADDRINUSE",
+}
+
+
+def errno_name(errno: int) -> str:
+    """The symbolic name of an errno value."""
+    return _NAMES.get(errno, f"E#{errno}")
+
+
+class SyscallError(OSError):
+    """A failed system call: carries the errno.
+
+    Kernel methods raise this; the VM's intrinsic wrappers translate it
+    into the C convention (a negative return value) for the program.
+    """
+
+    def __init__(self, errno: int, message: str = "") -> None:
+        text = errno_name(errno)
+        if message:
+            text += f": {message}"
+        super().__init__(errno, text)
+        self.errno_value = errno
+
+    def __repr__(self) -> str:
+        return f"SyscallError({errno_name(self.errno_value)})"

@@ -1,0 +1,560 @@
+"""The simulated Linux kernel: processes, syscalls, access control.
+
+This is the environment the instrumented programs execute in.  Every
+syscall enforces the same DAC + capability rules that ROSA models, so a
+program's dynamic behaviour (which privileged operations succeed, which
+credential transitions happen) matches what the model checker reasons
+about.
+
+Conventions:
+
+* every syscall method takes the calling ``pid`` first;
+* failures raise :class:`~repro.oskernel.errors.SyscallError`; the VM's
+  intrinsics translate that into C-style negative returns;
+* credential or capability changes notify registered observers — the
+  hook ChronoPriv's runtime uses to detect phase transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.caps import Capability, CapabilitySet, CapabilityState, Credentials
+from repro.oskernel import permissions, signals
+from repro.oskernel.errors import (
+    EACCES,
+    EADDRINUSE,
+    EBADF,
+    EINVAL,
+    EPERM,
+    ESRCH,
+    SyscallError,
+)
+from repro.oskernel.filesystem import CHAR_DEVICE, FileSystem, REGULAR, Stat
+from repro.oskernel.process import KSocket, OpenFile, Process, RUNNING, ZOMBIE
+
+#: setres[ug]id's "leave unchanged" argument.
+KEEP_ID = -1
+
+
+class Kernel:
+    """One simulated machine."""
+
+    def __init__(self) -> None:
+        self.fs = FileSystem()
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 100
+        #: TCP port -> owning pid.
+        self.bound_ports: Dict[int, int] = {}
+        #: Contents of physical memory as exposed by /dev/mem; attacks that
+        #: read or write the device observably touch this.
+        self.physical_memory = "<<physical memory: secrets of every process>>"
+        self.devmem_reads: List[int] = []
+        self.devmem_writes: List[Tuple[int, str]] = []
+        #: Observers called with the process after any credential or
+        #: capability change (ChronoPriv's phase hook).
+        self.cred_observers: List[Callable[[Process], None]] = []
+
+    # -- process management ----------------------------------------------------
+
+    def spawn(
+        self,
+        uid: int,
+        gid: int,
+        permitted: CapabilitySet = CapabilitySet.empty(),
+        supplementary: Tuple[int, ...] = (),
+        pid: Optional[int] = None,
+    ) -> Process:
+        """Create a process the way the paper's experiments start programs:
+
+        owned by ``uid``/``gid`` with ``permitted`` available but nothing
+        raised in the effective set (§VII-B: installed "so that they start
+        up with the correct permitted set instead of ... setuid root").
+        """
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        if pid in self.processes:
+            raise ValueError(f"pid {pid} already exists")
+        creds = Credentials.for_user(uid, gid, supplementary)
+        process = Process(pid, creds, CapabilityState.with_permitted(permitted))
+        self.processes[pid] = process
+        return process
+
+    def sys_fork(self, pid: int) -> Process:
+        """fork(2): clone credentials, capability sets and dispositions.
+
+        Descriptors are *not* duplicated (our VM model gives the child a
+        fresh table); capability sets are inherited unchanged, exactly as
+        fork(2) does — which is why privilege separation must drop them
+        explicitly in the child.
+        """
+        parent = self.process(pid)
+        child_pid = self._next_pid
+        self._next_pid += 1
+        child = Process(child_pid, parent.creds, parent.caps)
+        child.no_setuid_fixup = parent.no_setuid_fixup
+        child.handlers = dict(parent.handlers)
+        self.processes[child_pid] = child
+        return child
+
+    def process(self, pid: int) -> Process:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise SyscallError(ESRCH, f"no process {pid}") from None
+
+    def _notify(self, process: Process) -> None:
+        for observer in self.cred_observers:
+            observer(process)
+
+    # -- credential syscalls -----------------------------------------------------
+
+    def sys_getuid(self, pid: int) -> int:
+        return self.process(pid).creds.ruid
+
+    def sys_geteuid(self, pid: int) -> int:
+        return self.process(pid).creds.euid
+
+    def sys_getgid(self, pid: int) -> int:
+        return self.process(pid).creds.rgid
+
+    def sys_getegid(self, pid: int) -> int:
+        return self.process(pid).creds.egid
+
+    def sys_getresuid(self, pid: int) -> Tuple[int, int, int]:
+        return self.process(pid).creds.uid_triple
+
+    def sys_getresgid(self, pid: int) -> Tuple[int, int, int]:
+        return self.process(pid).creds.gid_triple
+
+    def _set_creds(self, process: Process, new: Credentials) -> None:
+        old = process.creds
+        if new == old:
+            process.creds = new
+            return
+        process.creds = new
+        self._apply_uid_fixup(process, old, new)
+        self._notify(process)
+
+    def _apply_uid_fixup(self, process: Process, old: Credentials, new: Credentials) -> None:
+        """The kernel's root-uid capability coupling (cap_emulate_setxuid).
+
+        Unless the process opted out via prctl (SECBIT_NO_SETUID_FIXUP),
+        uid transitions involving root adjust capability sets:
+
+        * leaving root entirely (some old id 0, no new id 0) clears the
+          permitted and effective sets;
+        * euid leaving 0 clears the effective set;
+        * euid entering 0 copies permitted into effective.
+        """
+        if process.no_setuid_fixup:
+            return
+        caps = process.caps
+        old_has_root = 0 in (old.ruid, old.euid, old.suid)
+        new_has_root = 0 in (new.ruid, new.euid, new.suid)
+        if old_has_root and not new_has_root:
+            process.caps = CapabilityState(
+                CapabilitySet.empty(), CapabilitySet.empty(), caps.inheritable
+            )
+            return
+        if old.euid != 0 and new.euid == 0:
+            process.caps = CapabilityState(caps.permitted, caps.permitted, caps.inheritable)
+        elif old.euid == 0 and new.euid != 0:
+            process.caps = CapabilityState(CapabilitySet.empty(), caps.permitted, caps.inheritable)
+
+    def sys_setuid(self, pid: int, uid: int) -> int:
+        """setuid(2): privileged form sets all three uids."""
+        process = self.process(pid)
+        creds = process.creds
+        if Capability.CAP_SETUID in process.caps.effective:
+            self._set_creds(process, creds.with_all_uids(uid))
+        elif uid in (creds.ruid, creds.suid):
+            self._set_creds(process, creds.replace(euid=uid))
+        else:
+            raise SyscallError(EPERM, f"setuid({uid})")
+        return 0
+
+    def sys_seteuid(self, pid: int, uid: int) -> int:
+        process = self.process(pid)
+        creds = process.creds
+        if Capability.CAP_SETUID in process.caps.effective or uid in (creds.ruid, creds.suid):
+            self._set_creds(process, creds.replace(euid=uid))
+            return 0
+        raise SyscallError(EPERM, f"seteuid({uid})")
+
+    def sys_setresuid(self, pid: int, ruid: int, euid: int, suid: int) -> int:
+        """setresuid(2): each id settable to any current id, or anything with CAP_SETUID."""
+        process = self.process(pid)
+        creds = process.creds
+        privileged = Capability.CAP_SETUID in process.caps.effective
+        current = (creds.ruid, creds.euid, creds.suid)
+        changes = {}
+        for field, value in (("ruid", ruid), ("euid", euid), ("suid", suid)):
+            if value == KEEP_ID:
+                continue
+            if not privileged and value not in current:
+                raise SyscallError(EPERM, f"setresuid {field}={value}")
+            changes[field] = value
+        if changes:
+            self._set_creds(process, creds.replace(**changes))
+        return 0
+
+    def sys_setgid(self, pid: int, gid: int) -> int:
+        process = self.process(pid)
+        creds = process.creds
+        if Capability.CAP_SETGID in process.caps.effective:
+            self._set_creds(process, creds.with_all_gids(gid))
+        elif gid in (creds.rgid, creds.sgid):
+            self._set_creds(process, creds.replace(egid=gid))
+        else:
+            raise SyscallError(EPERM, f"setgid({gid})")
+        return 0
+
+    def sys_setegid(self, pid: int, gid: int) -> int:
+        process = self.process(pid)
+        creds = process.creds
+        if Capability.CAP_SETGID in process.caps.effective or gid in (creds.rgid, creds.sgid):
+            self._set_creds(process, creds.replace(egid=gid))
+            return 0
+        raise SyscallError(EPERM, f"setegid({gid})")
+
+    def sys_setresgid(self, pid: int, rgid: int, egid: int, sgid: int) -> int:
+        process = self.process(pid)
+        creds = process.creds
+        privileged = Capability.CAP_SETGID in process.caps.effective
+        current = (creds.rgid, creds.egid, creds.sgid)
+        changes = {}
+        for field, value in (("rgid", rgid), ("egid", egid), ("sgid", sgid)):
+            if value == KEEP_ID:
+                continue
+            if not privileged and value not in current:
+                raise SyscallError(EPERM, f"setresgid {field}={value}")
+            changes[field] = value
+        if changes:
+            self._set_creds(process, creds.replace(**changes))
+        return 0
+
+    def sys_setgroups(self, pid: int, groups: Tuple[int, ...]) -> int:
+        """setgroups(2): requires CAP_SETGID."""
+        process = self.process(pid)
+        if Capability.CAP_SETGID not in process.caps.effective:
+            raise SyscallError(EPERM, "setgroups")
+        self._set_creds(process, process.creds.replace(supplementary=frozenset(groups)))
+        return 0
+
+    # -- capability syscalls (the AutoPriv runtime wrappers call these) -----------
+
+    def sys_priv_raise(self, pid: int, caps: CapabilitySet) -> int:
+        process = self.process(pid)
+        try:
+            process.caps = process.caps.raise_caps(caps)
+        except PermissionError as exc:
+            raise SyscallError(EPERM, str(exc)) from None
+        self._notify(process)
+        return 0
+
+    def sys_priv_lower(self, pid: int, caps: CapabilitySet) -> int:
+        process = self.process(pid)
+        process.caps = process.caps.lower_caps(caps)
+        self._notify(process)
+        return 0
+
+    def sys_priv_remove(self, pid: int, caps: CapabilitySet) -> int:
+        process = self.process(pid)
+        process.caps = process.caps.remove_caps(caps)
+        self._notify(process)
+        return 0
+
+    def sys_prctl_lockdown(self, pid: int) -> int:
+        """prctl(): disable the kernel's root-uid capability fixups.
+
+        The PrivAnalyzer compiler inserts this at program start (§VII-B) so
+        that uid changes never silently re-enable privileges.
+        """
+        self.process(pid).no_setuid_fixup = True
+        return 0
+
+    # -- file syscalls --------------------------------------------------------------
+
+    def _check_lookup(self, process: Process, path: str) -> None:
+        for directory in self.fs.lookup_directories(path):
+            if not permissions.may_search(directory, process.creds, process.caps.effective):
+                raise SyscallError(EACCES, f"search {path}")
+
+    def sys_open(self, pid: int, path: str, flags: str, mode: int = 0o600) -> int:
+        """open(2).  ``flags``: "r", "w", "rw", optionally with "c" (O_CREAT)."""
+        process = self.process(pid)
+        want_read = "r" in flags
+        want_write = "w" in flags
+        create = "c" in flags
+        if not (want_read or want_write):
+            raise SyscallError(EINVAL, f"open flags {flags!r}")
+        self._check_lookup(process, path)
+        if create and not self.fs.exists(path):
+            parent, _ = self.fs.resolve_parent(path)
+            if not permissions.may_write(parent, process.creds, process.caps.effective):
+                raise SyscallError(EACCES, f"create {path}")
+            inode = self.fs.create_file(
+                path, process.creds.euid, process.creds.egid, mode
+            )
+        else:
+            inode = self.fs.resolve(path)
+            if want_read and not permissions.may_read(inode, process.creds, process.caps.effective):
+                raise SyscallError(EACCES, f"read {path}")
+            if want_write and not permissions.may_write(inode, process.creds, process.caps.effective):
+                raise SyscallError(EACCES, f"write {path}")
+        fd = process.allocate_fd()
+        process.fds[fd] = OpenFile(inode.ino, want_read, want_write, path=path)
+        return fd
+
+    def _open_file(self, process: Process, fd: int) -> OpenFile:
+        open_file = process.fds.get(fd)
+        if open_file is None:
+            raise SyscallError(EBADF, f"fd {fd}")
+        return open_file
+
+    def sys_read(self, pid: int, fd: int) -> str:
+        """read(2), simplified to whole-content reads."""
+        process = self.process(pid)
+        open_file = self._open_file(process, fd)
+        if not open_file.readable:
+            raise SyscallError(EBADF, f"fd {fd} not readable")
+        inode = self.fs.inode(open_file.ino)
+        if inode.kind == CHAR_DEVICE and open_file.path.endswith("/mem"):
+            self.devmem_reads.append(pid)
+            return self.physical_memory
+        return inode.content
+
+    def sys_write(self, pid: int, fd: int, data: str) -> int:
+        """write(2), simplified to appends."""
+        process = self.process(pid)
+        open_file = self._open_file(process, fd)
+        if not open_file.writable:
+            raise SyscallError(EBADF, f"fd {fd} not writable")
+        inode = self.fs.inode(open_file.ino)
+        if inode.kind == CHAR_DEVICE and open_file.path.endswith("/mem"):
+            self.devmem_writes.append((pid, data))
+            self.physical_memory = data
+            return len(data)
+        inode.content += data
+        return len(data)
+
+    def sys_truncate_fd(self, pid: int, fd: int) -> int:
+        """ftruncate(2) to zero length."""
+        process = self.process(pid)
+        open_file = self._open_file(process, fd)
+        if not open_file.writable:
+            raise SyscallError(EBADF, f"fd {fd} not writable")
+        self.fs.inode(open_file.ino).content = ""
+        return 0
+
+    def sys_close(self, pid: int, fd: int) -> int:
+        process = self.process(pid)
+        if fd in process.fds:
+            del process.fds[fd]
+            return 0
+        if fd in process.sockets:
+            sock = process.sockets.pop(fd)
+            if sock.port and self.bound_ports.get(sock.port) == pid:
+                del self.bound_ports[sock.port]
+            return 0
+        raise SyscallError(EBADF, f"fd {fd}")
+
+    def sys_stat(self, pid: int, path: str) -> Stat:
+        process = self.process(pid)
+        self._check_lookup(process, path)
+        return self.fs.stat(path)
+
+    def sys_chmod(self, pid: int, path: str, mode: int) -> int:
+        process = self.process(pid)
+        self._check_lookup(process, path)
+        inode = self.fs.resolve(path)
+        if not permissions.may_chmod(inode, process.creds, process.caps.effective):
+            raise SyscallError(EPERM, f"chmod {path}")
+        inode.mode = mode
+        return 0
+
+    def sys_fchmod(self, pid: int, fd: int, mode: int) -> int:
+        process = self.process(pid)
+        inode = self.fs.inode(self._open_file(process, fd).ino)
+        if not permissions.may_chmod(inode, process.creds, process.caps.effective):
+            raise SyscallError(EPERM, f"fchmod fd {fd}")
+        inode.mode = mode
+        return 0
+
+    def sys_chown(self, pid: int, path: str, owner: int, group: int) -> int:
+        process = self.process(pid)
+        self._check_lookup(process, path)
+        inode = self.fs.resolve(path)
+        new_owner = inode.owner if owner == KEEP_ID else owner
+        new_group = inode.group if group == KEEP_ID else group
+        if not permissions.may_chown(
+            inode, new_owner, new_group, process.creds, process.caps.effective
+        ):
+            raise SyscallError(EPERM, f"chown {path}")
+        inode.owner, inode.group = new_owner, new_group
+        return 0
+
+    def sys_fchown(self, pid: int, fd: int, owner: int, group: int) -> int:
+        process = self.process(pid)
+        inode = self.fs.inode(self._open_file(process, fd).ino)
+        new_owner = inode.owner if owner == KEEP_ID else owner
+        new_group = inode.group if group == KEEP_ID else group
+        if not permissions.may_chown(
+            inode, new_owner, new_group, process.creds, process.caps.effective
+        ):
+            raise SyscallError(EPERM, f"fchown fd {fd}")
+        inode.owner, inode.group = new_owner, new_group
+        return 0
+
+    def _check_sticky_removal(self, process: Process, path: str) -> None:
+        """unlink(2)'s restricted-deletion rule for sticky directories."""
+        parent, name = self.fs.resolve_parent(path)
+        if not parent.mode & 0o1000:
+            return
+        if Capability.CAP_FOWNER in process.caps.effective:
+            return
+        euid = process.creds.euid
+        if euid == parent.owner:
+            return
+        child_ino = (parent.entries or {}).get(name)
+        if child_ino is not None and self.fs.inode(child_ino).owner == euid:
+            return
+        raise SyscallError(EPERM, f"sticky directory forbids removing {path}")
+
+    def sys_unlink(self, pid: int, path: str) -> int:
+        process = self.process(pid)
+        self._check_lookup(process, path)
+        parent, _ = self.fs.resolve_parent(path)
+        if not permissions.may_write(parent, process.creds, process.caps.effective):
+            raise SyscallError(EACCES, f"unlink {path}")
+        self._check_sticky_removal(process, path)
+        self.fs.unlink(path)
+        return 0
+
+    def sys_rename(self, pid: int, old_path: str, new_path: str) -> int:
+        process = self.process(pid)
+        self._check_lookup(process, old_path)
+        self._check_lookup(process, new_path)
+        for target in (old_path, new_path):
+            parent, _ = self.fs.resolve_parent(target)
+            if not permissions.may_write(parent, process.creds, process.caps.effective):
+                raise SyscallError(EACCES, f"rename {target}")
+        self._check_sticky_removal(process, old_path)
+        self.fs.rename(old_path, new_path)
+        return 0
+
+    def sys_access(self, pid: int, path: str, want: str) -> int:
+        """access(2) against *real* ids, as Linux defines it."""
+        process = self.process(pid)
+        real_creds = process.creds.replace(
+            euid=process.creds.ruid, egid=process.creds.rgid
+        )
+        self._check_lookup(process, path)
+        inode = self.fs.resolve(path)
+        caps = process.caps.effective
+        if "r" in want and not permissions.may_read(inode, real_creds, caps):
+            raise SyscallError(EACCES, f"access r {path}")
+        if "w" in want and not permissions.may_write(inode, real_creds, caps):
+            raise SyscallError(EACCES, f"access w {path}")
+        return 0
+
+    def sys_chroot(self, pid: int, path: str) -> int:
+        """chroot(2): requires CAP_SYS_CHROOT; we record the new root only."""
+        process = self.process(pid)
+        if Capability.CAP_SYS_CHROOT not in process.caps.effective:
+            raise SyscallError(EPERM, f"chroot {path}")
+        self._check_lookup(process, path + "/.")
+        inode = self.fs.resolve(path)
+        if not inode.is_dir:
+            raise SyscallError(EINVAL, f"chroot {path} is not a directory")
+        process.chroot_path = path
+        return 0
+
+    # -- sockets -----------------------------------------------------------------------
+
+    def sys_socket(self, pid: int, raw: bool = False) -> int:
+        """socket(2); a raw socket (ping's ICMP socket) needs CAP_NET_RAW."""
+        process = self.process(pid)
+        if raw and Capability.CAP_NET_RAW not in process.caps.effective:
+            raise SyscallError(EPERM, "raw socket")
+        fd = process.allocate_fd()
+        process.sockets[fd] = KSocket()
+        return fd
+
+    def sys_setsockopt(self, pid: int, fd: int, option: str) -> int:
+        """setsockopt(2): SO_DEBUG / SO_MARK need CAP_NET_ADMIN."""
+        process = self.process(pid)
+        self._socket(process, fd)
+        if option in ("debug", "mark"):
+            if Capability.CAP_NET_ADMIN not in process.caps.effective:
+                raise SyscallError(EPERM, f"setsockopt {option}")
+        return 0
+
+    def _socket(self, process: Process, fd: int) -> KSocket:
+        sock = process.sockets.get(fd)
+        if sock is None:
+            raise SyscallError(EBADF, f"socket fd {fd}")
+        return sock
+
+    def sys_bind(self, pid: int, fd: int, port: int) -> int:
+        process = self.process(pid)
+        sock = self._socket(process, fd)
+        if sock.port:
+            raise SyscallError(EINVAL, "socket already bound")
+        if port in self.bound_ports:
+            raise SyscallError(EADDRINUSE, f"port {port}")
+        if not permissions.may_bind(port, process.caps.effective):
+            raise SyscallError(EACCES, f"bind {port}")
+        sock.port = port
+        self.bound_ports[port] = pid
+        return 0
+
+    def sys_listen(self, pid: int, fd: int) -> int:
+        sock = self._socket(self.process(pid), fd)
+        if not sock.port:
+            raise SyscallError(EINVAL, "listen on unbound socket")
+        sock.listening = True
+        return 0
+
+    def sys_connect(self, pid: int, fd: int, port: int) -> int:
+        sock = self._socket(self.process(pid), fd)
+        sock.connected_to = port
+        return 0
+
+    # -- signals -----------------------------------------------------------------------
+
+    def sys_signal(self, pid: int, signum: int, handler: str) -> int:
+        """signal(2): register a handler function name, SIG_IGN or SIG_DFL."""
+        if signum in signals.UNCATCHABLE and handler != signals.SIG_DFL:
+            raise SyscallError(EINVAL, f"signal {signum} uncatchable")
+        self.process(pid).handlers[signum] = handler
+        return 0
+
+    def sys_kill(self, pid: int, target_pid: int, signum: int) -> int:
+        sender = self.process(pid)
+        victim = self.processes.get(target_pid)
+        if victim is None or not victim.alive:
+            raise SyscallError(ESRCH, f"kill {target_pid}")
+        if not permissions.may_signal(sender.creds, victim.creds, sender.caps.effective):
+            raise SyscallError(EPERM, f"kill {target_pid}")
+        if signum == 0:
+            return 0  # existence/permission probe, no delivery
+        self._deliver_signal(victim, signum)
+        return 0
+
+    def _deliver_signal(self, victim: Process, signum: int) -> None:
+        disposition = victim.handlers.get(signum, signals.SIG_DFL)
+        if signum not in signals.UNCATCHABLE and disposition == signals.SIG_IGN:
+            return
+        if signum not in signals.UNCATCHABLE and disposition != signals.SIG_DFL:
+            victim.pending_signals.append((signum, disposition))
+            return
+        if signum in signals.FATAL_BY_DEFAULT:
+            victim.state = ZOMBIE
+            victim.exit_signal = signum
+
+    def sys_exit(self, pid: int) -> None:
+        process = self.process(pid)
+        process.state = ZOMBIE

@@ -1,0 +1,79 @@
+"""Kernel-side permission checks: DAC with capability overrides.
+
+The same Linux rules that :mod:`repro.rosa.permissions` encodes for the
+model checker, expressed here over live kernel objects (inodes and
+processes).  Keeping the two implementations separate is deliberate:
+ROSA is the specification the paper's analysis trusts, while the kernel
+is the environment programs run in — a divergence between them is a bug
+class our integration tests check for explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.caps import Capability, CapabilitySet, Credentials
+from repro.oskernel.filesystem import Inode
+
+READ_BIT = 0o4
+WRITE_BIT = 0o2
+EXEC_BIT = 0o1
+
+
+def class_bits(inode: Inode, creds: Credentials) -> int:
+    """The rwx class applying to these credentials (owner XOR group XOR other)."""
+    if creds.euid == inode.owner:
+        return (inode.mode >> 6) & 0o7
+    if inode.group in creds.groups():
+        return (inode.mode >> 3) & 0o7
+    return inode.mode & 0o7
+
+
+def may_read(inode: Inode, creds: Credentials, caps: CapabilitySet) -> bool:
+    if Capability.CAP_DAC_OVERRIDE in caps or Capability.CAP_DAC_READ_SEARCH in caps:
+        return True
+    return bool(class_bits(inode, creds) & READ_BIT)
+
+
+def may_write(inode: Inode, creds: Credentials, caps: CapabilitySet) -> bool:
+    if Capability.CAP_DAC_OVERRIDE in caps:
+        return True
+    return bool(class_bits(inode, creds) & WRITE_BIT)
+
+
+def may_search(directory: Inode, creds: Credentials, caps: CapabilitySet) -> bool:
+    if Capability.CAP_DAC_OVERRIDE in caps or Capability.CAP_DAC_READ_SEARCH in caps:
+        return True
+    return bool(class_bits(directory, creds) & EXEC_BIT)
+
+
+def may_chmod(inode: Inode, creds: Credentials, caps: CapabilitySet) -> bool:
+    return Capability.CAP_FOWNER in caps or creds.euid == inode.owner
+
+
+def may_chown(
+    inode: Inode,
+    new_owner: int,
+    new_group: int,
+    creds: Credentials,
+    caps: CapabilitySet,
+) -> bool:
+    if Capability.CAP_CHOWN in caps:
+        return True
+    if new_owner != inode.owner:
+        return False
+    if creds.euid != inode.owner:
+        return False
+    return new_group == inode.group or new_group in creds.groups()
+
+
+def may_signal(sender: Credentials, victim: Credentials, caps: CapabilitySet) -> bool:
+    if Capability.CAP_KILL in caps:
+        return True
+    return bool({sender.euid, sender.ruid} & {victim.ruid, victim.suid})
+
+
+def may_bind(port: int, caps: CapabilitySet, privileged_bound: int = 1024) -> bool:
+    if port <= 0:
+        return False
+    if port < privileged_bound:
+        return Capability.CAP_NET_BIND_SERVICE in caps
+    return True

@@ -1,0 +1,78 @@
+"""Kernel process objects."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.caps import CapabilityState, Credentials
+
+# Process states.
+RUNNING = "running"
+ZOMBIE = "zombie"
+
+
+@dataclasses.dataclass
+class OpenFile:
+    """One open file description."""
+
+    ino: int
+    readable: bool
+    writable: bool
+    offset: int = 0
+    #: Path used at open time (for diagnostics only).
+    path: str = ""
+
+
+@dataclasses.dataclass
+class KSocket:
+    """One kernel socket, referenced through a file descriptor."""
+
+    port: int = 0
+    listening: bool = False
+    connected_to: Optional[int] = None
+
+
+class Process:
+    """One task: credentials, capabilities, descriptors, signal state."""
+
+    def __init__(
+        self,
+        pid: int,
+        creds: Credentials,
+        caps: CapabilityState,
+    ) -> None:
+        self.pid = pid
+        self.creds = creds
+        self.caps = caps
+        self.state = RUNNING
+        self.exit_signal: Optional[int] = None
+        #: True once the program called prctl() to disable the root-uid
+        #: capability fixups (SECBIT_NO_SETUID_FIXUP | SECBIT_NOROOT), as the
+        #: PrivAnalyzer compiler arranges (§VII-B).
+        self.no_setuid_fixup = False
+        #: Set by chroot(2); informational (we do not re-root path lookups).
+        self.chroot_path: Optional[str] = None
+        self.fds: Dict[int, OpenFile] = {}
+        self.sockets: Dict[int, KSocket] = {}
+        self._next_fd = 3  # 0-2 reserved for std streams
+        #: signum -> handler function name, SIG_IGN, or SIG_DFL.
+        self.handlers: Dict[int, str] = {}
+        #: Signals delivered but not yet dispatched by the VM:
+        #: (signum, handler name) pairs.
+        self.pending_signals: List[Tuple[int, str]] = []
+
+    @property
+    def alive(self) -> bool:
+        return self.state == RUNNING
+
+    def allocate_fd(self) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        return fd
+
+    def __repr__(self) -> str:
+        return (
+            f"<Process {self.pid} {self.state} {self.creds} "
+            f"permitted={self.caps.permitted.describe()}>"
+        )

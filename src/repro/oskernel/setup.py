@@ -1,0 +1,123 @@
+"""Canonical machine images for the experiments.
+
+Builds the Ubuntu-16.04-like file and user population the paper's
+evaluation assumes (§VII-B): two regular users (1000 starts each program;
+1001 is the other user su switches to and scp fetches from), root-owned
+system files, ``/etc/shadow`` readable only by root and the ``shadow``
+group, and ``/dev/mem`` owned by root:kmem.
+
+The refactored experiments (§VII-D) additionally create the special
+``etc`` user (uid 998) and re-own ``/etc`` and the shadow database to it —
+the paper's "create special users for special files" lesson.
+"""
+
+from __future__ import annotations
+
+from repro.oskernel.filesystem import CHAR_DEVICE
+from repro.oskernel.kernel import Kernel
+
+# User ids used throughout the evaluation (paper §VII-B / §VII-D).
+UID_ROOT = 0
+UID_ETC = 998  # the special user created for the refactored programs
+UID_USER = 1000  # the user that starts each program
+UID_OTHER = 1001  # the other regular user (su target, scp source)
+
+# Group ids.
+GID_ROOT = 0
+GID_KMEM = 15  # group owner of /dev/mem on Ubuntu
+GID_SHADOW = 42  # group owner of /etc/shadow on Ubuntu
+GID_ETC = 998
+GID_USER = 1000
+GID_OTHER = 1001
+
+#: Cleartext passwords the workloads type at prompts.  The VM's ``crypt``
+#: intrinsic hashes a password ``p`` to ``$6$p``, so the shadow database
+#: below verifies these and only these.
+PASSWORDS = {
+    "root": "rootpw",
+    "user": "userpw",
+    "other": "otherpw",
+}
+
+#: Password hashes stored in the shadow database.
+SHADOW_HASHES = {name: f"$6${password}" for name, password in PASSWORDS.items()}
+
+#: Username tables the libc-ish intrinsics consult.
+USERNAMES = {UID_ROOT: "root", UID_ETC: "etc", UID_USER: "user", UID_OTHER: "other"}
+USER_IDS = {name: uid for uid, name in USERNAMES.items()}
+PRIMARY_GROUPS = {
+    UID_ROOT: GID_ROOT,
+    UID_ETC: GID_ETC,
+    UID_USER: GID_USER,
+    UID_OTHER: GID_OTHER,
+}
+
+
+def shadow_content() -> str:
+    """The /etc/shadow database in name:hash form."""
+    return (
+        f"root:{SHADOW_HASHES['root']}:17000:0:99999:7:::\n"
+        f"user:{SHADOW_HASHES['user']}:17000:0:99999:7:::\n"
+        f"other:{SHADOW_HASHES['other']}:17000:0:99999:7:::\n"
+    )
+
+
+def passwd_content() -> str:
+    """The world-readable /etc/passwd database."""
+    return (
+        "root:x:0:0:root:/root:/bin/sh\n"
+        "etc:x:998:998:etc files owner:/nonexistent:/usr/sbin/nologin\n"
+        "user:x:1000:1000:first user:/home/user:/bin/sh\n"
+        "other:x:1001:1001:second user:/home/other:/bin/sh\n"
+    )
+
+
+def build_kernel(refactored_ownership: bool = False) -> Kernel:
+    """A fresh machine with the evaluation's file population.
+
+    With ``refactored_ownership`` the shadow database, lock directory and
+    sulog are owned by the special ``etc`` user instead of root, exactly
+    as the paper's refactoring prescribes (§VII-D1: "there is no reason
+    for root to own the shadow database").
+    """
+    kernel = Kernel()
+    fs = kernel.fs
+    etc_owner = UID_ETC if refactored_ownership else UID_ROOT
+
+    fs.mkdir("/etc", etc_owner, GID_ROOT, 0o755)
+    fs.create_file("/etc/passwd", UID_ROOT, GID_ROOT, 0o644, passwd_content())
+    fs.create_file(
+        "/etc/shadow",
+        etc_owner,
+        GID_SHADOW,
+        0o640,
+        shadow_content(),
+    )
+
+    fs.mkdir("/dev", UID_ROOT, GID_ROOT, 0o755)
+    fs.create_file("/dev/mem", UID_ROOT, GID_KMEM, 0o640, kind=CHAR_DEVICE)
+    fs.create_file("/dev/null", UID_ROOT, GID_ROOT, 0o666, kind=CHAR_DEVICE)
+
+    fs.mkdir("/var", UID_ROOT, GID_ROOT, 0o755)
+    fs.mkdir("/var/log", UID_ROOT, GID_ROOT, 0o755)
+    # The sulog su appends to; root-owned in stock installs, etc-owned in
+    # the refactored configuration (paper §VII-D2).
+    sulog_group = GID_ETC if refactored_ownership else GID_ROOT
+    fs.create_file("/var/log/sulog", etc_owner, sulog_group, 0o660)
+
+    fs.mkdir("/home", UID_ROOT, GID_ROOT, 0o755)
+    fs.mkdir("/home/user", UID_USER, GID_USER, 0o755)
+    fs.mkdir("/home/other", UID_OTHER, GID_OTHER, 0o700)
+    fs.create_file(
+        "/home/other/payload.bin",
+        UID_OTHER,
+        GID_OTHER,
+        0o600,
+        "X" * 1024,  # stands in for the paper's 1 MB scp payload
+    )
+
+    fs.mkdir("/srv", UID_ROOT, GID_ROOT, 0o755)
+    fs.mkdir("/srv/www", UID_ROOT, GID_ROOT, 0o755)
+    fs.create_file("/srv/www/index.html", UID_ROOT, GID_ROOT, 0o644, "Y" * 1024)
+
+    return kernel

@@ -1,0 +1,29 @@
+"""Signal numbers and default dispositions."""
+
+from __future__ import annotations
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGCHLD = 17
+SIGTSTP = 20
+
+#: Signals whose default action terminates the process.
+FATAL_BY_DEFAULT = frozenset(
+    {SIGHUP, SIGINT, SIGQUIT, SIGKILL, SIGUSR1, SIGSEGV, SIGUSR2, SIGPIPE, SIGALRM, SIGTERM}
+)
+
+#: Signals that cannot be caught or ignored.
+UNCATCHABLE = frozenset({SIGKILL})
+
+#: Constant a handler registration uses to ignore a signal.
+SIG_IGN = "SIG_IGN"
+#: Constant restoring the default disposition.
+SIG_DFL = "SIG_DFL"

@@ -1,0 +1,70 @@
+"""PrivC models of the paper's test programs (Table II) and refactors.
+
+Each module exposes a ``spec()`` returning the
+:class:`~repro.programs.common.ProgramSpec` for that program with the
+paper's §VII-B workload.  ``ALL_PROGRAMS`` covers Table III;
+``REFACTORED_PROGRAMS`` covers Table V.
+"""
+
+from repro.programs import (
+    passwd,
+    passwd_refactored,
+    ping,
+    sshd,
+    sshd_privsep,
+    su,
+    su_refactored,
+    thttpd,
+)
+from repro.programs.common import ProgramSpec, source_sloc
+
+
+def all_specs():
+    """The five Table III programs, in the paper's order."""
+    return [
+        passwd.spec(),
+        ping.spec(),
+        sshd.spec(),
+        su.spec(),
+        thttpd.spec(),
+    ]
+
+
+def refactored_specs():
+    """The two Table V refactored programs."""
+    return [passwd_refactored.spec(), su_refactored.spec()]
+
+
+PROGRAM_MODULES = {
+    "passwd": passwd,
+    "ping": ping,
+    "sshd": sshd,
+    "sshdPrivsep": sshd_privsep,
+    "su": su,
+    "thttpd": thttpd,
+    "passwdRef": passwd_refactored,
+    "suRef": su_refactored,
+}
+
+
+def spec_by_name(name: str) -> ProgramSpec:
+    """Look up any program spec (original or refactored) by name."""
+    try:
+        return PROGRAM_MODULES[name].spec()
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; choose from {sorted(PROGRAM_MODULES)}"
+        ) from None
+
+
+__all__ = [
+    "ALL_PROGRAM_NAMES",
+    "PROGRAM_MODULES",
+    "ProgramSpec",
+    "all_specs",
+    "refactored_specs",
+    "source_sloc",
+    "spec_by_name",
+]
+
+ALL_PROGRAM_NAMES = tuple(PROGRAM_MODULES)

@@ -1,0 +1,218 @@
+"""The refactored passwd (paper §VII-D1, Table V).
+
+Two changes, following the paper's refactoring lessons (§VII-E):
+
+1. **Change credentials early** — as soon as the program knows who
+   invoked it, it uses ``CAP_SETUID`` once to set its real and effective
+   uid to the owner of the shadow database and drops the capability;
+   ``CAP_SETGID`` likewise sets the effective gid to the ``shadow`` group
+   and is dropped.  No privilege survives into the expensive
+   authentication/hashing/update phases.
+2. **Create special users for special files** — the machine image
+   (``build_kernel(refactored_ownership=True)``) has ``/etc`` and
+   ``/etc/shadow`` owned by the special ``etc`` user (uid 998), so plain
+   DAC lets the re-credentialed passwd do everything that previously
+   needed ``CAP_DAC_OVERRIDE``/``CAP_CHOWN``/``CAP_FOWNER``.
+
+Expected shape (Table V): privileges permitted for only ≈4 % of
+execution; the remaining ≈96 % runs with an empty permitted set and a
+non-root effective uid, invulnerable to all four modeled attacks.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+from repro.programs.passwd import _setup
+
+SOURCE = """
+// passwd (refactored): drop to the shadow-owner identity immediately.
+
+int read_login_defs() {
+    int fd = open("/etc/login.defs", "r");
+    if (fd < 0) { return 0; }
+    str defs = read(fd);
+    close(fd);
+    int options = 0;
+    int line;
+    for (line = 0; line < 12; line = line + 1) {
+        str entry = str_field(defs, line, "\\n");
+        int c = 0;
+        while (c < strlen(entry) + 4) {
+            options = (options * 17 + c) % 32749;
+            c = c + 1;
+        }
+    }
+    return options;
+}
+
+void ignore_signal(int signum) {
+    int noop = signum;
+}
+
+void become_shadow_owner() {
+    // Refactoring 1: one early setresuid to the shadow database owner.
+    // Real and effective become `etc`; the saved uid keeps the invoker
+    // so the kernel's signal rules still protect us.
+    int owner = stat_owner("/etc/shadow");
+    priv_raise(CAP_SETUID);
+    int rc = setresuid(owner, owner, KEEP);
+    if (rc < 0) {
+        priv_lower(CAP_SETUID);
+        print_str("passwd: cannot change identity");
+        exit(1);
+    }
+    int s;
+    for (s = 1; s < 4; s = s + 1) {
+        signal(s, &ignore_signal);
+    }
+    priv_lower(CAP_SETUID);
+}
+
+void join_shadow_group() {
+    // The shadow group covers the group-readable databases.
+    int group = stat_group("/etc/shadow");
+    priv_raise(CAP_SETGID);
+    int rc = setegid(group);
+    if (rc < 0) {
+        priv_lower(CAP_SETGID);
+        print_str("passwd: cannot join shadow group");
+        exit(1);
+    }
+    int g;
+    for (g = 0; g < 4; g = g + 1) {
+        rc = (rc * 5 + g) % 97;
+    }
+    priv_lower(CAP_SETGID);
+}
+
+int verify_old_password(str stored, str typed) {
+    str computed = crypt(typed);
+    int n = strlen(stored);
+    int m = strlen(computed);
+    int diff = 0;
+    int i;
+    for (i = 0; i < n + m; i = i + 1) {
+        diff = (diff * 2 + i) % 97;
+    }
+    return streq(stored, computed);
+}
+
+str strengthen_password(str newpw) {
+    int rounds = 210;
+    int state = strlen(newpw);
+    int r;
+    for (r = 0; r < rounds; r = r + 1) {
+        int mix = 0;
+        while (mix < 12) {
+            state = (state * 33 + mix + r) % 1048573;
+            mix = mix + 1;
+        }
+    }
+    return crypt(newpw);
+}
+
+int check_stale_lock(int lockpid) {
+    if (lockpid > 0) {
+        int alive = kill(lockpid, 0);
+        if (alive < 0) { return 0; }
+        return 1;
+    }
+    return 0;
+}
+
+int update_shadow_database(str user, str newhash) {
+    // Entirely unprivileged: /etc and /etc/shadow belong to our
+    // effective user, so plain DAC suffices (refactoring 2).
+    int lock = open("/etc/.pwd.lock", "wcr", 0o600);
+    if (lock < 0) { return -1; }
+    int stale = check_stale_lock(0);
+
+    int mode = stat_mode("/etc/shadow");
+    int fd = open("/etc/shadow", "r");
+    if (fd < 0) { return -1; }
+    str content = read(fd);
+    close(fd);
+    str updated = shadow_replace_hash(content, user, newhash);
+
+    int nfd = open("/etc/nshadow", "wcr", 0o600);
+    if (nfd < 0) { return -1; }
+    int line = 0;
+    while (line < 8) {
+        str entry = str_field(updated, line, "\\n");
+        if (strlen(entry) > 0) {
+            int field;
+            for (field = 0; field < 9; field = field + 1) {
+                str value = str_field(entry, field, ":");
+                int check = 0;
+                int c = 0;
+                while (c < (strlen(value) + 14) * 3) {
+                    check = (check * 31 + c) % 65521;
+                    c = c + 1;
+                }
+            }
+            write(nfd, strcat(entry, "\\n"));
+        }
+        line = line + 1;
+    }
+    close(nfd);
+
+    chmod("/etc/nshadow", mode);
+    rename("/etc/nshadow", "/etc/shadow");
+    unlink("/etc/.pwd.lock");
+    return 0;
+}
+
+void main() {
+    int me = getuid();
+    str user = getpwuid_name(me);
+    if (strlen(user) == 0) {
+        print_str("passwd: unknown user");
+        exit(1);
+    }
+    print_str(strcat("Changing password for ", user));
+    int policy = read_login_defs();
+
+    // All privilege use happens here, within the first few percent.
+    become_shadow_owner();
+    join_shadow_group();
+
+    // Unprivileged from here to exit.
+    str stored = getspnam(user);
+    if (strlen(stored) == 0) {
+        print_str("passwd: cannot read shadow entry");
+        exit(1);
+    }
+    str oldpw = getpass("Current password: ");
+    if (verify_old_password(stored, oldpw) == 0) {
+        print_str("passwd: authentication failure");
+        exit(1);
+    }
+    str new1 = getpass("New password: ");
+    str new2 = getpass("Retype new password: ");
+    if (streq(new1, new2) == 0) {
+        print_str("passwd: passwords do not match");
+        exit(1);
+    }
+    str newhash = strengthen_password(new1);
+    if (update_shadow_database(user, newhash) < 0) {
+        print_str("passwd: update failed");
+        exit(1);
+    }
+    print_str("passwd: password updated successfully");
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """The refactored passwd on the refactored machine image."""
+    return ProgramSpec(
+        name="passwdRef",
+        description="Refactored passwd: credentials changed early, etc user owns /etc",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapSetuid", "CapSetgid"),
+        stdin=("userpw", "newsecret", "newsecret"),
+        refactored_fs=True,
+        setup=_setup,
+    )

@@ -1,0 +1,110 @@
+"""The ping model (iputils s20121221 in the paper, Table II).
+
+ping is the paper's best-behaved program: it needs ``CAP_NET_RAW`` once,
+to create the raw ICMP socket at startup, and ``CAP_NET_ADMIN`` only if
+``-d``/``-m`` ask for ``SO_DEBUG``/``SO_MARK`` — both in setup functions
+executed before the send/receive loop, so every privilege can be dropped
+very early (§VII-C).  Expected phase shape (paper Table III): a tiny
+phase with both capabilities, a tiny phase with ``CAP_NET_ADMIN`` only,
+then ≈97 % of execution with an empty permitted set.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+SOURCE = """
+// ping: send ICMP echo requests, count replies.
+
+int create_icmp_socket() {
+    // Raw sockets need CAP_NET_RAW; done once, first thing.
+    priv_raise(CAP_NET_RAW);
+    int fd = socket_raw();
+    priv_lower(CAP_NET_RAW);
+    return fd;
+}
+
+void setup_socket_options(int fd, int debug, int mark) {
+    // -d and -m map to SO_DEBUG / SO_MARK, which need CAP_NET_ADMIN.
+    priv_raise(CAP_NET_ADMIN);
+    if (debug == 1) { setsockopt(fd, "debug"); }
+    if (mark == 1) { setsockopt(fd, "mark"); }
+    priv_lower(CAP_NET_ADMIN);
+}
+
+int icmp_checksum(int seq) {
+    // Fold the sequence number through the 16-bit ones-complement sum.
+    int sum = seq;
+    int round = 0;
+    while (round < 24) {
+        sum = (sum * 31 + round) % 65535;
+        round = round + 1;
+    }
+    return sum;
+}
+
+void main() {
+    int count = 4;
+    int debug = 0;
+    int mark = 0;
+    str target = "";
+    int n = argc();
+    int i = 0;
+    while (i < n) {
+        str a = arg_str(i);
+        if (streq(a, "-c") == 1) {
+            i = i + 1;
+            count = str_to_int(arg_str(i));
+        } else if (streq(a, "-d") == 1) {
+            debug = 1;
+        } else if (streq(a, "-m") == 1) {
+            mark = 1;
+        } else {
+            target = a;
+        }
+        i = i + 1;
+    }
+
+    int fd = create_icmp_socket();
+    if (fd < 0) {
+        print_str("ping: raw socket failed");
+        exit(2);
+    }
+    setup_socket_options(fd, debug, mark);
+    connect(fd, 0);
+
+    // All privileges are dead from here on.
+    int sent = 0;
+    int received = 0;
+    int seq;
+    for (seq = 0; seq < count; seq = seq + 1) {
+        int ck = icmp_checksum(seq);
+        net_send(fd, strcat("icmp-echo:", int_to_str(ck)));
+        sent = sent + 1;
+        str reply = net_recv(fd);
+        if (strlen(reply) > 0) {
+            received = received + 1;
+        }
+        // inter-packet interval
+        int wait = 0;
+        while (wait < 30) { wait = wait + 1; }
+    }
+    close(fd);
+    print_str(strcat(int_to_str(sent), " packets transmitted"));
+    print_str(strcat(int_to_str(received), " received"));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """ping -c 10 localhost, with every echo answered (paper §VII-B)."""
+    return ProgramSpec(
+        name="ping",
+        description="Test reachability of remote hosts",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapNetRaw", "CapNetAdmin"),
+        argv=("-c", "10", "localhost"),
+        env={"incoming": [f"icmp-reply:{i}" for i in range(10)]},
+    )

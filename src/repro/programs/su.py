@@ -1,0 +1,193 @@
+"""The su model (shadow-utils 4.1.5.1 in the paper, Table II).
+
+su switches to another user after password authentication.  Its
+privilege story (§VII-C):
+
+* ``CAP_DAC_READ_SEARCH`` — ``getspnam()`` on the *target* account; su
+  re-prompts on failure, so the capability stays live through the whole
+  authentication retry loop — 82 % of execution in the paper;
+* ``CAP_SETGID`` — would switch the effective gid to the sulog group if
+  the system is configured with a sulog (Ubuntu is not, so the use is
+  statically present but dynamically skipped), and later sets the
+  supplementary list and gid of the target user;
+* ``CAP_SETUID`` — becomes the target user just before running the
+  command; both id switches happen *very late*, which is why su stays
+  vulnerable to attacks 1/2/4 for ≈88 % of its execution.
+
+Workload (§VII-B): ``su other -c ls`` — switch to the other regular user
+and run ``ls``.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+SOURCE = """
+// su: run a command as another user after authenticating.
+
+int child_pid;
+
+void forward_sigterm(int signum) {
+    // The parent forwards termination to the command it spawned.
+    if (child_pid > 0) {
+        kill(child_pid, signum);
+    }
+}
+
+int verify_password(str stored, str typed) {
+    // crypt() dominated: key-stretching plus constant-time compare.
+    int rounds = 430;
+    int state = strlen(typed) + 3;
+    int r;
+    for (r = 0; r < rounds; r = r + 1) {
+        int mix = 0;
+        while (mix < 12) {
+            state = (state * 29 + mix + r) % 1048573;
+            mix = mix + 1;
+        }
+    }
+    str computed = crypt(typed);
+    return streq(stored, computed);
+}
+
+int authenticate(str account) {
+    // Up to three attempts; the shadow read needs CAP_DAC_READ_SEARCH
+    // and stays live across the whole retry loop.
+    int attempts = 0;
+    while (attempts < 3) {
+        priv_raise(CAP_DAC_READ_SEARCH);
+        str stored = getspnam(account);
+        priv_lower(CAP_DAC_READ_SEARCH);
+        if (strlen(stored) == 0) {
+            return 0;
+        }
+        str typed = getpass("Password: ");
+        if (verify_password(stored, typed) == 1) {
+            return 1;
+        }
+        print_str("su: Authentication failure");
+        attempts = attempts + 1;
+    }
+    return 0;
+}
+
+int build_environment(str account, int tuid, int tgid) {
+    // Construct the target user's environment (HOME, SHELL, PATH, ...).
+    int vars = 0;
+    int v;
+    for (v = 0; v < 14; v = v + 1) {
+        str name = str_field("HOME:SHELL:PATH:TERM:USER:LOGNAME:MAIL:LANG:LC_ALL:EDITOR:PAGER:TMPDIR:PWD:DISPLAY", v, ":");
+        str value = strcat(name, strcat("=", account));
+        int c = 0;
+        while (c < strlen(value) + 8) {
+            vars = (vars * 13 + c) % 32749;
+            c = c + 1;
+        }
+    }
+    return vars;
+}
+
+void log_to_sulog(int enabled, str account) {
+    // Only systems configured with a sulog take this path (Ubuntu is
+    // not); the capability use is still visible to the static analysis.
+    if (enabled == 1) {
+        priv_raise(CAP_SETGID);
+        setegid(0);
+        int fd = open("/var/log/sulog", "w");
+        if (fd >= 0) {
+            write(fd, strcat("SU ", account));
+            close(fd);
+        }
+        setegid(getgid());
+        priv_lower(CAP_SETGID);
+    }
+}
+
+void switch_groups(int tgid) {
+    priv_raise(CAP_SETGID);
+    setgroups1(tgid);
+    setgid(tgid);
+    // Verify the supplementary list took effect (initgroups re-read).
+    int check = 0;
+    int g;
+    for (g = 0; g < 12; g = g + 1) {
+        check = (check * 7 + g) % 509;
+    }
+    priv_lower(CAP_SETGID);
+}
+
+void switch_user(int tuid) {
+    priv_raise(CAP_SETUID);
+    setuid(tuid);
+    // Reset signal dispositions for the target user's session.
+    int s;
+    for (s = 1; s < 4; s = s + 1) {
+        signal(s, &forward_sigterm);
+    }
+    priv_lower(CAP_SETUID);
+}
+
+int run_command(str command) {
+    // The child command (ls): walk the directory and print entries.
+    child_pid = getpid();
+    int entries = 0;
+    int e;
+    for (e = 0; e < 26; e = e + 1) {
+        int c = 0;
+        while (c < 24) {
+            entries = (entries * 3 + c + e) % 8191;
+            c = c + 1;
+        }
+    }
+    print_str(command);
+    return 0;
+}
+
+void main() {
+    str account = arg_str(0);
+    str command = arg_str(1);
+    if (strlen(account) == 0) {
+        account = "root";
+    }
+    int tuid = getpwnam_uid(account);
+    if (tuid < 0) {
+        print_str("su: user does not exist");
+        exit(1);
+    }
+    int tgid = getpw_gid(tuid);
+    signal(SIGTERM, &forward_sigterm);
+
+    if (authenticate(account) == 0) {
+        print_str("su: Sorry.");
+        exit(1);
+    }
+
+    int env = build_environment(account, tuid, tgid);
+    log_to_sulog(0, account);
+
+    // The id switches happen only now, at the very end of execution.
+    switch_groups(tgid);
+    int shellargs = 0;
+    int a;
+    for (a = 0; a < 9; a = a + 1) {
+        shellargs = (shellargs * 5 + a) % 1021;
+    }
+    switch_user(tuid);
+
+    run_command(command);
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """``su other -c ls`` with the correct password (paper §VII-B)."""
+    return ProgramSpec(
+        name="su",
+        description="Utility to log in as another user",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapDacReadSearch", "CapSetgid", "CapSetuid"),
+        argv=("other", "ls"),
+        stdin=("otherpw",),
+    )

@@ -1,0 +1,203 @@
+"""The refactored su (paper §VII-D2, Table V).
+
+The key move: as soon as su knows the target user, it uses its two
+capabilities once to plant a *second identity* in the saved ids —
+``setresuid(KEEP, shadow_owner, target_uid)`` and
+``setresgid(KEEP, etc_gid, target_gid)`` — then drops both capabilities.
+From there on:
+
+* the shadow read needs no privilege (the effective uid owns the
+  database, eliminating ``CAP_DAC_READ_SEARCH``);
+* the final switch to the target user is the *unprivileged*
+  ``setres[ug]id`` to the saved ids (credentials(7) allows permuting
+  current ids freely).
+
+Expected shape (Table V): capabilities permitted for ≈1 % of execution;
+the authentication (≈87 %) and the target-user command (≈12 %) run with
+an empty permitted set.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+SOURCE = """
+// su (refactored): plant the target identity early, switch without privilege.
+
+int child_pid;
+
+void forward_sigterm(int signum) {
+    if (child_pid > 0) {
+        kill(child_pid, signum);
+    }
+}
+
+void plant_identities(int tuid, int tgid) {
+    // Refactoring: euid = shadow owner (for getspnam), suid = target
+    // (for the later unprivileged switch); same for the gids, with the
+    // sulog owner in the effective slot.
+    int shadow_owner = stat_owner("/etc/shadow");
+    int sulog_group = stat_group("/var/log/sulog");
+    priv_raise(CAP_SETUID);
+    int rc = setresuid(KEEP, shadow_owner, tuid);
+    if (rc < 0) {
+        priv_lower(CAP_SETUID);
+        print_str("su: cannot plant identity");
+        exit(1);
+    }
+    priv_lower(CAP_SETUID);
+    int pause = 0;
+    while (pause < 3) { pause = pause + 1; }
+    priv_raise(CAP_SETGID);
+    setgroups1(tgid);
+    int grc = setresgid(KEEP, sulog_group, tgid);
+    if (grc < 0) {
+        priv_lower(CAP_SETGID);
+        print_str("su: cannot plant group identity");
+        exit(1);
+    }
+    // initgroups sanity pass
+    int check = 0;
+    int g;
+    for (g = 0; g < 10; g = g + 1) {
+        check = (check * 7 + g) % 509;
+    }
+    priv_lower(CAP_SETGID);
+}
+
+int verify_password(str stored, str typed) {
+    int rounds = 430;
+    int state = strlen(typed) + 3;
+    int r;
+    for (r = 0; r < rounds; r = r + 1) {
+        int mix = 0;
+        while (mix < 12) {
+            state = (state * 29 + mix + r) % 1048573;
+            mix = mix + 1;
+        }
+    }
+    str computed = crypt(typed);
+    return streq(stored, computed);
+}
+
+int authenticate(str account) {
+    // Unprivileged: the effective uid owns /etc/shadow.
+    int attempts = 0;
+    while (attempts < 3) {
+        str stored = getspnam(account);
+        if (strlen(stored) == 0) {
+            return 0;
+        }
+        str typed = getpass("Password: ");
+        if (verify_password(stored, typed) == 1) {
+            return 1;
+        }
+        print_str("su: Authentication failure");
+        attempts = attempts + 1;
+    }
+    return 0;
+}
+
+int build_environment(str account, int tuid, int tgid) {
+    int vars = 0;
+    int v;
+    for (v = 0; v < 14; v = v + 1) {
+        str name = str_field("HOME:SHELL:PATH:TERM:USER:LOGNAME:MAIL:LANG:LC_ALL:EDITOR:PAGER:TMPDIR:PWD:DISPLAY", v, ":");
+        str value = strcat(name, strcat("=", account));
+        int c = 0;
+        while (c < strlen(value) + 8) {
+            vars = (vars * 13 + c) % 32749;
+            c = c + 1;
+        }
+    }
+    return vars;
+}
+
+void log_to_sulog(str account) {
+    // Unprivileged: the effective uid owns the sulog now.
+    int fd = open("/var/log/sulog", "w");
+    if (fd >= 0) {
+        write(fd, strcat("SU ", account));
+        close(fd);
+    }
+}
+
+void become_target_unprivileged(int tuid, int tgid) {
+    // The unprivileged switch: every id we assign is already one of the
+    // current real/effective/saved ids, so no capability is consulted.
+    int grc = setresgid(tgid, tgid, tgid);
+    if (grc < 0) {
+        print_str("su: group switch failed");
+        exit(1);
+    }
+    int s;
+    for (s = 1; s < 4; s = s + 1) {
+        signal(s, &forward_sigterm);
+    }
+    int urc = setresuid(tuid, tuid, tuid);
+    if (urc < 0) {
+        print_str("su: user switch failed");
+        exit(1);
+    }
+}
+
+int run_command(str command) {
+    child_pid = getpid();
+    int entries = 0;
+    int e;
+    for (e = 0; e < 26; e = e + 1) {
+        int c = 0;
+        while (c < 24) {
+            entries = (entries * 3 + c + e) % 8191;
+            c = c + 1;
+        }
+    }
+    print_str(command);
+    return 0;
+}
+
+void main() {
+    str account = arg_str(0);
+    str command = arg_str(1);
+    if (strlen(account) == 0) {
+        account = "root";
+    }
+    int tuid = getpwnam_uid(account);
+    if (tuid < 0) {
+        print_str("su: user does not exist");
+        exit(1);
+    }
+    int tgid = getpw_gid(tuid);
+    signal(SIGTERM, &forward_sigterm);
+
+    // All capability use happens here, in the first ~1 %.
+    plant_identities(tuid, tgid);
+
+    // Unprivileged: authenticate (~87 %), log, build the environment.
+    if (authenticate(account) == 0) {
+        print_str("su: Sorry.");
+        exit(1);
+    }
+    log_to_sulog(account);
+    int env = build_environment(account, tuid, tgid);
+
+    // Unprivileged identity switch, then the command (~12 %).
+    become_target_unprivileged(tuid, tgid);
+    run_command(command);
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """The refactored su on the refactored machine image."""
+    return ProgramSpec(
+        name="suRef",
+        description="Refactored su: saved-id switching, no privileges after startup",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapSetuid", "CapSetgid"),
+        argv=("other", "ls"),
+        stdin=("otherpw",),
+        refactored_fs=True,
+    )

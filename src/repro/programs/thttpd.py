@@ -1,0 +1,192 @@
+"""The thttpd model (v2.26 in the paper, Table II).
+
+thttpd is the paper's other well-behaved program: all privileged work —
+chowning the log, (conditionally) switching uids, chrooting to the
+document root, binding port 80, switching gids — happens during startup,
+after which the server drops everything and spends ≈90 % of execution in
+the request loop with an empty permitted set (§VII-C).
+
+Expected phase shape (Table III): full set ≈0 %, then
+{CapSetgid, CapNetBindService, CapSysChroot} ≈10 % (config parsing),
+then two tiny phases as chroot and bind retire their capabilities, then
+{CapSetgid} briefly, then empty for ≈90 %.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+SOURCE = """
+// thttpd: small single-process web server.
+
+int cgi_pid;
+
+void take_over_logfile(int me, int mygid) {
+    // The log is created by the init scripts as root; re-own it so the
+    // server can append to it after dropping privileges.
+    priv_raise(CAP_CHOWN);
+    chown("/var/log/thttpd.log", me, mygid);
+    priv_lower(CAP_CHOWN);
+}
+
+void maybe_switch_user(int switch_user, int target_uid) {
+    // Only when started as root with -u does thttpd change uids.
+    if (switch_user == 1) {
+        priv_raise(CAP_SETUID);
+        setuid(target_uid);
+        priv_lower(CAP_SETUID);
+    }
+}
+
+int parse_config() {
+    // Read and tokenise /etc/thttpd.conf.
+    int fd = open("/etc/thttpd.conf", "r");
+    if (fd < 0) { return -1; }
+    str conf = read(fd);
+    close(fd);
+    int options = 0;
+    int line;
+    for (line = 0; line < 40; line = line + 1) {
+        str entry = str_field(conf, line, "\\n");
+        if (strlen(entry) > 0) {
+            str key = str_field(entry, 0, "=");
+            str value = str_field(entry, 1, "=");
+            int h = 0;
+            int k = 0;
+            while (k < strlen(key) + strlen(value)) {
+                h = (h * 33 + k) % 8191;
+                k = k + 1;
+            }
+            options = options + 1;
+        }
+    }
+    return options;
+}
+
+void enter_chroot_jail() {
+    priv_raise(CAP_SYS_CHROOT);
+    chroot("/srv/www");
+    priv_lower(CAP_SYS_CHROOT);
+}
+
+int bind_server_port(int port) {
+    priv_raise(CAP_NET_BIND_SERVICE);
+    int fd = socket();
+    int rc = bind(fd, port);
+    priv_lower(CAP_NET_BIND_SERVICE);
+    if (rc < 0) { return -1; }
+    listen(fd);
+    return fd;
+}
+
+void drop_group(int gid) {
+    priv_raise(CAP_SETGID);
+    setgroups0();
+    setgid(gid);
+    priv_lower(CAP_SETGID);
+}
+
+void reap_cgi() {
+    // CGI children that outlive their timeout get killed (thttpd's
+    // cgi_interpose timer path).
+    if (cgi_pid > 0) {
+        kill(cgi_pid, SIGKILL);
+        cgi_pid = 0;
+    }
+}
+
+int serve_file(int conn, str path) {
+    int fd = open(path, "r");
+    if (fd < 0) {
+        net_send(conn, "HTTP/1.0 404 Not Found");
+        return 0;
+    }
+    str body = read(fd);
+    close(fd);
+    net_send(conn, "HTTP/1.0 200 OK");
+    // Send the body in 16 KB chunks, checksumming each (the ≈90 % loop).
+    int chunks = (strlen(body) / 16) + 1;
+    int sent = 0;
+    int i;
+    for (i = 0; i < chunks; i = i + 1) {
+        int sum = 0;
+        int b = 0;
+        while (b < 72) {
+            sum = (sum + i * 7 + b) % 65521;
+            b = b + 1;
+        }
+        net_send(conn, strcat("chunk:", int_to_str(sum)));
+        sent = sent + 16;
+    }
+    return sent;
+}
+
+void main() {
+    int me = getuid();
+    int mygid = getgid();
+    cgi_pid = 0;
+
+    take_over_logfile(me, mygid);
+    maybe_switch_user(0, me);
+
+    int options = parse_config();
+    if (options < 0) {
+        print_str("thttpd: no config");
+        exit(2);
+    }
+
+    enter_chroot_jail();
+    int server = bind_server_port(80);
+    if (server < 0) {
+        print_str("thttpd: bind failed");
+        exit(2);
+    }
+    drop_group(mygid);
+
+    // Everything privileged is over; serve requests.
+    int served = 0;
+    int conn = net_accept(server);
+    while (conn >= 0) {
+        str request = net_recv(conn);
+        str path = str_field(request, 1, " ");
+        int n = serve_file(conn, strcat("/srv/www", path));
+        served = served + 1;
+        reap_cgi();
+        int log = open("/var/log/thttpd.log", "w");
+        if (log >= 0) {
+            write(log, strcat("GET ", path));
+            close(log);
+        }
+        conn = net_accept(server);
+    }
+    print_str(strcat(int_to_str(served), " requests served"));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """Files the init scripts would have created before thttpd starts."""
+    kernel.fs.create_file("/var/log/thttpd.log", UID_ROOT, UID_ROOT, 0o644)
+    config = "\n".join(
+        ["port=80", "dir=/srv/www", "user=www", "logfile=/var/log/thttpd.log",
+         "pidfile=/var/run/thttpd.pid", "charset=utf-8"]
+        + [f"option{i}=value{i}" for i in range(24)]
+    )
+    kernel.fs.create_file("/etc/thttpd.conf", UID_ROOT, UID_ROOT, 0o644, config)
+
+
+def spec() -> ProgramSpec:
+    """ApacheBench fetching one 1 MB file, concurrency 1 (paper §VII-B)."""
+    return ProgramSpec(
+        name="thttpd",
+        description="Small single-process web server",
+        source=SOURCE,
+        permitted=CapabilitySet.of(
+            "CapChown", "CapSetgid", "CapSetuid", "CapNetBindService", "CapSysChroot"
+        ),
+        env={"connections": [1], "incoming": ["GET /index.html HTTP/1.0"]},
+        setup=_setup,
+    )

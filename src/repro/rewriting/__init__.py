@@ -1,0 +1,80 @@
+"""A bounded term/object rewriting engine — our substitute for Maude 2.7.
+
+The paper implements ROSA in Maude with the Full-Maude object extension
+(§VI).  This package reimplements the fragment of Maude that ROSA uses:
+
+* :mod:`repro.rewriting.terms` — first-order terms, variables, matching;
+* :mod:`repro.rewriting.rules` — equations (normalisation) and rules,
+  bundled into :class:`RewriteSystem` modules;
+* :mod:`repro.rewriting.objects` — Object Maude configurations: multisets
+  of objects and messages with canonical (associative-commutative) keys;
+* :mod:`repro.rewriting.search` — the bounded breadth-first ``search``
+  command with state/depth/time budgets and a tri-state outcome.
+"""
+
+from repro.rewriting.terms import (
+    Atom,
+    Compound,
+    Substitution,
+    Term,
+    Var,
+    match,
+    op,
+    replace_at,
+    subterms,
+    term,
+)
+from repro.rewriting.rules import (
+    Equation,
+    NormalizationError,
+    RewriteSystem,
+    TermRule,
+    normalize,
+    rewrite_once,
+)
+from repro.rewriting.objects import (
+    Configuration,
+    MessageRule,
+    Msg,
+    Obj,
+    ObjectRule,
+    ObjectSystem,
+)
+from repro.rewriting.search import (
+    SearchBudget,
+    SearchOutcome,
+    SearchResult,
+    breadth_first_search,
+)
+from repro.rewriting.termsearch import matched_substitution, search_terms
+
+__all__ = [
+    "Atom",
+    "Compound",
+    "Configuration",
+    "Equation",
+    "MessageRule",
+    "Msg",
+    "NormalizationError",
+    "Obj",
+    "ObjectRule",
+    "ObjectSystem",
+    "RewriteSystem",
+    "SearchBudget",
+    "SearchOutcome",
+    "SearchResult",
+    "Substitution",
+    "Term",
+    "TermRule",
+    "Var",
+    "breadth_first_search",
+    "match",
+    "matched_substitution",
+    "search_terms",
+    "normalize",
+    "op",
+    "replace_at",
+    "rewrite_once",
+    "subterms",
+    "term",
+]

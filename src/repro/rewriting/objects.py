@@ -1,0 +1,277 @@
+"""Object/message configurations — the Object Maude sugar.
+
+Maude's object extension models a concurrent system as an associative,
+commutative *configuration*: a multiset of objects
+(``< id : Class | attr : value, ... >``) and messages waiting to be
+consumed.  Rewrite rules match an object together with a message and
+produce updated objects (and possibly new messages).
+
+We implement configurations as immutable multisets with canonical hash
+keys, so the breadth-first search in :mod:`repro.rewriting.search`
+identifies configurations up to reordering — which is exactly the
+associative-commutative equality Maude provides.
+
+Attribute values are plain hashable Python values (ints, strings,
+frozensets, tuples); this keeps ROSA's rules readable while preserving
+the term-rewriting discipline: every rule consumes a message and produces
+a new configuration, never mutating in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
+
+
+def _canonical_value(value) -> Hashable:
+    """A deterministic, hashable key for an attribute value."""
+    if isinstance(value, frozenset):
+        return ("frozenset",) + tuple(sorted(value, key=lambda item: (str(type(item)), repr(item))))
+    if isinstance(value, tuple):
+        return ("tuple",) + tuple(_canonical_value(item) for item in value)
+    return value
+
+
+class Obj:
+    """One object in a configuration: ``< oid : cls | attrs >``.
+
+    Objects are immutable; :meth:`update` returns a modified copy.  The
+    ``oid`` is unique within a configuration (the rewriting layer does not
+    enforce this; :class:`Configuration.update_object` does).
+    """
+
+    __slots__ = ("oid", "cls", "attrs", "_key")
+
+    def __init__(self, oid: int, cls: str, **attrs) -> None:
+        self.oid = oid
+        self.cls = cls
+        self.attrs = dict(attrs)
+        self._key = (
+            "obj",
+            cls,
+            oid,
+            tuple(sorted((name, _canonical_value(value)) for name, value in attrs.items())),
+        )
+
+    def __getitem__(self, name: str):
+        return self.attrs[name]
+
+    def get(self, name: str, default=None):
+        return self.attrs.get(name, default)
+
+    def update(self, **changes) -> "Obj":
+        """Return a copy with the given attributes replaced."""
+        attrs = dict(self.attrs)
+        attrs.update(changes)
+        return Obj(self.oid, self.cls, **attrs)
+
+    @property
+    def key(self) -> Hashable:
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Obj) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {value!r}" for name, value in sorted(self.attrs.items()))
+        return f"< {self.oid} : {self.cls} | {inner} >"
+
+
+class Msg:
+    """One pending message, e.g. a system call the process may execute.
+
+    ``args`` is a tuple of hashable values.  ROSA encodes wildcards as the
+    sentinel ``-1`` in message arguments, mirroring the paper's Figure 2.
+    """
+
+    __slots__ = ("name", "args", "_key")
+
+    def __init__(self, name: str, *args) -> None:
+        self.name = name
+        self.args = tuple(args)
+        self._key = ("msg", name, tuple(_canonical_value(arg) for arg in self.args))
+
+    @property
+    def key(self) -> Hashable:
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Msg) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(arg) for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+class Configuration:
+    """An immutable multiset of objects and messages.
+
+    Multiset semantics matter: ROSA lets the user say an attacker may
+    execute a given system call N times by including the message N times
+    (§V-B), so duplicate messages must be preserved and consumed one at a
+    time.
+    """
+
+    __slots__ = ("_counts", "_key")
+
+    def __init__(self, elements: Iterable = ()) -> None:
+        counts: Dict = {}
+        for element in elements:
+            if not isinstance(element, (Obj, Msg)):
+                raise TypeError(f"configuration element must be Obj or Msg: {element!r}")
+            counts[element] = counts.get(element, 0) + 1
+        self._counts = counts
+        self._key = tuple(sorted(((elem.key, count) for elem, count in counts.items())))
+
+    # -- canonical identity --------------------------------------------------
+
+    @property
+    def key(self) -> Hashable:
+        """Canonical hashable key: equal keys mean AC-equal configurations."""
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Configuration) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def count(self, element) -> int:
+        return self._counts.get(element, 0)
+
+    def objects(self, cls: Optional[str] = None) -> Iterator[Obj]:
+        """All objects, optionally filtered by class name."""
+        for element in self._counts:
+            if isinstance(element, Obj) and (cls is None or element.cls == cls):
+                yield element
+
+    def messages(self, name: Optional[str] = None) -> Iterator[Msg]:
+        """All distinct pending messages, optionally filtered by name."""
+        for element in self._counts:
+            if isinstance(element, Msg) and (name is None or element.name == name):
+                yield element
+
+    def find_object(self, oid: int) -> Optional[Obj]:
+        """The object with identifier ``oid``, or None."""
+        for obj in self.objects():
+            if obj.oid == oid:
+                return obj
+        return None
+
+    # -- functional updates ------------------------------------------------------
+
+    def add(self, *elements) -> "Configuration":
+        """Return a configuration with ``elements`` added."""
+        return Configuration(list(self) + list(elements))
+
+    def remove(self, element) -> "Configuration":
+        """Return a configuration with one occurrence of ``element`` removed.
+
+        :raises KeyError: if the element is not present.
+        """
+        if self._counts.get(element, 0) == 0:
+            raise KeyError(f"element not in configuration: {element!r}")
+        items = []
+        skipped = False
+        for existing in self:
+            if not skipped and existing == element:
+                skipped = True
+                continue
+            items.append(existing)
+        return Configuration(items)
+
+    def update_object(self, new_obj: Obj) -> "Configuration":
+        """Replace the object whose oid matches ``new_obj.oid``.
+
+        :raises KeyError: if no object with that oid exists.
+        """
+        old = self.find_object(new_obj.oid)
+        if old is None:
+            raise KeyError(f"no object with oid {new_obj.oid}")
+        if old == new_obj:
+            return self
+        return self.remove(old).add(new_obj)
+
+    def consume(self, message: Msg, *updates: Obj) -> "Configuration":
+        """Remove one occurrence of ``message`` and apply object updates.
+
+        This is the shape of almost every ROSA rule: a process consumes a
+        system-call message and one or more objects change state.
+        """
+        config = self.remove(message)
+        for obj in updates:
+            config = config.update_object(obj)
+        return config
+
+    def __repr__(self) -> str:
+        parts = sorted(repr(element) for element in self)
+        return "Configuration{\n  " + "\n  ".join(parts) + "\n}"
+
+
+class ObjectRule:
+    """One rewrite rule over configurations.
+
+    Subclasses (or instances built with :func:`object_rule`) implement
+    :meth:`rewrites`, enumerating every configuration reachable from
+    ``config`` by one application of this rule.  The search layer pairs
+    each result with :attr:`label` for witness paths.
+    """
+
+    label: str = "rule"
+
+    def rewrites(self, config: Configuration) -> Iterator[Configuration]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class MessageRule(ObjectRule):
+    """A rule triggered by consuming one message of a fixed name.
+
+    This captures the Object Maude idiom: a rule fires when an object can
+    consume a matching message.  Subclasses implement
+    :meth:`rewrites_for_message`.
+    """
+
+    message_name: str = ""
+
+    def rewrites(self, config: Configuration) -> Iterator[Configuration]:
+        for message in config.messages(self.message_name):
+            yield from self.rewrites_for_message(config, message)
+
+    def rewrites_for_message(
+        self, config: Configuration, message: Msg
+    ) -> Iterator[Configuration]:
+        raise NotImplementedError
+
+
+class ObjectSystem:
+    """A set of object rules, exposing the successor function for search."""
+
+    def __init__(self, name: str, rules: Iterable[ObjectRule]) -> None:
+        self.name = name
+        self.rules = tuple(rules)
+
+    def successors(self, config: Configuration) -> Iterator[Tuple[str, Configuration]]:
+        for rule in self.rules:
+            for result in rule.rewrites(config):
+                yield rule.label, result
+
+    def __repr__(self) -> str:
+        return f"ObjectSystem({self.name!r}, {len(self.rules)} rules)"

@@ -1,0 +1,157 @@
+"""Equations and rewrite rules over terms.
+
+Maude distinguishes *equations* (deterministic simplification; repeated
+application must reach a unique normal form) from *rules* (possibly
+non-deterministic transitions explored by ``search``).  We mirror that
+split:
+
+* :class:`Equation` — oriented left-to-right, applied to a fixpoint by
+  :func:`normalize`;
+* :class:`TermRule` — one transition of the modelled system, enumerated at
+  every position of a term by :func:`rewrite_once`.
+
+Both support an optional ``condition`` callable over the matched
+substitution, which models Maude's conditional rules (``crl ... if ...``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.rewriting.terms import (
+    Substitution,
+    Term,
+    match,
+    replace_at,
+    subterms,
+)
+
+Condition = Callable[[Substitution], bool]
+
+
+class _RewriteBase:
+    """Shared structure of equations and rules: lhs, rhs, condition."""
+
+    def __init__(
+        self,
+        label: str,
+        lhs: Term,
+        rhs: Term,
+        condition: Optional[Condition] = None,
+    ) -> None:
+        self.label = label
+        self.lhs = lhs
+        self.rhs = rhs
+        self.condition = condition
+        lhs_vars = {var.name for var in lhs.variables()}
+        rhs_vars = {var.name for var in rhs.variables()}
+        unbound = rhs_vars - lhs_vars
+        if unbound:
+            raise ValueError(
+                f"{label}: right-hand side uses unbound variables {sorted(unbound)}"
+            )
+
+    def try_apply_at_root(self, subject: Term) -> Optional[Term]:
+        """Apply at the root of ``subject``; None if the pattern or condition fails."""
+        subst = match(self.lhs, subject)
+        if subst is None:
+            return None
+        if self.condition is not None and not self.condition(subst):
+            return None
+        return self.rhs.substitute(subst)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label!r}: {self.lhs} => {self.rhs})"
+
+
+class Equation(_RewriteBase):
+    """A deterministic simplification, applied to a fixpoint."""
+
+
+class TermRule(_RewriteBase):
+    """A non-deterministic transition, explored during search."""
+
+
+class NormalizationError(RuntimeError):
+    """Raised when equational simplification fails to terminate.
+
+    Maude requires equation sets to be terminating and confluent; since we
+    cannot check that statically, :func:`normalize` enforces a step budget
+    and reports violations loudly instead of looping forever.
+    """
+
+
+def normalize(subject: Term, equations: Sequence[Equation], max_steps: int = 10_000) -> Term:
+    """Reduce ``subject`` with ``equations`` until no equation applies.
+
+    Equations are tried innermost-first at every position, in the order
+    given.  Raises :class:`NormalizationError` if ``max_steps`` rewrites do
+    not reach a normal form.
+    """
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        # Innermost-first: visit deepest subterms before their parents so
+        # that arguments are in normal form when the parent is simplified.
+        for path, sub in sorted(subterms(subject), key=lambda pair: -len(pair[0])):
+            for equation in equations:
+                result = equation.try_apply_at_root(sub)
+                if result is not None:
+                    subject = replace_at(subject, path, result)
+                    steps += 1
+                    if steps > max_steps:
+                        raise NormalizationError(
+                            f"no normal form within {max_steps} steps; "
+                            "equation set is likely non-terminating"
+                        )
+                    changed = True
+                    break
+            if changed:
+                break
+    return subject
+
+
+def rewrite_once(
+    subject: Term, rules: Sequence[TermRule]
+) -> Iterator[Tuple[str, Term]]:
+    """Enumerate every one-step rewrite of ``subject``.
+
+    Yields ``(rule_label, rewritten_term)`` for every rule applicable at
+    every position, in deterministic order (rule order, then pre-order
+    position).  Callers typically normalize each result with the system's
+    equations before exploring further.
+    """
+    for rule in rules:
+        for path, sub in subterms(subject):
+            result = rule.try_apply_at_root(sub)
+            if result is not None:
+                yield rule.label, replace_at(subject, path, result)
+
+
+class RewriteSystem:
+    """A bundle of equations and rules — the analogue of a Maude module."""
+
+    def __init__(
+        self,
+        name: str,
+        equations: Sequence[Equation] = (),
+        rules: Sequence[TermRule] = (),
+    ) -> None:
+        self.name = name
+        self.equations = tuple(equations)
+        self.rules = tuple(rules)
+
+    def normal_form(self, subject: Term) -> Term:
+        return normalize(subject, self.equations)
+
+    def successors(self, subject: Term) -> Iterator[Tuple[str, Term]]:
+        """One-step successors of ``subject``, each equationally normalized."""
+        for label, result in rewrite_once(subject, self.rules):
+            yield label, self.normal_form(result)
+
+    def __repr__(self) -> str:
+        return (
+            f"RewriteSystem({self.name!r}, {len(self.equations)} equations, "
+            f"{len(self.rules)} rules)"
+        )

@@ -1,0 +1,161 @@
+"""Bounded breadth-first state-space search — Maude's ``search`` command.
+
+Maude's ``search init =>* pattern such that cond`` explores the states
+reachable from ``init`` by rule rewriting, looking for one matching a
+pattern.  We generalise slightly: a *state space* is any initial state
+plus a successor function, and the goal is a predicate.  ROSA instantiates
+this with syscall-message configurations; the generic term
+:class:`~repro.rewriting.rules.RewriteSystem` instantiates it with terms.
+
+Bounded model checking needs explicit budgets.  The paper ran ROSA with a
+5-hour wall-clock limit and observed out-of-memory kills at 3 days (§VIII);
+:class:`SearchBudget` models both the time and the memory (state-count)
+limits, and :class:`SearchOutcome` distinguishes *proved unreachable*
+(space exhausted without a hit) from *undecided* (budget exhausted first)
+— the paper's ✗ versus ⊙.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from collections import deque
+from typing import Callable, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+State = TypeVar("State")
+
+
+class SearchOutcome(enum.Enum):
+    """The three possible verdicts of a bounded search."""
+
+    #: A goal state was found; the result carries a witness path.
+    FOUND = "found"
+    #: The reachable state space was exhausted without finding a goal.
+    EXHAUSTED = "exhausted"
+    #: A budget (states, depth or time) ran out before either of the above.
+    BUDGET_EXCEEDED = "budget-exceeded"
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchBudget:
+    """Limits on a bounded search.
+
+    ``max_states`` bounds memory (the visited set), ``max_depth`` bounds
+    the rewrite-path length (the *bound* of bounded model checking) and
+    ``max_seconds`` bounds wall-clock time.  ``None`` disables a limit.
+    """
+
+    max_states: Optional[int] = 200_000
+    max_depth: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def unlimited_depth(self) -> "SearchBudget":
+        return dataclasses.replace(self, max_depth=None)
+
+
+@dataclasses.dataclass
+class SearchResult(Generic[State]):
+    """The outcome of one search, with enough detail for reports and tests."""
+
+    outcome: SearchOutcome
+    #: The goal state, when ``outcome`` is FOUND.
+    state: Optional[State]
+    #: Rule labels along the witness path from the initial state.
+    path: List[str]
+    #: States removed from the frontier and expanded.
+    states_explored: int
+    #: Distinct states ever enqueued (size of the visited set).
+    states_seen: int
+    #: Wall-clock seconds the search took.
+    elapsed: float
+    #: With ``track_states``: the states along the witness path,
+    #: starting with the initial state and ending with ``state``
+    #: (length ``len(path) + 1``).  Empty otherwise.
+    path_states: List[State] = dataclasses.field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.outcome is SearchOutcome.FOUND
+
+    @property
+    def proved_unreachable(self) -> bool:
+        """True when the full space was searched and no goal exists."""
+        return self.outcome is SearchOutcome.EXHAUSTED
+
+
+def breadth_first_search(
+    initial: State,
+    successors: Callable[[State], Iterable[Tuple[str, State]]],
+    goal: Callable[[State], bool],
+    budget: SearchBudget = SearchBudget(),
+    canonical: Callable[[State], Hashable] = lambda state: state,
+    track_states: bool = False,
+) -> SearchResult[State]:
+    """Search breadth-first from ``initial`` for a state satisfying ``goal``.
+
+    ``successors`` yields ``(label, state)`` transitions; ``canonical``
+    maps a state to its hashable visited-set key (states with equal keys
+    are explored once — this is how associative-commutative configuration
+    equality is honoured without general AC rewriting).
+
+    The initial state itself is tested against ``goal`` first, matching
+    Maude's ``=>*`` (zero or more rewrites).  With ``track_states`` the
+    result carries the full state sequence of the witness path (costs one
+    state reference per frontier entry per step).
+    """
+    start = time.monotonic()
+
+    def result(
+        outcome: SearchOutcome,
+        state: Optional[State],
+        path: List[str],
+        path_states: Optional[List[State]] = None,
+    ) -> SearchResult[State]:
+        return SearchResult(
+            outcome=outcome,
+            state=state,
+            path=path,
+            states_explored=explored,
+            states_seen=len(visited),
+            elapsed=time.monotonic() - start,
+            path_states=path_states or [],
+        )
+
+    explored = 0
+    visited = {canonical(initial)}
+    if goal(initial):
+        return result(SearchOutcome.FOUND, initial, [], [initial])
+
+    # Each frontier entry: (state, depth, path-of-labels, path-of-states).
+    # Paths share structure via tuples to keep memory linear in the
+    # frontier size; states are tracked only on request.
+    frontier: deque = deque([(initial, 0, (), (initial,) if track_states else ())])
+    pruned_by_depth = False
+    while frontier:
+        if budget.max_seconds is not None and time.monotonic() - start > budget.max_seconds:
+            return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
+        state, depth, path, states = frontier.popleft()
+        explored += 1
+        if budget.max_depth is not None and depth >= budget.max_depth:
+            # Deeper states may exist beyond the bound; if no goal turns up
+            # elsewhere, the verdict must be "undecided", not "unreachable".
+            pruned_by_depth = True
+            continue
+        for label, nxt in successors(state):
+            key = canonical(nxt)
+            if key in visited:
+                continue
+            visited.add(key)
+            next_path = path + (label,)
+            next_states = states + (nxt,) if track_states else ()
+            if goal(nxt):
+                return result(
+                    SearchOutcome.FOUND, nxt, list(next_path), list(next_states)
+                )
+            if budget.max_states is not None and len(visited) > budget.max_states:
+                return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
+            frontier.append((nxt, depth + 1, next_path, next_states))
+    if pruned_by_depth:
+        return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
+    return result(SearchOutcome.EXHAUSTED, None, [])

@@ -1,0 +1,273 @@
+"""A small first-order term algebra with pattern matching.
+
+This module is the foundation of our Maude substitute.  Maude programs
+manipulate *terms* — abstract syntax trees built from operators and
+constants — and *rewrite rules* that transform terms matching a pattern.
+We implement the fragment ROSA needs (and that generic rewriting tests
+exercise): ground terms, patterns with named variables, one-way matching
+(pattern against ground term) and substitution application.
+
+Terms are immutable and hashable so they can serve as visited-set keys
+during state-space search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+AtomValue = Union[int, str, bool]
+
+
+class Term:
+    """Base class for all terms."""
+
+    __slots__ = ()
+
+    def is_ground(self) -> bool:
+        """True if the term contains no variables."""
+        raise NotImplementedError
+
+    def variables(self) -> Iterator["Var"]:
+        """Yield every variable occurring in the term (with repeats)."""
+        raise NotImplementedError
+
+    def substitute(self, subst: "Substitution") -> "Term":
+        """Apply a substitution, replacing bound variables."""
+        raise NotImplementedError
+
+
+class Atom(Term):
+    """A constant: an integer, string or boolean."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: AtomValue) -> None:
+        if not isinstance(value, (int, str, bool)):
+            raise TypeError(f"atom value must be int, str or bool: {value!r}")
+        self.value = value
+
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> Iterator["Var"]:
+        return iter(())
+
+    def substitute(self, subst: "Substitution") -> "Term":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and type(other.value) is type(self.value)
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Atom, type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+class Var(Term):
+    """A named variable, used in patterns.
+
+    An optional ``sort`` restricts what the variable may bind to; sorts are
+    plain strings checked by the owner of the sort vocabulary (see
+    :class:`repro.rewriting.rules.TermRule`).
+    """
+
+    __slots__ = ("name", "sort")
+
+    def __init__(self, name: str, sort: Optional[str] = None) -> None:
+        self.name = name
+        self.sort = sort
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> Iterator["Var"]:
+        yield self
+
+    def substitute(self, subst: "Substitution") -> Term:
+        return subst.get(self.name, self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((Var, self.name))
+
+    def __repr__(self) -> str:
+        if self.sort:
+            return f"Var({self.name!r}, sort={self.sort!r})"
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.sort}" if self.sort else self.name
+
+
+class Compound(Term):
+    """An operator applied to argument terms, e.g. ``s(s(zero))``."""
+
+    __slots__ = ("functor", "args", "_hash")
+
+    def __init__(self, functor: str, args: Tuple[Term, ...] = ()) -> None:
+        self.functor = functor
+        self.args = tuple(args)
+        for arg in self.args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"compound argument must be a Term: {arg!r}")
+        self._hash = hash((Compound, functor, self.args))
+
+    def is_ground(self) -> bool:
+        return all(arg.is_ground() for arg in self.args)
+
+    def variables(self) -> Iterator[Var]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def substitute(self, subst: "Substitution") -> Term:
+        return Compound(self.functor, tuple(arg.substitute(subst) for arg in self.args))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Compound)
+            and other._hash == self._hash
+            and other.functor == self.functor
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Compound({self.functor!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.functor
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.functor}({inner})"
+
+
+class Substitution:
+    """An immutable mapping from variable names to terms."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Dict[str, Term]] = None) -> None:
+        self._bindings = dict(bindings or {})
+
+    def get(self, name: str, default: Optional[Term] = None) -> Optional[Term]:
+        return self._bindings.get(name, default)
+
+    def bind(self, name: str, term: Term) -> "Substitution":
+        """Return an extended substitution; rebinding to a different term fails.
+
+        :raises KeyError: if ``name`` is already bound to a different term.
+        """
+        existing = self._bindings.get(name)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise KeyError(f"variable {name!r} already bound")
+        extended = dict(self._bindings)
+        extended[name] = term
+        return Substitution(extended)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __getitem__(self, name: str) -> Term:
+        return self._bindings[name]
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def items(self):
+        return self._bindings.items()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name} -> {term}" for name, term in self._bindings.items())
+        return f"Substitution({{{inner}}})"
+
+
+def term(value) -> Term:
+    """Coerce a Python value or Term into a Term.
+
+    Integers, strings and booleans become :class:`Atom`; terms pass
+    through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    return Atom(value)
+
+
+def op(functor: str, *args) -> Compound:
+    """Build a compound term, coercing plain Python arguments to atoms.
+
+    >>> str(op("s", op("zero")))
+    's(zero)'
+    """
+    return Compound(functor, tuple(term(arg) for arg in args))
+
+
+def match(pattern: Term, subject: Term, subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Match ``pattern`` (may contain variables) against ground ``subject``.
+
+    Returns the extending substitution on success, ``None`` on failure.
+    Matching is syntactic one-way matching (not unification): the subject
+    must be ground.  Repeated variables must bind consistently.
+    """
+    subst = subst if subst is not None else Substitution()
+    if isinstance(pattern, Var):
+        bound = subst.get(pattern.name)
+        if bound is not None:
+            return subst if bound == subject else None
+        try:
+            return subst.bind(pattern.name, subject)
+        except KeyError:  # pragma: no cover - bind() handles identical case
+            return None
+    if isinstance(pattern, Atom):
+        return subst if pattern == subject else None
+    if isinstance(pattern, Compound):
+        if not isinstance(subject, Compound):
+            return None
+        if pattern.functor != subject.functor or len(pattern.args) != len(subject.args):
+            return None
+        for pat_arg, sub_arg in zip(pattern.args, subject.args):
+            subst = match(pat_arg, sub_arg, subst)
+            if subst is None:
+                return None
+        return subst
+    raise TypeError(f"unsupported pattern term: {pattern!r}")
+
+
+def subterms(t: Term) -> Iterator[Tuple[Tuple[int, ...], Term]]:
+    """Yield ``(path, subterm)`` pairs in pre-order, including the root.
+
+    ``path`` is the sequence of argument indices from the root.
+    """
+    yield (), t
+    if isinstance(t, Compound):
+        for index, arg in enumerate(t.args):
+            for path, sub in subterms(arg):
+                yield (index,) + path, sub
+
+
+def replace_at(t: Term, path: Tuple[int, ...], replacement: Term) -> Term:
+    """Return ``t`` with the subterm at ``path`` replaced."""
+    if not path:
+        return replacement
+    if not isinstance(t, Compound):
+        raise IndexError(f"path {path} does not exist in {t}")
+    index, rest = path[0], path[1:]
+    if index >= len(t.args):
+        raise IndexError(f"path {path} does not exist in {t}")
+    new_args = list(t.args)
+    new_args[index] = replace_at(t.args[index], rest, replacement)
+    return Compound(t.functor, tuple(new_args))

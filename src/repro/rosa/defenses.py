@@ -1,0 +1,209 @@
+"""Modeling defense-weakened attackers (the paper's §X future work).
+
+The base attack model (§III) is maximal: an exploited program can invoke
+its system calls in any order, any number of times up to the message
+budget, with corrupted arguments.  Deployed defenses weaken that
+attacker, and §X proposes modeling them.  Three are implemented here as
+*query transformers* — each takes a ROSA query and returns a weaker one:
+
+* :func:`apply_seccomp` — a seccomp-bpf syscall filter: calls outside the
+  allowlist are unavailable (Provos-style syscall policies, the paper's
+  [16]);
+* :func:`apply_cfi` — control-flow integrity: the attacker cannot redirect
+  control flow, so system calls can only happen in the order the program
+  issues them (a subsequence of the program's trace);
+* :func:`apply_data_integrity` — data-flow/code-pointer integrity for
+  syscall arguments: the attacker cannot corrupt arguments, so every
+  wildcard collapses to the concrete values the program passes.
+
+Composability: transformers return plain ``RosaQuery`` objects, so they
+stack — e.g. ``apply_seccomp(apply_cfi(query, trace), allowed)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rewriting import Configuration, Msg, ObjectSystem
+from repro.rosa.query import RosaQuery, unix_system
+
+
+def apply_seccomp(query: RosaQuery, allowed_syscalls: Iterable[str]) -> RosaQuery:
+    """Restrict the attacker to an allowlist of system-call names.
+
+    Messages for filtered syscalls are removed from the initial
+    configuration — the kernel would kill the process before the call
+    executed, so the attacker gains nothing from issuing it.
+    """
+    allowed = frozenset(allowed_syscalls)
+    kept = [
+        element
+        for element in query.initial
+        if not isinstance(element, Msg) or element.name in allowed
+    ]
+    return dataclasses.replace(
+        query,
+        name=f"{query.name}+seccomp",
+        initial=Configuration(kept),
+    )
+
+
+def apply_data_integrity(
+    query: RosaQuery, concrete_messages: Optional[Sequence[Msg]] = None
+) -> RosaQuery:
+    """Remove the attacker's ability to corrupt system-call arguments.
+
+    Without argument corruption the attacker can only replay the calls
+    the program actually makes.  Pass the program's ``concrete_messages``
+    to substitute them for the wildcard versions; with ``None``, all
+    messages containing wildcards are simply dropped (maximally
+    conservative for the attacker).
+    """
+    from repro.rosa.syscalls import WILDCARD
+
+    kept: List = []
+    for element in query.initial:
+        if isinstance(element, Msg) and WILDCARD in element.args:
+            continue
+        kept.append(element)
+    if concrete_messages:
+        kept.extend(concrete_messages)
+    return dataclasses.replace(
+        query,
+        name=f"{query.name}+arg-integrity",
+        initial=Configuration(kept),
+    )
+
+
+class SequencedObjectSystem(ObjectSystem):
+    """A rewrite system where messages must be consumed in a fixed order.
+
+    Under control-flow integrity an attacker cannot jump between system
+    calls arbitrarily: the observable syscall sequence must be a prefix-
+    respecting subsequence of the program's own trace.  We enforce the
+    stronger, simpler discipline that only the *earliest remaining*
+    message of the given sequence may fire next.  (Skipping calls is
+    modelled by the goal being checked after every step: a compromised
+    state reached before later calls fire still counts.)
+    """
+
+    def __init__(self, base: ObjectSystem, sequence: Sequence[Msg]) -> None:
+        super().__init__(f"{base.name}/sequenced", base.rules)
+        self._base = base
+        self.sequence = list(sequence)
+
+    def _next_allowed(self, config: Configuration) -> Optional[Msg]:
+        remaining: Dict[Msg, int] = {}
+        for message in self.sequence:
+            remaining[message] = remaining.get(message, 0) + 1
+        # Walk the sequence, skipping occurrences already consumed.
+        consumed: Dict[Msg, int] = {
+            message: remaining[message] - config.count(message)
+            for message in remaining
+        }
+        for message in self.sequence:
+            if consumed.get(message, 0) > 0:
+                consumed[message] -= 1
+                continue
+            return message if config.count(message) else None
+        return None
+
+    def successors(self, config: Configuration) -> Iterator[Tuple[str, Configuration]]:
+        allowed = self._next_allowed(config)
+        if allowed is None:
+            return
+        before = config.count(allowed)
+        for label, successor in self._base.successors(config):
+            if successor.count(allowed) < before:
+                yield label, successor
+
+
+def apply_cfi(query: RosaQuery, program_order: Sequence[Msg]) -> RosaQuery:
+    """Constrain the attacker to the program's system-call order.
+
+    ``program_order`` lists the query's messages in the order the program
+    issues them; messages absent from the query are ignored, and query
+    messages absent from the order are unreachable under CFI (never
+    allowed to fire).
+    """
+    base = query.system or unix_system()
+    present = [message for message in program_order if query.initial.count(message)]
+    return dataclasses.replace(
+        query,
+        name=f"{query.name}+cfi",
+        system=SequencedObjectSystem(base, present),
+    )
+
+
+#: Syscalls that name their object by *path* (through the global
+#: namespace).  Capsicum's capability mode forbids exactly these; only
+#: operations on already-held descriptors remain (Watson et al., the
+#: paper's [5]).
+PATH_BASED_SYSCALLS = frozenset(
+    {"open", "chmod", "chown", "unlink", "rename", "creat", "link"}
+)
+
+
+def apply_capsicum(query: RosaQuery) -> RosaQuery:
+    """Model the process entering Capsicum capability mode (§X).
+
+    The paper's future work proposes comparing Linux privileges against
+    Capsicum.  In capability mode a process loses access to global
+    namespaces: path-based syscalls fail outright, and ambient authority
+    (uids, capabilities) no longer reaches new objects.  We model the
+    namespace cut: messages for path-based syscalls are removed, while
+    descriptor-based ones (``fchmod``/``fchown``), credential changes and
+    already-open descriptors keep working.
+
+    The instructive contrast with Linux privileges: dropping capabilities
+    bounds *which checks can be bypassed*; capability mode bounds *which
+    objects exist at all* — so even a process that keeps CAP_DAC_OVERRIDE
+    cannot reach /dev/mem once inside the sandbox.
+    """
+    kept = [
+        element
+        for element in query.initial
+        if not isinstance(element, Msg) or element.name not in PATH_BASED_SYSCALLS
+    ]
+    return dataclasses.replace(
+        query,
+        name=f"{query.name}+capsicum",
+        initial=Configuration(kept),
+    )
+
+
+@dataclasses.dataclass
+class DefenseComparison:
+    """Verdicts for one query under each defense configuration."""
+
+    query_name: str
+    verdicts: Dict[str, str]
+
+    def render(self) -> str:
+        cells = ", ".join(f"{name}={verdict}" for name, verdict in self.verdicts.items())
+        return f"{self.query_name}: {cells}"
+
+
+def compare_defenses(
+    query: RosaQuery,
+    program_order: Optional[Sequence[Msg]] = None,
+    seccomp_allowlist: Optional[Iterable[str]] = None,
+    budget=None,
+) -> DefenseComparison:
+    """Check one query undefended and under each applicable defense."""
+    from repro.rosa.query import DEFAULT_BUDGET, check
+
+    budget = budget or DEFAULT_BUDGET
+    variants = {"undefended": query}
+    if seccomp_allowlist is not None:
+        variants["seccomp"] = apply_seccomp(query, seccomp_allowlist)
+    if program_order is not None:
+        variants["cfi"] = apply_cfi(query, program_order)
+    variants["arg-integrity"] = apply_data_integrity(query)
+    variants["capsicum"] = apply_capsicum(query)
+    verdicts = {
+        name: check(variant, budget).verdict.value
+        for name, variant in variants.items()
+    }
+    return DefenseComparison(query.name, verdicts)

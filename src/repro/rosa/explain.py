@@ -1,0 +1,111 @@
+"""Human-readable witness explanations.
+
+A ✓ verdict is only actionable if the developer understands the attack.
+The paper walks its Figure 2 witness by hand (chown, then chmod, then
+open — §V-B); this module automates that narration: given a report from
+``check(query, track_states=True)``, it renders each step as the syscall
+consumed plus the observable state changes it caused.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rewriting import Configuration, Msg, Obj
+from repro.rosa import model
+from repro.rosa.query import RosaReport, Verdict
+
+
+def _consumed_message(before: Configuration, after: Configuration) -> Msg:
+    for message in before.messages():
+        if after.count(message) < before.count(message):
+            return message
+    raise ValueError("no message was consumed between these states")
+
+
+def _object_changes(before: Configuration, after: Configuration) -> List[str]:
+    changes: List[str] = []
+    before_ids = {obj.oid: obj for obj in before.objects()}
+    after_ids = {obj.oid: obj for obj in after.objects()}
+    for oid, old in before_ids.items():
+        new = after_ids.get(oid)
+        if new is None:
+            changes.append(f"{_describe(old)} removed")
+            continue
+        if new == old:
+            continue
+        for attr, old_value in sorted(old.attrs.items()):
+            new_value = new.attrs.get(attr)
+            if new_value == old_value:
+                continue
+            if attr in ("rdfset", "wrfset"):
+                gained = sorted(new_value - old_value)
+                if gained:
+                    changes.append(
+                        f"{_describe(new)} now holds {attr.replace('fset', '')} "
+                        f"access to object(s) {', '.join(map(str, gained))}"
+                    )
+                continue
+            if attr == "perms":
+                changes.append(
+                    f"{_describe(new)} perms {oct(old_value)} -> {oct(new_value)}"
+                )
+                continue
+            changes.append(f"{_describe(new)} {attr}: {old_value} -> {new_value}")
+    for oid, new in after_ids.items():
+        if oid not in before_ids:
+            changes.append(f"{_describe(new)} created")
+    return changes
+
+
+def _describe(obj: Obj) -> str:
+    if obj.cls == model.PROCESS:
+        return f"process {obj.oid}"
+    name = obj.get("name")
+    if name:
+        return f"{obj.cls.lower()} {obj.oid} ({name})"
+    return f"{obj.cls.lower()} {obj.oid}"
+
+
+def _render_message(message: Msg) -> str:
+    from repro.rosa.dsl import _Parser
+
+    shape = _Parser._MESSAGE_SHAPES.get(message.name, ())
+    args = []
+    for index, arg in enumerate(message.args):
+        kind = shape[index] if index < len(shape) else "caps"
+        if isinstance(arg, frozenset):
+            caps = ",".join(str(cap) for cap in sorted(arg, key=str))
+            args.append(f"[{caps or 'no privileges'}]")
+        elif kind == "perms":
+            args.append(oct(arg))
+        else:
+            args.append(str(arg))
+    return f"{message.name}({', '.join(args)})"
+
+
+def explain_witness(report: RosaReport) -> str:
+    """A step-by-step narration of a vulnerable report's witness.
+
+    Requires the report to have been produced with
+    ``check(query, track_states=True)``.
+    """
+    if report.verdict is not Verdict.VULNERABLE:
+        return f"{report.query.name}: {report.verdict.value} — no witness to explain."
+    if len(report.witness_states) != len(report.witness) + 1:
+        raise ValueError(
+            "witness states missing; run check(query, track_states=True)"
+        )
+    lines = [
+        f"Attack witness for {report.query.name} "
+        f"({len(report.witness)} syscalls):"
+    ]
+    for index, label in enumerate(report.witness):
+        before = report.witness_states[index]
+        after = report.witness_states[index + 1]
+        message = _consumed_message(before, after)
+        lines.append(f"  step {index + 1}: {_render_message(message)}")
+        for change in _object_changes(before, after):
+            lines.append(f"          -> {change}")
+    lines.append("  compromised state reached.")
+    return "\n".join(lines)

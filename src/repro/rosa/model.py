@@ -1,0 +1,191 @@
+"""ROSA's Linux object model.
+
+ROSA (Rewrite of Objects for Syscall Analysis) models a Linux system as a
+configuration of objects (§V-B):
+
+* **Process** — one Linux task, carrying effective/real/saved uid and gid,
+  a supplementary group list, a run state, and the sets of object ids it
+  has opened for reading (``rdfset``) and writing (``wrfset``);
+* **File** — owner, group, permission bits and a human-readable name;
+* **Dir** — a directory *entry*: like a file object plus an ``inode``
+  attribute naming the file object the entry refers to (pathname lookup is
+  modelled on a single parent directory, as in the paper);
+* **Socket** — a TCP socket with a port (0 while unbound) and the pid of
+  its creating process;
+* **User** / **Group** — the uid/gid values that may replace wildcard
+  arguments, constraining the search space.
+
+Messages represent system calls; see :mod:`repro.rosa.syscalls`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.rewriting import Configuration, Obj
+
+# Object class names.
+PROCESS = "Process"
+FILE = "File"
+DIR = "Dir"
+SOCKET = "Socket"
+USER = "User"
+GROUP = "Group"
+PORT = "Port"
+
+# Process run states.
+STATE_RUN = "run"
+STATE_DEAD = "dead"
+
+#: Signal number of SIGKILL, the only signal whose delivery we model as
+#: fatal (the paper's attack 4 sends SIGKILL to sshd).
+SIGKILL = 9
+
+#: Ports below this bound require CAP_NET_BIND_SERVICE to bind.
+PRIVILEGED_PORT_BOUND = 1024
+
+
+def process(
+    oid: int,
+    *,
+    euid: int,
+    ruid: int,
+    suid: int,
+    egid: int,
+    rgid: int,
+    sgid: int,
+    supplementary: Iterable[int] = (),
+    state: str = STATE_RUN,
+    rdfset: Iterable[int] = (),
+    wrfset: Iterable[int] = (),
+) -> Obj:
+    """Build a Process object.
+
+    Mirrors the paper's Figure 2 ``< 1 : Process | euid : 10, ... >``.
+    """
+    return Obj(
+        oid,
+        PROCESS,
+        euid=euid,
+        ruid=ruid,
+        suid=suid,
+        egid=egid,
+        rgid=rgid,
+        sgid=sgid,
+        supplementary=frozenset(supplementary),
+        state=state,
+        rdfset=frozenset(rdfset),
+        wrfset=frozenset(wrfset),
+    )
+
+
+def process_for_user(oid: int, uid: int, gid: int, **overrides) -> Obj:
+    """A process whose six ids are all ``uid``/``gid`` (a plain login shell)."""
+    fields = dict(
+        euid=uid, ruid=uid, suid=uid, egid=gid, rgid=gid, sgid=gid
+    )
+    fields.update(overrides)
+    return process(oid, **fields)
+
+
+def file_obj(oid: int, *, name: str, owner: int, group: int, perms: int) -> Obj:
+    """Build a File object.  ``perms`` is a Unix mode, e.g. ``0o640``."""
+    _check_perms(perms)
+    return Obj(oid, FILE, name=name, owner=owner, group=group, perms=perms)
+
+
+def dir_entry(
+    oid: int, *, name: str, owner: int, group: int, perms: int, inode: int
+) -> Obj:
+    """Build a Dir (directory entry) object pointing at file ``inode``."""
+    _check_perms(perms)
+    return Obj(oid, DIR, name=name, owner=owner, group=group, perms=perms, inode=inode)
+
+
+def socket_obj(oid: int, *, owner_pid: int, port: int = 0) -> Obj:
+    """Build a Socket object; ``port`` 0 means unbound."""
+    return Obj(oid, SOCKET, owner_pid=owner_pid, port=port)
+
+
+def user(oid: int, uid: int) -> Obj:
+    """A User object: one uid wildcards may take (paper Figure 2 ``< 4 : User | uid : 10 >``)."""
+    return Obj(oid, USER, uid=uid)
+
+
+def group(oid: int, gid: int) -> Obj:
+    """A Group object: one gid wildcards may take."""
+    return Obj(oid, GROUP, gid=gid)
+
+
+def port_obj(oid: int, port: int) -> Obj:
+    """A Port object: one TCP port number wildcards may take."""
+    return Obj(oid, PORT, port=port)
+
+
+def _check_perms(perms: int) -> None:
+    if not 0 <= perms <= 0o7777:
+        raise ValueError(f"perms must be a Unix mode in [0, 0o7777]: {oct(perms)}")
+
+
+# -- domain extraction (wildcard candidate values) ---------------------------
+
+
+def candidate_uids(config: Configuration) -> frozenset:
+    """All uids a wildcard uid argument may take, from User objects."""
+    return frozenset(obj["uid"] for obj in config.objects(USER))
+
+
+def candidate_gids(config: Configuration) -> frozenset:
+    """All gids a wildcard gid argument may take, from Group objects."""
+    return frozenset(obj["gid"] for obj in config.objects(GROUP))
+
+
+def candidate_files(config: Configuration) -> frozenset:
+    """All file object ids a wildcard file argument may take."""
+    return frozenset(obj.oid for obj in config.objects(FILE))
+
+
+def candidate_dirs(config: Configuration) -> frozenset:
+    """All directory-entry object ids a wildcard argument may take."""
+    return frozenset(obj.oid for obj in config.objects(DIR))
+
+
+def candidate_processes(config: Configuration) -> frozenset:
+    """All process ids a wildcard pid argument may take."""
+    return frozenset(obj.oid for obj in config.objects(PROCESS))
+
+
+#: Default wildcard port domain when the configuration has no Port objects:
+#: one privileged and one unprivileged port.
+DEFAULT_PORTS = frozenset({22, 8080})
+
+
+def candidate_ports(config: Configuration) -> frozenset:
+    """All ports a wildcard port argument may take."""
+    ports = frozenset(obj["port"] for obj in config.objects(PORT))
+    return ports or DEFAULT_PORTS
+
+
+def fresh_oid(config: Configuration) -> int:
+    """A deterministic object id not used by any object in ``config``."""
+    highest = 0
+    for obj in config.objects():
+        highest = max(highest, obj.oid)
+    return highest + 1
+
+
+def parent_entries(config: Configuration, fid: int) -> list:
+    """Directory entries whose inode refers to file ``fid``.
+
+    Several entries may refer to the same file (hard links); pathname
+    lookup succeeds if any reachable entry grants search permission.
+    """
+    return [entry for entry in config.objects(DIR) if entry["inode"] == fid]
+
+
+def find_process(config: Configuration, pid: int) -> Optional[Obj]:
+    """The Process object with id ``pid``, or None."""
+    obj = config.find_object(pid)
+    if obj is not None and obj.cls == PROCESS:
+        return obj
+    return None

@@ -1,0 +1,133 @@
+"""ROSA queries: bounded search for a compromised state.
+
+A query bundles an initial configuration (objects plus the syscall
+messages the attacker may consume) with a compromised-state goal.
+:func:`check` runs the bounded breadth-first search and classifies the
+outcome into the paper's three verdicts:
+
+* ✓ **VULNERABLE** — a compromised state is reachable; the result carries
+  the witness syscall sequence (the paper walks such a witness for the
+  /etc/passwd example in §V-B);
+* ✗ **INVULNERABLE** — the whole reachable space was searched and no
+  compromised state exists;
+* ⊙ **TIMEOUT** — a budget ran out first (the paper's 5-hour limit and
+  out-of-memory kills, §VII-D / §VIII).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from repro.rewriting import (
+    Configuration,
+    ObjectSystem,
+    SearchBudget,
+    SearchOutcome,
+    SearchResult,
+    breadth_first_search,
+)
+from repro.rosa.goals import Goal
+from repro.rosa.rules import unix_rules
+
+
+class Verdict(enum.Enum):
+    """ROSA's answer about one (attack, privilege set, credentials) triple."""
+
+    VULNERABLE = "vulnerable"
+    INVULNERABLE = "invulnerable"
+    TIMEOUT = "timeout"
+
+    @property
+    def symbol(self) -> str:
+        """The paper's table glyphs: ✓ / ✗ / ⊙."""
+        return {"vulnerable": "✓", "invulnerable": "✗", "timeout": "⊙"}[self.value]
+
+
+#: The default UNIX rewrite system (all 17 syscall rules).
+def unix_system() -> ObjectSystem:
+    """The UNIX module: every syscall rule from :mod:`repro.rosa.rules`."""
+    return ObjectSystem("UNIX", unix_rules())
+
+
+@dataclasses.dataclass
+class RosaQuery:
+    """One bounded-model-checking question."""
+
+    name: str
+    initial: Configuration
+    goal: Goal
+    description: str = ""
+    #: Optionally restrict the rule set (defaults to the full UNIX module).
+    system: Optional[ObjectSystem] = None
+
+
+@dataclasses.dataclass
+class RosaReport:
+    """The verdict plus the evidence behind it."""
+
+    query: RosaQuery
+    verdict: Verdict
+    #: Rule labels of the witness path when vulnerable (attack recipe).
+    witness: List[str]
+    #: The compromised configuration, when found.
+    compromised_state: Optional[Configuration]
+    states_explored: int
+    states_seen: int
+    elapsed: float
+    #: With ``check(..., track_states=True)``: every configuration along
+    #: the witness, initial state first.  Empty otherwise.
+    witness_states: List[Configuration] = dataclasses.field(default_factory=list)
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.verdict is Verdict.VULNERABLE
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        head = f"{self.query.name}: {self.verdict.symbol} {self.verdict.value}"
+        if self.verdict is Verdict.VULNERABLE and self.witness:
+            head += " via " + " -> ".join(self.witness)
+        return head + f" ({self.states_seen} states, {self.elapsed * 1000:.1f} ms)"
+
+
+#: Budget mirroring the paper's setup, scaled to our smaller state spaces.
+DEFAULT_BUDGET = SearchBudget(max_states=500_000, max_depth=None, max_seconds=300.0)
+
+
+def check(
+    query: RosaQuery,
+    budget: SearchBudget = DEFAULT_BUDGET,
+    track_states: bool = False,
+) -> RosaReport:
+    """Run one bounded model-checking query and classify the outcome.
+
+    With ``track_states`` the report carries every configuration along
+    the witness path, enabling :func:`repro.rosa.explain.explain_witness`.
+    """
+    system = query.system or unix_system()
+    result: SearchResult = breadth_first_search(
+        query.initial,
+        system.successors,
+        query.goal,
+        budget=budget,
+        canonical=lambda config: config.key,
+        track_states=track_states,
+    )
+    if result.outcome is SearchOutcome.FOUND:
+        verdict = Verdict.VULNERABLE
+    elif result.outcome is SearchOutcome.EXHAUSTED:
+        verdict = Verdict.INVULNERABLE
+    else:
+        verdict = Verdict.TIMEOUT
+    return RosaReport(
+        query=query,
+        verdict=verdict,
+        witness=result.path,
+        compromised_state=result.state,
+        states_explored=result.states_explored,
+        states_seen=result.states_seen,
+        elapsed=result.elapsed,
+        witness_states=result.path_states,
+    )

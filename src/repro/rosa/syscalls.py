@@ -1,0 +1,169 @@
+"""System-call message constructors.
+
+A ROSA message specifies the system call name, the pid allowed to execute
+it, the call's arguments and the privilege set the call may use (§V-B).
+Including a message N times in a configuration allows the attacker to
+execute that call up to N times — the bound of the bounded model checker.
+
+Two sentinels appear in arguments:
+
+* :data:`WILDCARD` (−1, as in the paper's Figure 2) — "try every candidate
+  value": file ids range over File objects, uids over User objects, gids
+  over Group objects, pids over Process objects, ports over Port objects.
+  Wildcards model attacks that corrupt system-call arguments (§III).
+* :data:`KEEP` — "leave this id unchanged" in ``setres[ug]id``, mirroring
+  the kernel's use of −1 (which ROSA reserves for wildcards).
+
+The privilege argument is any iterable of capabilities (or their names);
+it is normalised to a frozenset so messages hash canonically.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Union
+
+from repro.caps import Capability, parse_capability
+from repro.rewriting import Msg
+
+#: Wildcard argument marker (the paper's ``-1``).
+WILDCARD = -1
+
+#: "Do not change this id" marker for setresuid/setresgid.
+KEEP = "keep"
+
+#: Open modes.
+O_RDONLY = "r"
+O_WRONLY = "w"
+O_RDWR = "rw"
+
+CapsLike = Iterable[Union[Capability, str]]
+
+
+def caps(privs: CapsLike = ()) -> FrozenSet[Capability]:
+    """Normalise a privilege iterable into a frozenset of capabilities."""
+    return frozenset(
+        cap if isinstance(cap, Capability) else parse_capability(cap) for cap in privs
+    )
+
+
+def sys_open(pid: int, fid: int, mode: str, privs: CapsLike = ()) -> Msg:
+    """``open()``: open file ``fid`` with ``mode`` (:data:`O_RDONLY` etc.)."""
+    if mode not in (O_RDONLY, O_WRONLY, O_RDWR):
+        raise ValueError(f"invalid open mode: {mode!r}")
+    return Msg("open", pid, fid, mode, caps(privs))
+
+
+def sys_setuid(pid: int, uid: int, privs: CapsLike = ()) -> Msg:
+    """``setuid()``: privileged form sets all three uids; unprivileged sets euid."""
+    return Msg("setuid", pid, uid, caps(privs))
+
+
+def sys_seteuid(pid: int, uid: int, privs: CapsLike = ()) -> Msg:
+    return Msg("seteuid", pid, uid, caps(privs))
+
+
+def sys_setresuid(pid: int, ruid, euid, suid, privs: CapsLike = ()) -> Msg:
+    return Msg("setresuid", pid, ruid, euid, suid, caps(privs))
+
+
+def sys_setgid(pid: int, gid: int, privs: CapsLike = ()) -> Msg:
+    return Msg("setgid", pid, gid, caps(privs))
+
+
+def sys_setegid(pid: int, gid: int, privs: CapsLike = ()) -> Msg:
+    return Msg("setegid", pid, gid, caps(privs))
+
+
+def sys_setresgid(pid: int, rgid, egid, sgid, privs: CapsLike = ()) -> Msg:
+    return Msg("setresgid", pid, rgid, egid, sgid, caps(privs))
+
+
+def sys_setgroups(pid: int, gid, privs: CapsLike = ()) -> Msg:
+    """``setgroups()``: add ``gid`` to the supplementary group list.
+
+    Modeled as single-group additions (each message grants one group);
+    requires ``CAP_SETGID`` like the real call.
+    """
+    return Msg("setgroups", pid, gid, caps(privs))
+
+
+def sys_kill(pid: int, target_pid: int, signal: int, privs: CapsLike = ()) -> Msg:
+    return Msg("kill", pid, target_pid, signal, caps(privs))
+
+
+def sys_chmod(pid: int, fid: int, perms: int, privs: CapsLike = ()) -> Msg:
+    """``chmod()``: attackers conventionally pass ``0o777`` (paper §V-B)."""
+    return Msg("chmod", pid, fid, perms, caps(privs))
+
+
+def sys_fchmod(pid: int, fid: int, perms: int, privs: CapsLike = ()) -> Msg:
+    """``fchmod()``: like chmod but requires the file already open."""
+    return Msg("fchmod", pid, fid, perms, caps(privs))
+
+
+def sys_chown(pid: int, fid: int, owner: int, group: int, privs: CapsLike = ()) -> Msg:
+    return Msg("chown", pid, fid, owner, group, caps(privs))
+
+
+def sys_fchown(pid: int, fid: int, owner: int, group: int, privs: CapsLike = ()) -> Msg:
+    return Msg("fchown", pid, fid, owner, group, caps(privs))
+
+
+def sys_unlink(pid: int, entry_id: int, privs: CapsLike = ()) -> Msg:
+    """``unlink()``: remove directory entry ``entry_id``."""
+    return Msg("unlink", pid, entry_id, caps(privs))
+
+
+def sys_creat(
+    pid: int, parent_entry_id: int, name: str, perms: int, privs: CapsLike = ()
+) -> Msg:
+    """``creat()``: make a new file, linked beside directory entry
+    ``parent_entry_id`` (sharing its directory permissions).
+
+    An extension beyond the paper's ROSA, which lacked file-creating
+    syscalls (§VI).
+    """
+    return Msg("creat", pid, parent_entry_id, name, perms, caps(privs))
+
+
+def sys_link(
+    pid: int, fid: int, parent_entry_id: int, name: str, privs: CapsLike = ()
+) -> Msg:
+    """``link()``: create a new directory entry (hard link) for file
+    ``fid`` beside directory entry ``parent_entry_id``.
+
+    An extension beyond the paper's ROSA (§VI); enables modeling the
+    classic hard-link attacks on privileged writers.
+    """
+    return Msg("link", pid, fid, parent_entry_id, name, caps(privs))
+
+
+def sys_rename(pid: int, entry_id: int, new_name: str, privs: CapsLike = ()) -> Msg:
+    """``rename()``: rename directory entry ``entry_id`` to ``new_name``."""
+    return Msg("rename", pid, entry_id, new_name, caps(privs))
+
+
+def sys_socket(pid: int, privs: CapsLike = ()) -> Msg:
+    """``socket()``: create a fresh unbound TCP socket owned by ``pid``."""
+    return Msg("socket", pid, caps(privs))
+
+
+def sys_bind(pid: int, sock_id: int, port: int, privs: CapsLike = ()) -> Msg:
+    return Msg("bind", pid, sock_id, port, caps(privs))
+
+
+def sys_connect(pid: int, sock_id: int, port: int, privs: CapsLike = ()) -> Msg:
+    return Msg("connect", pid, sock_id, port, caps(privs))
+
+
+#: All syscall names ROSA models, grouped as in the paper (§VI).
+PROCESS_SYSCALLS = frozenset(
+    {"setuid", "seteuid", "setresuid", "setgid", "setegid", "setresgid",
+     "setgroups", "kill"}
+)
+FILE_SYSCALLS = frozenset(
+    {"open", "chmod", "fchmod", "chown", "fchown", "unlink", "rename",
+     "creat", "link"}
+)
+SOCKET_SYSCALLS = frozenset({"socket", "bind", "connect"})
+ALL_SYSCALLS = PROCESS_SYSCALLS | FILE_SYSCALLS | SOCKET_SYSCALLS

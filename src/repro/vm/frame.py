@@ -1,0 +1,46 @@
+"""Runtime value storage for the interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.ir import Argument, BasicBlock, Function, Instruction, Value
+
+
+class StackSlot:
+    """The runtime object an ``alloca`` yields: one mutable cell."""
+
+    __slots__ = ("value", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self.value: Any = None
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<slot {self.label or id(self)}: {self.value!r}>"
+
+
+class GlobalSlot(StackSlot):
+    """The runtime cell behind a module-level global variable."""
+
+
+class Frame:
+    """One activation record: SSA value bindings plus local slots."""
+
+    def __init__(self, function: Function, args) -> None:
+        self.function = function
+        self.values: Dict[Value, Any] = {}
+        for argument, value in zip(function.arguments, args):
+            self.values[argument] = value
+        self.block: Optional[BasicBlock] = function.entry if function.blocks else None
+        self.prev_block: Optional[BasicBlock] = None
+        self.index = 0
+
+    def set(self, instruction: Instruction, value) -> None:
+        self.values[instruction] = value
+
+    def get(self, value: Value):
+        return self.values[value]
+
+    def __repr__(self) -> str:
+        return f"<Frame @{self.function.name} at %{self.block.name if self.block else '?'}:{self.index}>"

@@ -1,0 +1,295 @@
+"""The IR interpreter.
+
+Executes one program (an IR module) as one process on a simulated
+kernel.  The interpreter stands in for native execution of the paper's
+instrumented binaries: deterministic, with exact per-instruction
+accounting and hooks for the ChronoPriv runtime.
+
+Design notes:
+
+* SSA values live in per-frame dictionaries; ``alloca`` yields a
+  :class:`~repro.vm.frame.StackSlot` cell, so pointers are first-class
+  runtime objects;
+* declarations (functions without bodies) dispatch to the intrinsics
+  table — syscall wrappers, the AutoPriv ``priv_*`` runtime and libc-ish
+  helpers (:mod:`repro.vm.intrinsics`);
+* pending signals are dispatched at call boundaries by invoking the
+  registered handler function in a nested frame, which is how the sshd
+  model's privileged signal handlers execute;
+* ``executed_instructions`` counts every IR instruction the VM retires —
+  ground truth that tests compare against ChronoPriv's instrumented
+  counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.ir import (
+    Alloca,
+    Argument,
+    BinOp,
+    Branch,
+    Call,
+    ConstantInt,
+    ConstantString,
+    FunctionRef,
+    Function,
+    GlobalVariable,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Module,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UndefValue,
+    Unreachable,
+    Value,
+)
+from repro.ir.instructions import BINARY_OPS, ICMP_PREDICATES
+from repro.oskernel import Kernel, Process
+from repro.vm.frame import Frame, GlobalSlot, StackSlot
+
+
+#: Sentinel distinguishing "keep executing" from a genuine return value
+#: (functions may legitimately return ``None``).
+_CONTINUE = object()
+
+
+class ProgramExit(Exception):
+    """The program called ``exit()`` (or was killed by a signal)."""
+
+    def __init__(self, code: int, signal: Optional[int] = None) -> None:
+        super().__init__(f"exit({code})" + (f" by signal {signal}" if signal else ""))
+        self.code = code
+        self.signal = signal
+
+
+class VMError(RuntimeError):
+    """An execution error: the program did something undefined."""
+
+
+class Interpreter:
+    """Executes one module as one process."""
+
+    def __init__(
+        self,
+        module: Module,
+        kernel: Kernel,
+        process: Process,
+        argv: Sequence[str] = (),
+        stdin: Sequence[str] = (),
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        from repro.vm.intrinsics import default_intrinsics
+
+        self.module = module
+        self.kernel = kernel
+        self.process = process
+        self.argv = list(argv)
+        self.stdin: List[str] = list(stdin)
+        self.stdout: List[str] = []
+        self.max_instructions = max_instructions
+        #: IR instructions retired (the VM's own ground-truth counter).
+        self.executed_instructions = 0
+        self.globals: Dict[GlobalVariable, GlobalSlot] = {}
+        for var in module.globals.values():
+            slot = GlobalSlot(var.name)
+            slot.value = var.initial
+            self.globals[var] = slot
+        self.intrinsics: Dict[str, Callable] = default_intrinsics()
+        #: Extra environment the workload provides (e.g. pending HTTP
+        #: requests for thttpd, scp channel data for sshd).
+        self.env: Dict[str, Any] = {}
+        #: Callbacks invoked with each child VM created by ``spawn_wait``
+        #: before it runs (ChronoPriv attaches per-process recorders here).
+        self.child_observers: List[Callable[["Interpreter"], None]] = []
+        #: Child VMs spawned by ``spawn_wait``, in creation order.
+        self.children: List["Interpreter"] = []
+        self._in_signal_handler = False
+        self._call_depth = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def register_intrinsic(self, name: str, fn: Callable) -> None:
+        """Install or replace an intrinsic (``fn(vm, args) -> value``)."""
+        self.intrinsics[name] = fn
+
+    def run(self, entry: str = "main", args: Sequence[Any] = ()) -> int:
+        """Execute ``entry`` to completion; returns the exit code.
+
+        ``exit()`` and falling off ``main`` both terminate; a fatal signal
+        reports 128+signum Unix-style.
+        """
+        function = self.module.get_function(entry)
+        try:
+            result = self.call_function(function, list(args))
+        except ProgramExit as stop:
+            return stop.code
+        return result if isinstance(result, int) else 0
+
+    # -- execution core -----------------------------------------------------------
+
+    def call_function(self, function: Function, args: List[Any]):
+        """Call a defined function or dispatch a declaration to intrinsics."""
+        if function.is_declaration:
+            return self._call_intrinsic(function.name, args)
+        # Each VM frame costs several Python frames; cap well below
+        # Python's own recursion limit so we fail with a VM diagnostic.
+        if self._call_depth > 150:
+            raise VMError(f"call depth exceeded calling @{function.name}")
+        self._call_depth += 1
+        try:
+            return self._run_frame(Frame(function, args))
+        finally:
+            self._call_depth -= 1
+
+    def _call_intrinsic(self, name: str, args: List[Any]):
+        fn = self.intrinsics.get(name)
+        if fn is None:
+            raise VMError(f"no intrinsic or definition for @{name}")
+        return fn(self, args)
+
+    def _run_frame(self, frame: Frame):
+        while True:
+            block = frame.block
+            if block is None:
+                raise VMError(f"@{frame.function.name}: fell off function end")
+            if frame.index >= len(block.instructions):
+                raise VMError(
+                    f"@{frame.function.name}:%{block.name}: block without terminator"
+                )
+            instruction = block.instructions[frame.index]
+            outcome = self._step(frame, instruction)
+            if outcome is not _CONTINUE:
+                return outcome
+
+    def _operand(self, frame: Frame, value: Value):
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantString):
+            return value.value
+        if isinstance(value, FunctionRef):
+            return value
+        if isinstance(value, GlobalVariable):
+            return self.globals[value]
+        if isinstance(value, UndefValue):
+            return 0
+        try:
+            return frame.values[value]
+        except KeyError:
+            raise VMError(
+                f"@{frame.function.name}: use of undefined value {value.short()}"
+            ) from None
+
+    def _retire(self, instruction: Instruction) -> None:
+        self.executed_instructions += 1
+        if self.executed_instructions > self.max_instructions:
+            raise VMError("instruction budget exhausted (runaway program?)")
+
+    def _step(self, frame: Frame, instruction: Instruction):
+        self._retire(instruction)
+
+        if isinstance(instruction, Alloca):
+            frame.set(instruction, StackSlot(instruction.name))
+        elif isinstance(instruction, Load):
+            slot = self._operand(frame, instruction.pointer)
+            if not isinstance(slot, StackSlot):
+                raise VMError(f"load through non-pointer {slot!r}")
+            frame.set(instruction, slot.value if slot.value is not None else 0)
+        elif isinstance(instruction, Store):
+            slot = self._operand(frame, instruction.pointer)
+            if not isinstance(slot, StackSlot):
+                raise VMError(f"store through non-pointer {slot!r}")
+            slot.value = self._operand(frame, instruction.value)
+        elif isinstance(instruction, BinOp):
+            lhs = self._operand(frame, instruction.operands[0])
+            rhs = self._operand(frame, instruction.operands[1])
+            try:
+                raw = BINARY_OPS[instruction.op](lhs, rhs)
+            except ZeroDivisionError:
+                raise VMError(f"{instruction.op} by zero") from None
+            frame.set(instruction, instruction.type.wrap(raw))
+        elif isinstance(instruction, ICmp):
+            lhs = self._operand(frame, instruction.operands[0])
+            rhs = self._operand(frame, instruction.operands[1])
+            frame.set(instruction, int(ICMP_PREDICATES[instruction.predicate](lhs, rhs)))
+        elif isinstance(instruction, Select):
+            cond, if_true, if_false = (
+                self._operand(frame, operand) for operand in instruction.operands
+            )
+            frame.set(instruction, if_true if cond else if_false)
+        elif isinstance(instruction, Phi):
+            incoming = instruction.incoming.get(frame.prev_block)
+            if incoming is None:
+                raise VMError(
+                    f"phi has no incoming for predecessor "
+                    f"%{frame.prev_block.name if frame.prev_block else '?'}"
+                )
+            frame.set(instruction, self._operand(frame, incoming))
+        elif isinstance(instruction, Call):
+            result = self._execute_call(frame, instruction)
+            frame.set(instruction, result)
+            self._dispatch_pending_signals()
+        elif isinstance(instruction, Branch):
+            cond = self._operand(frame, instruction.operands[0])
+            self._enter_block(frame, instruction.if_true if cond else instruction.if_false)
+            return _CONTINUE
+        elif isinstance(instruction, Jump):
+            self._enter_block(frame, instruction.target)
+            return _CONTINUE
+        elif isinstance(instruction, Ret):
+            if instruction.value is not None:
+                return self._operand(frame, instruction.value)
+            return None
+        elif isinstance(instruction, Unreachable):
+            raise VMError(
+                f"@{frame.function.name}:%{frame.block.name}: reached unreachable"
+            )
+        else:  # pragma: no cover - the instruction set is closed
+            raise VMError(f"unknown instruction {instruction.opcode}")
+
+        frame.index += 1
+        return _CONTINUE
+
+    def _enter_block(self, frame: Frame, target) -> None:
+        frame.prev_block = frame.block
+        frame.block = target
+        frame.index = 0
+
+    def _execute_call(self, frame: Frame, call: Call):
+        callee = call.callee
+        if isinstance(callee, FunctionRef):
+            target = callee.function
+        else:
+            runtime_callee = self._operand(frame, callee)
+            if not isinstance(runtime_callee, FunctionRef):
+                raise VMError(f"indirect call through non-function {runtime_callee!r}")
+            target = runtime_callee.function
+        args = [self._operand(frame, arg) for arg in call.args]
+        return self.call_function(target, args)
+
+    # -- signals --------------------------------------------------------------------
+
+    def _dispatch_pending_signals(self) -> None:
+        """Run queued signal handlers (nested; not re-entrant)."""
+        if not self.process.alive:
+            # A fatal signal (or exit) landed during the last syscall.
+            raise ProgramExit(
+                128 + (self.process.exit_signal or 0), self.process.exit_signal
+            )
+        if self._in_signal_handler or not self.process.pending_signals:
+            return
+        self._in_signal_handler = True
+        try:
+            while self.process.pending_signals:
+                signum, handler_name = self.process.pending_signals.pop(0)
+                handler = self.module.functions.get(handler_name)
+                if handler is None:
+                    raise VMError(f"signal handler @{handler_name} not found")
+                self.call_function(handler, [signum])
+        finally:
+            self._in_signal_handler = False

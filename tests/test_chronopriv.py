@@ -1,0 +1,208 @@
+"""ChronoPriv: instrumentation correctness and phase accounting."""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.chronopriv import ChronoRecorder, instrument_module
+from repro.frontend import compile_source
+from repro.ir import Call, Unreachable, verify_module
+from repro.oskernel.setup import build_kernel, GID_USER, UID_USER
+from repro.vm import Interpreter
+
+SIMPLE = """
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 10; i = i + 1) { total = total + i; }
+    print_int(total);
+}
+"""
+
+# Counting happens at basic-block granularity, so a phase is only
+# observable if at least one block *starts* inside it; the control flow
+# after each transition below guarantees that.
+PHASED = """
+void main() {
+    priv_raise(CAP_DAC_READ_SEARCH);
+    str h = getspnam("user");
+    priv_lower(CAP_DAC_READ_SEARCH);
+    priv_remove(CAP_DAC_READ_SEARCH);
+    int i;
+    int x = 0;
+    for (i = 0; i < 20; i = i + 1) { x = x + i; }
+    priv_raise(CAP_SETUID);
+    int rc = setuid(0);
+    priv_lower(CAP_SETUID);
+    priv_remove(CAP_SETUID);
+    if (rc == 0) { x = x + 1; }
+    print_int(x);
+}
+"""
+
+
+def execute(module, caps=(), program="prog"):
+    kernel = build_kernel()
+    process = kernel.spawn(UID_USER, GID_USER, permitted=CapabilitySet.of(*caps))
+    kernel.sys_prctl_lockdown(process.pid)
+    vm = Interpreter(module, kernel, process)
+    recorder = ChronoRecorder(program, process)
+    recorder.attach(vm, kernel)
+    code = vm.run()
+    return recorder.report(), vm, code
+
+
+class TestInstrumentationPass:
+    def test_every_block_gets_a_counter(self):
+        module = compile_source(SIMPLE)
+        report = instrument_module(module)
+        main = module.get_function("main")
+        for block in main.blocks:
+            first = block.instructions[0]
+            assert isinstance(first, Call)
+            assert first.direct_target.name == "__chrono_count"
+        assert report.blocks_instrumented == len(main.blocks)
+
+    def test_idempotent(self):
+        module = compile_source(SIMPLE)
+        first = instrument_module(module)
+        second = instrument_module(module)
+        assert second.blocks_instrumented == 0
+        verify_module(module)
+
+    def test_counts_exclude_unreachable(self):
+        from repro.ir import IRBuilder, Module, VOID
+
+        module = Module("m")
+        function = module.add_function("main", VOID, [])
+        block = function.add_block("entry")
+        builder = IRBuilder(block)
+        builder.add(1, 2)
+        builder.unreachable()
+        report = instrument_module(module)
+        # add + unreachable: only the add is countable.
+        assert report.instructions_counted == 1
+
+    def test_static_totals_accumulate(self):
+        module = compile_source(SIMPLE)
+        report = instrument_module(module)
+        assert report.per_function["main"] == report.instructions_counted
+        assert report.instructions_counted > 0
+
+
+class TestCountingAccuracy:
+    """The recorder's total must equal the uninstrumented execution count."""
+
+    @pytest.mark.parametrize(
+        "source,caps",
+        [
+            (SIMPLE, ()),
+            (PHASED, ("CapDacReadSearch", "CapSetuid")),
+        ],
+    )
+    def test_total_matches_ground_truth(self, source, caps):
+        # Ground truth: run the *uninstrumented* module and use the VM's
+        # own retired-instruction counter.
+        plain = compile_source(source)
+        kernel = build_kernel()
+        process = kernel.spawn(UID_USER, GID_USER, permitted=CapabilitySet.of(*caps))
+        kernel.sys_prctl_lockdown(process.pid)
+        vm_plain = Interpreter(plain, kernel, process)
+        vm_plain.run()
+        ground_truth = vm_plain.executed_instructions
+
+        instrumented = compile_source(source)
+        instrument_module(instrumented)
+        report, vm_instr, _ = execute(instrumented, caps)
+        assert report.total == ground_truth
+
+    def test_instrumentation_overhead_is_one_call_per_block_execution(self):
+        plain = compile_source(SIMPLE)
+        kernel = build_kernel()
+        process = kernel.spawn(UID_USER, GID_USER)
+        vm_plain = Interpreter(plain, kernel, process)
+        vm_plain.run()
+
+        instrumented = compile_source(SIMPLE)
+        instrument_module(instrumented)
+        report, vm_instr, _ = execute(instrumented)
+        overhead = vm_instr.executed_instructions - vm_plain.executed_instructions
+        assert overhead > 0
+        # Every overhead instruction is one __chrono_count call; the
+        # number of calls equals the number of block executions, and each
+        # block execution contributed >= 1 counted instruction.
+        assert overhead <= report.total
+
+
+class TestPhases:
+    def test_single_phase_without_privileges(self):
+        module = compile_source(SIMPLE)
+        instrument_module(module)
+        report, _, _ = execute(module)
+        assert len(report.phases) == 1
+        phase = report.phases[0]
+        assert phase.privileges == CapabilitySet.empty()
+        assert phase.percent == pytest.approx(100.0)
+
+    def test_phase_transitions_on_remove_and_setuid(self):
+        module = compile_source(PHASED)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapDacReadSearch", "CapSetuid"))
+        descriptions = [
+            (phase.privileges.describe(), phase.uids) for phase in report.phases
+        ]
+        assert descriptions == [
+            ("CapDacReadSearch,CapSetuid", (1000, 1000, 1000)),
+            ("CapSetuid", (1000, 1000, 1000)),
+            ("(empty)", (0, 0, 0)),
+        ]
+
+    def test_percentages_sum_to_100(self):
+        module = compile_source(PHASED)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapDacReadSearch", "CapSetuid"))
+        assert sum(phase.percent for phase in report.phases) == pytest.approx(100.0)
+
+    def test_phase_names_numbered_in_order(self):
+        module = compile_source(PHASED)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapDacReadSearch", "CapSetuid"), program="demo")
+        assert [phase.name for phase in report.phases] == [
+            "demo_priv1",
+            "demo_priv2",
+            "demo_priv3",
+        ]
+
+    def test_reentering_phase_accumulates(self):
+        source = """
+        void main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) {
+                priv_raise(CAP_SETGID);
+                setegid(1000);
+                priv_lower(CAP_SETGID);
+            }
+        }
+        """
+        module = compile_source(source)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapSetgid",))
+        # Raising/lowering does not change the *permitted* set, so all
+        # iterations land in one phase.
+        assert len(report.phases) == 1
+
+    def test_phase_lookup_by_name(self):
+        module = compile_source(PHASED)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapDacReadSearch", "CapSetuid"), program="p")
+        assert report.phase("p_priv2").privileges == CapabilitySet.of("CapSetuid")
+        with pytest.raises(KeyError):
+            report.phase("p_priv99")
+
+    def test_render_contains_all_rows(self):
+        module = compile_source(PHASED)
+        instrument_module(module)
+        report, _, _ = execute(module, ("CapDacReadSearch", "CapSetuid"), program="p")
+        text = report.render()
+        for phase in report.phases:
+            assert phase.name in text
+        assert "total" in text

@@ -1,0 +1,201 @@
+"""The four modeled attacks: per-capability verdict matrix.
+
+This is the unit-level ground truth behind Tables III and V: for each
+(capability set, credential) combination the paper's analysis hinges on,
+the attack queries must produce the documented verdict.
+"""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core.attacks import (
+    ALL_ATTACKS,
+    ATTACKS_BY_ID,
+    BIND_PRIVILEGED_PORT,
+    KILL_SSHD,
+    READ_DEV_MEM,
+    WRITE_DEV_MEM,
+)
+from repro.rosa import check
+
+#: A generous syscall surface (what a shadow-utils-style program exposes).
+FULL_SURFACE = frozenset(
+    {
+        "open_read", "open_write", "setuid", "seteuid", "setresuid",
+        "setgid", "setegid", "setresgid", "kill", "chmod", "fchmod",
+        "chown", "fchown", "unlink", "rename", "socket", "bind", "connect",
+    }
+)
+
+USER = (1000, 1000, 1000)
+ROOT = (0, 0, 0)
+
+
+def verdict(attack, caps, uids=USER, gids=USER, surface=FULL_SURFACE):
+    query = attack.build_query(
+        CapabilitySet.parse(caps), uids, gids, surface
+    )
+    return check(query).verdict.value
+
+
+class TestTableI:
+    def test_four_attacks_defined(self):
+        assert [attack.attack_id for attack in ALL_ATTACKS] == [1, 2, 3, 4]
+
+    def test_descriptions_match_paper(self):
+        assert "dev/mem" in READ_DEV_MEM.description
+        assert "masquerade" in BIND_PRIVILEGED_PORT.description
+        assert "SIGKILL" in KILL_SSHD.description
+
+    def test_lookup_by_id(self):
+        assert ATTACKS_BY_ID[3] is BIND_PRIVILEGED_PORT
+
+
+class TestReadDevMem:
+    def test_empty_caps_regular_user_safe(self):
+        assert verdict(READ_DEV_MEM, "(empty)") == "invulnerable"
+
+    def test_cap_dac_read_search_reads(self):
+        assert verdict(READ_DEV_MEM, "CapDacReadSearch") == "vulnerable"
+
+    def test_cap_dac_override_reads(self):
+        assert verdict(READ_DEV_MEM, "CapDacOverride") == "vulnerable"
+
+    def test_cap_setuid_reads_via_root_identity(self):
+        assert verdict(READ_DEV_MEM, "CapSetuid") == "vulnerable"
+
+    def test_cap_setgid_reads_via_kmem_group(self):
+        """/dev/mem is root:kmem 640 — setgid(kmem) grants group read.
+        This is why Table V's refactored rows with only CapSetgid keep a
+        ✓ in the read column."""
+        assert verdict(READ_DEV_MEM, "CapSetgid") == "vulnerable"
+
+    def test_cap_chown_alone_takes_ownership(self):
+        assert verdict(READ_DEV_MEM, "CapChown") == "vulnerable"
+
+    def test_cap_fowner_alone_chmods_open(self):
+        assert verdict(READ_DEV_MEM, "CapFowner") == "vulnerable"
+
+    def test_unrelated_caps_safe(self):
+        assert verdict(READ_DEV_MEM, "CapNetBindService,CapSysChroot,CapNetRaw") == "invulnerable"
+
+    def test_root_identity_reads_without_caps(self):
+        """euid 0 owns /dev/mem: DAC suffices (paper §VII-D1 prose)."""
+        assert verdict(READ_DEV_MEM, "(empty)", uids=ROOT) == "vulnerable"
+
+    def test_etc_identity_cannot_read(self):
+        assert verdict(READ_DEV_MEM, "(empty)", uids=(998, 998, 1000)) == "invulnerable"
+
+    def test_surface_matters_no_open_no_attack(self):
+        surface = FULL_SURFACE - {"open_read", "open_write"}
+        assert (
+            verdict(READ_DEV_MEM, "CapDacOverride", surface=surface)
+            == "invulnerable"
+        )
+
+
+class TestWriteDevMem:
+    def test_cap_dac_read_search_cannot_write(self):
+        assert verdict(WRITE_DEV_MEM, "CapDacReadSearch") == "invulnerable"
+
+    def test_cap_dac_override_writes(self):
+        assert verdict(WRITE_DEV_MEM, "CapDacOverride") == "vulnerable"
+
+    def test_cap_setuid_writes_via_owner(self):
+        assert verdict(WRITE_DEV_MEM, "CapSetuid") == "vulnerable"
+
+    def test_cap_setgid_cannot_write(self):
+        """kmem group has read-only access: the ⊙/✗ cells of Table V."""
+        assert verdict(WRITE_DEV_MEM, "CapSetgid") == "invulnerable"
+
+    def test_chown_then_write(self):
+        assert verdict(WRITE_DEV_MEM, "CapChown") == "vulnerable"
+
+
+class TestBindPrivilegedPort:
+    def test_needs_capability(self):
+        assert verdict(BIND_PRIVILEGED_PORT, "(empty)") == "invulnerable"
+        assert verdict(BIND_PRIVILEGED_PORT, "CapNetBindService") == "vulnerable"
+
+    def test_other_caps_do_not_help(self):
+        assert (
+            verdict(BIND_PRIVILEGED_PORT, "CapSetuid,CapDacOverride,CapChown")
+            == "invulnerable"
+        )
+
+    def test_needs_socket_syscalls(self):
+        surface = frozenset({"open_read", "setuid"})
+        assert (
+            verdict(BIND_PRIVILEGED_PORT, "CapNetBindService", surface=surface)
+            == "invulnerable"
+        )
+
+    def test_root_identity_is_not_enough(self):
+        """Privileged ports are gated by the capability, not by uid 0
+        (our processes run with securebits locked down)."""
+        assert verdict(BIND_PRIVILEGED_PORT, "(empty)", uids=ROOT) == "invulnerable"
+
+
+class TestKillSshd:
+    def test_cap_kill_suffices(self):
+        assert verdict(KILL_SSHD, "CapKill") == "vulnerable"
+
+    def test_cap_setuid_impersonates_victim(self):
+        assert verdict(KILL_SSHD, "CapSetuid") == "vulnerable"
+
+    def test_root_identity_alone_insufficient(self):
+        """The victim is owned by *another user* (§VII-A): euid 0 without
+        CAP_KILL cannot signal it — this is why passwd_priv4 (euid 0, no
+        CapSetuid) shows ✗ in the paper's Table III."""
+        assert verdict(KILL_SSHD, "(empty)", uids=ROOT) == "invulnerable"
+
+    def test_empty_caps_safe(self):
+        assert verdict(KILL_SSHD, "(empty)") == "invulnerable"
+
+    def test_setgid_does_not_help(self):
+        assert verdict(KILL_SSHD, "CapSetgid") == "invulnerable"
+
+    def test_needs_kill_syscall(self):
+        surface = FULL_SURFACE - {"kill"}
+        assert verdict(KILL_SSHD, "CapKill", surface=surface) == "invulnerable"
+
+
+class TestQueryConstruction:
+    def test_irrelevant_syscalls_excluded(self):
+        query = BIND_PRIVILEGED_PORT.build_query(
+            CapabilitySet.of("CapNetBindService"), USER, USER, FULL_SURFACE
+        )
+        names = {message.name for message in query.initial.messages()}
+        assert names == {"socket", "bind", "connect"}
+
+    def test_devmem_objects_present(self):
+        query = READ_DEV_MEM.build_query(
+            CapabilitySet.empty(), USER, USER, FULL_SURFACE
+        )
+        files = list(query.initial.objects("File"))
+        assert len(files) == 1
+        assert files[0]["name"] == "/dev/mem"
+        assert (files[0]["owner"], files[0]["group"]) == (0, 15)
+
+    def test_victim_process_present_for_attack4(self):
+        query = KILL_SSHD.build_query(
+            CapabilitySet.empty(), USER, USER, FULL_SURFACE
+        )
+        victims = [p for p in query.initial.objects("Process") if p.oid == 2]
+        assert len(victims) == 1
+        assert victims[0]["ruid"] == 2000
+
+    def test_messages_carry_phase_privileges(self):
+        caps = CapabilitySet.of("CapSetuid", "CapChown")
+        query = READ_DEV_MEM.build_query(caps, USER, USER, FULL_SURFACE)
+        for message in query.initial.messages():
+            assert message.args[-1] == caps.as_frozenset()
+
+    def test_repeat_multiplies_messages(self):
+        single = READ_DEV_MEM.build_query(
+            CapabilitySet.empty(), USER, USER, frozenset({"open_read"})
+        )
+        double = READ_DEV_MEM.build_query(
+            CapabilitySet.empty(), USER, USER, frozenset({"open_read"}), repeat=2
+        )
+        assert len(list(double.initial)) == len(list(single.initial)) + 1

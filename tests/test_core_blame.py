@@ -1,0 +1,99 @@
+"""Capability blame analysis — automating the paper's §VII-D reasoning."""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core import PrivAnalyzer
+from repro.core.attacks import KILL_SSHD, READ_DEV_MEM, WRITE_DEV_MEM
+from repro.core.blame import (
+    blame_phases,
+    minimal_blocking_sets,
+    necessary_capabilities,
+    render_blame,
+)
+from repro.programs import spec_by_name
+
+SURFACE = frozenset(
+    {
+        "open_read", "open_write", "setuid", "seteuid", "setresuid",
+        "setgid", "kill", "chmod", "chown", "unlink", "rename",
+    }
+)
+USER = (1000, 1000, 1000)
+
+
+class TestNecessaryCapabilities:
+    def test_single_route_blames_one_cap(self):
+        """With only CapSetuid enabling attack 4, it gets the blame —
+        the paper's passwd_priv3 vs passwd_priv4 observation."""
+        caps = CapabilitySet.of("CapSetuid", "CapSetgid")
+        blamed = necessary_capabilities(KILL_SSHD, caps, USER, USER, SURFACE)
+        assert blamed == CapabilitySet.of("CapSetuid")
+
+    def test_invulnerable_phase_blames_nothing(self):
+        caps = CapabilitySet.of("CapSetgid")
+        assert necessary_capabilities(KILL_SSHD, caps, USER, USER, SURFACE) == (
+            CapabilitySet.empty()
+        )
+
+    def test_redundant_routes_blame_nothing_individually(self):
+        """CapDacReadSearch and CapDacOverride each read /dev/mem alone;
+        removing either leaves the other."""
+        caps = CapabilitySet.of("CapDacReadSearch", "CapDacOverride")
+        blamed = necessary_capabilities(READ_DEV_MEM, caps, USER, USER, SURFACE)
+        assert blamed == CapabilitySet.empty()
+
+    def test_credentials_only_attack_blames_nothing(self):
+        """euid 0 reads /dev/mem by DAC: no capability is to blame."""
+        blamed = necessary_capabilities(
+            READ_DEV_MEM, CapabilitySet.of("CapSetgid"), (0, 0, 0), USER, SURFACE
+        )
+        # With euid 0, removal of CapSetgid leaves the DAC route open.
+        assert blamed == CapabilitySet.empty()
+
+
+class TestMinimalBlockingSets:
+    def test_redundant_routes_need_a_pair(self):
+        caps = CapabilitySet.of("CapDacReadSearch", "CapDacOverride")
+        sets = minimal_blocking_sets(READ_DEV_MEM, caps, USER, USER, SURFACE)
+        assert sets == [CapabilitySet.of("CapDacReadSearch", "CapDacOverride")]
+
+    def test_single_cap_set_preferred(self):
+        caps = CapabilitySet.of("CapSetuid", "CapSetgid")
+        sets = minimal_blocking_sets(WRITE_DEV_MEM, caps, USER, USER, SURFACE)
+        assert CapabilitySet.of("CapSetuid") in sets
+        # No superset of a reported set is reported.
+        for found in sets:
+            assert not any(
+                other != found and other.issubset(found) for other in sets
+            )
+
+    def test_not_feasible_returns_empty(self):
+        sets = minimal_blocking_sets(
+            KILL_SSHD, CapabilitySet.empty(), USER, USER, SURFACE
+        )
+        assert sets == []
+
+
+class TestProgramBlame:
+    @pytest.fixture(scope="class")
+    def su_analysis(self):
+        return PrivAnalyzer().analyze(spec_by_name("su"))
+
+    def test_su_attack4_blames_setuid(self, su_analysis):
+        """Reproduces §VII-D2: 'The last privilege to remain live is
+        CAP_SETUID' — it is the necessary capability for attack 4 in
+        every vulnerable phase."""
+        blame = blame_phases(su_analysis)
+        for phase_name, row in blame.items():
+            if 4 in row:
+                assert "CapSetuid" in row[4], phase_name
+
+    def test_render_mentions_phases(self, su_analysis):
+        text = render_blame(su_analysis)
+        assert "su_priv1" in text
+        assert "defeats the attack" in text
+
+    def test_invulnerable_program_renders_cleanly(self):
+        analysis = PrivAnalyzer().analyze(spec_by_name("ping"))
+        assert "nothing to blame" in render_blame(analysis)

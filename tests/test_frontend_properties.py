@@ -1,0 +1,169 @@
+"""Property-based testing of the PrivC frontend.
+
+Hypothesis generates random arithmetic/logical expressions; the compiled
+PrivC program must print exactly what a Python reference evaluator
+computes (with C semantics for division and 64-bit wrapping).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import I64
+from repro.oskernel import Kernel
+from repro.vm import Interpreter
+
+
+# -- a tiny expression AST shared by both evaluators ----------------------------
+
+OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", ">", ">=", "==", "!="]
+
+
+def exprs(depth):
+    leaf = st.integers(min_value=-50, max_value=50).map(lambda n: ("lit", n))
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    binary = st.tuples(st.sampled_from(OPS), sub, sub).map(
+        lambda t: ("bin", t[0], t[1], t[2])
+    )
+    unary = sub.map(lambda e: ("neg", e))
+    logical = st.tuples(st.sampled_from(["&&", "||"]), sub, sub).map(
+        lambda t: ("bin", t[0], t[1], t[2])
+    )
+    return st.one_of(leaf, binary, unary, logical)
+
+
+def to_privc(expr) -> str:
+    kind = expr[0]
+    if kind == "lit":
+        value = expr[1]
+        return f"(0 - {-value})" if value < 0 else str(value)
+    if kind == "neg":
+        return f"(-{to_privc(expr[1])})"
+    _, operator, lhs, rhs = expr
+    return f"({to_privc(lhs)} {operator} {to_privc(rhs)})"
+
+
+def wrap64(value: int) -> int:
+    return I64.wrap(value)
+
+
+def reference_eval(expr):
+    """Python reference with C semantics; None signals division by zero."""
+    kind = expr[0]
+    if kind == "lit":
+        return expr[1]
+    if kind == "neg":
+        inner = reference_eval(expr[1])
+        return None if inner is None else wrap64(-inner)
+    _, operator, lhs_expr, rhs_expr = expr
+    lhs = reference_eval(lhs_expr)
+    if lhs is None:
+        return None
+    if operator == "&&":
+        if lhs == 0:
+            return 0
+        rhs = reference_eval(rhs_expr)
+        return None if rhs is None else int(rhs != 0)
+    if operator == "||":
+        if lhs != 0:
+            return 1
+        rhs = reference_eval(rhs_expr)
+        return None if rhs is None else int(rhs != 0)
+    rhs = reference_eval(rhs_expr)
+    if rhs is None:
+        return None
+    if operator in ("/", "%") and rhs == 0:
+        return None
+    table = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1),
+        "%": lambda a, b: a - (abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)) * b,
+        "&": lambda a, b: a & b,
+        "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+        "<": lambda a, b: int(a < b),
+        "<=": lambda a, b: int(a <= b),
+        ">": lambda a, b: int(a > b),
+        ">=": lambda a, b: int(a >= b),
+        "==": lambda a, b: int(a == b),
+        "!=": lambda a, b: int(a != b),
+    }
+    return wrap64(table[operator](lhs, rhs))
+
+
+def run_privc_expression(text: str):
+    source = f"void main() {{ print_int({text}); }}"
+    module = compile_source(source)
+    kernel = Kernel()
+    process = kernel.spawn(1000, 1000)
+    vm = Interpreter(module, kernel, process)
+    from repro.vm import VMError
+
+    try:
+        vm.run()
+    except VMError as error:
+        if "by zero" in str(error):
+            return None
+        raise
+    return int(vm.stdout[0])
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs(3))
+def test_expression_evaluation_matches_reference(expr):
+    expected = reference_eval(expr)
+    actual = run_privc_expression(to_privc(expr))
+    assert actual == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(3))
+def test_optimised_evaluation_matches_reference(expr):
+    """The same property through the optimisation pipeline."""
+    from repro.ir.passes import optimize_module
+
+    expected = reference_eval(expr)
+    source = f"void main() {{ print_int({to_privc(expr)}); }}"
+    module = compile_source(source)
+    optimize_module(module)
+    kernel = Kernel()
+    process = kernel.spawn(1000, 1000)
+    vm = Interpreter(module, kernel, process)
+    from repro.vm import VMError
+
+    try:
+        vm.run()
+        actual = int(vm.stdout[0])
+    except VMError as error:
+        assert "by zero" in str(error)
+        actual = None
+    assert actual == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8))
+def test_loop_summation_matches_python(values):
+    """Summing through PrivC control flow equals Python's sum."""
+    assignments = "\n".join(
+        f"    if (i == {index}) {{ x = x + {value}; }}"
+        for index, value in enumerate(values)
+    )
+    source = f"""
+    void main() {{
+        int x = 0;
+        int i;
+        for (i = 0; i < {len(values)}; i = i + 1) {{
+{assignments}
+        }}
+        print_int(x);
+    }}
+    """
+    module = compile_source(source)
+    kernel = Kernel()
+    process = kernel.spawn(1000, 1000)
+    vm = Interpreter(module, kernel, process)
+    vm.run()
+    assert int(vm.stdout[0]) == sum(values)

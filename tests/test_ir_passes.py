@@ -1,0 +1,180 @@
+"""Optimisation passes: folding, branch simplification, DCE — and the
+semantic-preservation property, checked by differential execution."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.passes import optimize_module
+from repro.oskernel import Kernel
+from repro.vm import Interpreter
+
+
+def run(module, argv=(), stdin=()):
+    kernel = Kernel()
+    process = kernel.spawn(1000, 1000)
+    vm = Interpreter(module, kernel, process, argv=list(argv), stdin=list(stdin))
+    code = vm.run()
+    return code, vm.stdout, vm.executed_instructions
+
+
+def optimized(source):
+    module = compile_source(source)
+    report = optimize_module(module)
+    verify_module(module)
+    return module, report
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        module, report = optimized("void main() { print_int(2 + 3 * 4); }")
+        assert report.folded_instructions >= 2
+        code, out, _ = run(module)
+        assert out == ["14"]
+
+    def test_division_by_zero_not_folded(self):
+        # 1/0 must keep trapping at runtime, not fold to garbage.
+        module, report = optimized("void main() { print_int(1 / (2 - 2)); }")
+        from repro.vm import VMError
+
+        kernel = Kernel()
+        process = kernel.spawn(1000, 1000)
+        vm = Interpreter(module, kernel, process)
+        with pytest.raises(VMError, match="by zero"):
+            vm.run()
+
+    def test_folds_through_chains(self):
+        module, report = optimized(
+            "void main() { int x = (1 << 7) | (1 << 0); print_int(x); }"
+        )
+        _, out, _ = run(module)
+        assert out == ["129"]
+
+
+class TestBranchSimplification:
+    def test_constant_branch_becomes_jump(self):
+        module, report = optimized(
+            """
+            void main() {
+                if (1 == 1) { print_int(1); } else { print_int(2); }
+            }
+            """
+        )
+        assert report.simplified_branches >= 1
+        assert report.removed_blocks >= 1
+        _, out, _ = run(module)
+        assert out == ["1"]
+
+    def test_dead_arm_removed(self):
+        module, report = optimized(
+            """
+            void main() {
+                if (2 < 1) { print_int(999); }
+                print_int(7);
+            }
+            """
+        )
+        _, out, _ = run(module)
+        assert out == ["7"]
+        main = module.get_function("main")
+        # The then-arm is unreachable and must be gone.
+        assert all(block.name != "if.then" for block in main.blocks)
+
+
+class TestSemanticPreservation:
+    CORPUS = [
+        ("void main() { print_int(10 % 3 + 100 / 7); }", (), ()),
+        (
+            """
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            void main() { print_int(fib(12)); }
+            """,
+            (),
+            (),
+        ),
+        (
+            """
+            void main() {
+                int i;
+                int t = 0;
+                for (i = 0; i < 50; i = i + 1) {
+                    if (i % 3 == 0 && i % 5 == 0) { t = t + 100; }
+                    else if (i % 3 == 0) { t = t + 1; }
+                    else { t = t - 1; }
+                }
+                print_int(t);
+            }
+            """,
+            (),
+            (),
+        ),
+        (
+            """
+            int sq(int x) { return x * x; }
+            int tw(int x) { return 2 * x; }
+            void main() {
+                fnptr f = &sq;
+                if (str_to_int(arg_str(0)) > 5) { f = &tw; }
+                print_int(f(10));
+            }
+            """,
+            ("9",),
+            (),
+        ),
+        (
+            """
+            void main() {
+                str line = read_line();
+                print_int(strlen(line) * (3 + 4));
+            }
+            """,
+            (),
+            ("hello",),
+        ),
+    ]
+
+    @pytest.mark.parametrize("source,argv,stdin", CORPUS)
+    def test_output_identical(self, source, argv, stdin):
+        plain = compile_source(source)
+        plain_result = run(plain, argv, stdin)
+
+        module, _ = optimized(source)
+        optimized_result = run(module, argv, stdin)
+
+        assert optimized_result[0] == plain_result[0]  # exit code
+        assert optimized_result[1] == plain_result[1]  # stdout
+
+    @pytest.mark.parametrize("source,argv,stdin", CORPUS)
+    def test_never_slower(self, source, argv, stdin):
+        plain = compile_source(source)
+        _, _, plain_count = run(plain, argv, stdin)
+        module, _ = optimized(source)
+        _, _, optimized_count = run(module, argv, stdin)
+        assert optimized_count <= plain_count
+
+
+class TestPipelineIntegration:
+    def test_programs_survive_optimisation(self):
+        """Every shipped program model still behaves after optimisation."""
+        from repro.autopriv import transform_module
+        from repro.chronopriv import instrument_module
+        from repro.oskernel.setup import build_kernel
+        from repro.programs import spec_by_name
+
+        for name in ("ping", "thttpd"):
+            spec = spec_by_name(name)
+            module = compile_source(spec.source, spec.name)
+            optimize_module(module)
+            transform_module(module, spec.permitted)
+            instrument_module(module)
+            verify_module(module)
+            kernel = build_kernel()
+            process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+            vm = Interpreter(
+                module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
+            )
+            vm.env.update({k: list(v) if isinstance(v, list) else v
+                           for k, v in spec.env.items()})
+            if spec.setup:
+                spec.setup(kernel, vm)
+            assert vm.run() == spec.expected_exit

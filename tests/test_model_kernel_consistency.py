@@ -1,0 +1,146 @@
+"""Differential testing: ROSA's model must agree with the kernel.
+
+ROSA is PrivAnalyzer's specification of what an attacker can do; the
+simulated kernel is what programs actually run on.  If the two diverge,
+PrivAnalyzer's verdicts are wrong about the very system it measures.
+These property tests throw randomized DAC scenarios at both
+implementations and require identical answers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caps import Capability, CapabilitySet, Credentials
+from repro.oskernel import permissions as kernel_perms
+from repro.oskernel.filesystem import Inode, REGULAR
+from repro.rosa import model, permissions as rosa_perms
+
+small_ids = st.sampled_from([0, 15, 42, 998, 1000, 1001, 2000])
+modes = st.integers(min_value=0, max_value=0o777)
+cap_subsets = st.frozensets(
+    st.sampled_from(
+        [
+            Capability.CAP_DAC_OVERRIDE,
+            Capability.CAP_DAC_READ_SEARCH,
+            Capability.CAP_FOWNER,
+            Capability.CAP_CHOWN,
+            Capability.CAP_KILL,
+            Capability.CAP_SETUID,
+            Capability.CAP_SETGID,
+            Capability.CAP_NET_BIND_SERVICE,
+        ]
+    ),
+    max_size=4,
+)
+
+
+def make_pair(euid, egid, supplementary, owner, group, mode):
+    """The same subject/object in both representations."""
+    rosa_proc = model.process(
+        1,
+        euid=euid, ruid=euid, suid=euid,
+        egid=egid, rgid=egid, sgid=egid,
+        supplementary=supplementary,
+    )
+    rosa_file = model.file_obj(2, name="f", owner=owner, group=group, perms=mode)
+    creds = Credentials.for_user(euid, egid, supplementary)
+    inode = Inode(ino=2, kind=REGULAR, owner=owner, group=group, mode=mode)
+    return rosa_proc, rosa_file, creds, inode
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, st.frozensets(small_ids, max_size=2),
+       small_ids, small_ids, modes, cap_subsets)
+def test_read_agreement(euid, egid, supp, owner, group, mode, caps):
+    rosa_proc, rosa_file, creds, inode = make_pair(euid, egid, supp, owner, group, mode)
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_read(rosa_proc, rosa_file, caps) == kernel_perms.may_read(
+        inode, creds, capset
+    )
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, st.frozensets(small_ids, max_size=2),
+       small_ids, small_ids, modes, cap_subsets)
+def test_write_agreement(euid, egid, supp, owner, group, mode, caps):
+    rosa_proc, rosa_file, creds, inode = make_pair(euid, egid, supp, owner, group, mode)
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_write(rosa_proc, rosa_file, caps) == kernel_perms.may_write(
+        inode, creds, capset
+    )
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, st.frozensets(small_ids, max_size=2),
+       small_ids, small_ids, modes, cap_subsets)
+def test_search_agreement(euid, egid, supp, owner, group, mode, caps):
+    rosa_proc, rosa_file, creds, inode = make_pair(euid, egid, supp, owner, group, mode)
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_search(rosa_proc, rosa_file, caps) == kernel_perms.may_search(
+        inode, creds, capset
+    )
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, small_ids, small_ids, small_ids, small_ids, cap_subsets)
+def test_chown_agreement(euid, egid, owner, group, new_owner, new_group, caps):
+    rosa_proc, rosa_file, creds, inode = make_pair(
+        euid, egid, frozenset(), owner, group, 0o644
+    )
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_chown(
+        rosa_proc, rosa_file, new_owner, new_group, caps
+    ) == kernel_perms.may_chown(inode, new_owner, new_group, creds, capset)
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, small_ids, small_ids, cap_subsets)
+def test_chmod_agreement(euid, egid, owner, group, caps):
+    rosa_proc, rosa_file, creds, inode = make_pair(
+        euid, egid, frozenset(), owner, group, 0o644
+    )
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_chmod(rosa_proc, rosa_file, caps) == kernel_perms.may_chmod(
+        inode, creds, capset
+    )
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, small_ids, small_ids, small_ids, small_ids, cap_subsets)
+def test_signal_agreement(s_euid, s_ruid, v_ruid, v_suid, v_euid, v_egid, caps):
+    sender = model.process(
+        1, euid=s_euid, ruid=s_ruid, suid=s_ruid,
+        egid=0, rgid=0, sgid=0,
+    )
+    victim = model.process(
+        2, euid=v_euid, ruid=v_ruid, suid=v_suid,
+        egid=v_egid, rgid=v_egid, sgid=v_egid,
+    )
+    sender_creds = Credentials(ruid=s_ruid, euid=s_euid, suid=s_ruid,
+                               rgid=0, egid=0, sgid=0)
+    victim_creds = Credentials(ruid=v_ruid, euid=v_euid, suid=v_suid,
+                               rgid=v_egid, egid=v_egid, sgid=v_egid)
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_signal(sender, victim, caps) == kernel_perms.may_signal(
+        sender_creds, victim_creds, capset
+    )
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=-5, max_value=3000), cap_subsets)
+def test_bind_agreement(port, caps):
+    capset = CapabilitySet(caps)
+    assert rosa_perms.may_bind(port, caps) == kernel_perms.may_bind(port, capset)
+
+
+@settings(max_examples=300)
+@given(small_ids, small_ids, small_ids, small_ids, cap_subsets)
+def test_setuid_agreement(euid, ruid, suid, target, caps):
+    rosa_proc = model.process(
+        1, euid=euid, ruid=ruid, suid=suid, egid=0, rgid=0, sgid=0
+    )
+    creds = Credentials(ruid=ruid, euid=euid, suid=suid, rgid=0, egid=0, sgid=0)
+    rosa_answer = rosa_perms.may_set_uid(rosa_proc, target, caps)
+    kernel_answer = (
+        Capability.CAP_SETUID in caps or creds.may_set_uid_unprivileged(target)
+    )
+    assert rosa_answer == kernel_answer

@@ -1,0 +1,106 @@
+"""File-system structure: paths, inodes, structural mutation."""
+
+import pytest
+
+from repro.oskernel import FileSystem, SyscallError
+from repro.oskernel.errors import EEXIST, EISDIR, ENOENT, ENOTDIR
+from repro.oskernel.filesystem import split_path
+
+
+@pytest.fixture
+def fs():
+    filesystem = FileSystem()
+    filesystem.mkdir("/etc", 0, 0, 0o755)
+    filesystem.create_file("/etc/shadow", 0, 42, 0o640, "secret")
+    filesystem.mkdir("/etc/sub", 0, 0, 0o755)
+    return filesystem
+
+
+class TestPaths:
+    def test_split_absolute(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+        assert split_path("//a//b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(SyscallError) as excinfo:
+            split_path("a/b")
+        assert excinfo.value.errno_value == ENOENT
+
+
+class TestResolution:
+    def test_resolve_file(self, fs):
+        inode = fs.resolve("/etc/shadow")
+        assert inode.content == "secret"
+        assert inode.group == 42
+
+    def test_resolve_root(self, fs):
+        assert fs.resolve("/").is_dir
+
+    def test_missing_component(self, fs):
+        with pytest.raises(SyscallError) as excinfo:
+            fs.resolve("/etc/missing")
+        assert excinfo.value.errno_value == ENOENT
+
+    def test_file_used_as_directory(self, fs):
+        with pytest.raises(SyscallError) as excinfo:
+            fs.resolve("/etc/shadow/deeper")
+        assert excinfo.value.errno_value == ENOTDIR
+
+    def test_resolve_parent(self, fs):
+        parent, name = fs.resolve_parent("/etc/shadow")
+        assert parent.is_dir
+        assert name == "shadow"
+
+    def test_lookup_directories_lists_traversal(self, fs):
+        directories = fs.lookup_directories("/etc/sub/x")
+        assert [d.ino for d in directories] == [
+            fs.resolve("/").ino,
+            fs.resolve("/etc").ino,
+            fs.resolve("/etc/sub").ino,
+        ]
+
+    def test_exists(self, fs):
+        assert fs.exists("/etc/shadow")
+        assert not fs.exists("/etc/missing")
+
+
+class TestMutation:
+    def test_create_duplicate_rejected(self, fs):
+        with pytest.raises(SyscallError) as excinfo:
+            fs.create_file("/etc/shadow", 0, 0, 0o644)
+        assert excinfo.value.errno_value == EEXIST
+
+    def test_mkdir_duplicate_rejected(self, fs):
+        with pytest.raises(SyscallError):
+            fs.mkdir("/etc", 0, 0, 0o755)
+
+    def test_unlink(self, fs):
+        fs.unlink("/etc/shadow")
+        assert not fs.exists("/etc/shadow")
+
+    def test_unlink_directory_rejected(self, fs):
+        with pytest.raises(SyscallError) as excinfo:
+            fs.unlink("/etc/sub")
+        assert excinfo.value.errno_value == EISDIR
+
+    def test_rename_moves_inode(self, fs):
+        original = fs.resolve("/etc/shadow").ino
+        fs.rename("/etc/shadow", "/etc/sub/shadow2")
+        assert not fs.exists("/etc/shadow")
+        assert fs.resolve("/etc/sub/shadow2").ino == original
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(SyscallError):
+            fs.rename("/etc/nope", "/etc/other")
+
+    def test_stat(self, fs):
+        stat = fs.stat("/etc/shadow")
+        assert stat.owner == 0
+        assert stat.group == 42
+        assert stat.mode == 0o640
+        assert stat.size == len("secret")
+
+    def test_stale_inode(self, fs):
+        with pytest.raises(SyscallError):
+            fs.inode(9999)

@@ -1,0 +1,487 @@
+"""Kernel syscall semantics: credentials, capabilities, files, signals, sockets."""
+
+import pytest
+
+from repro.caps import Capability, CapabilitySet
+from repro.oskernel import KEEP_ID, Kernel, SyscallError, ZOMBIE, signals
+from repro.oskernel.errors import (
+    EACCES,
+    EADDRINUSE,
+    EBADF,
+    EINVAL,
+    EPERM,
+    ESRCH,
+)
+from repro.oskernel.setup import (
+    GID_SHADOW,
+    GID_USER,
+    UID_OTHER,
+    UID_USER,
+    build_kernel,
+)
+
+
+@pytest.fixture
+def kernel():
+    return build_kernel()
+
+
+def spawn(kernel, *caps, uid=UID_USER, gid=GID_USER, lockdown=True, supplementary=()):
+    process = kernel.spawn(
+        uid, gid, permitted=CapabilitySet.of(*caps), supplementary=supplementary
+    )
+    if lockdown:
+        kernel.sys_prctl_lockdown(process.pid)
+    return process
+
+
+class TestCredentialSyscalls:
+    def test_getters(self, kernel):
+        process = spawn(kernel)
+        assert kernel.sys_getuid(process.pid) == UID_USER
+        assert kernel.sys_geteuid(process.pid) == UID_USER
+        assert kernel.sys_getresuid(process.pid) == (UID_USER,) * 3
+        assert kernel.sys_getresgid(process.pid) == (GID_USER,) * 3
+
+    def test_setuid_privileged_sets_all(self, kernel):
+        process = spawn(kernel, "CapSetuid")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setuid(process.pid, 0)
+        assert process.creds.uid_triple == (0, 0, 0)
+
+    def test_setuid_requires_effective_not_permitted(self, kernel):
+        # Permitted but not raised: the syscall must fail.
+        process = spawn(kernel, "CapSetuid")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_setuid(process.pid, 0)
+        assert excinfo.value.errno_value == EPERM
+
+    def test_setuid_unprivileged_to_saved(self, kernel):
+        process = spawn(kernel)
+        process.creds = process.creds.replace(suid=UID_OTHER)
+        kernel.sys_setuid(process.pid, UID_OTHER)
+        assert process.creds.euid == UID_OTHER
+        assert process.creds.ruid == UID_USER
+
+    def test_seteuid_bounce_between_real_and_saved(self, kernel):
+        process = spawn(kernel)
+        process.creds = process.creds.replace(suid=UID_OTHER)
+        kernel.sys_seteuid(process.pid, UID_OTHER)
+        kernel.sys_seteuid(process.pid, UID_USER)
+        assert process.creds.euid == UID_USER
+
+    def test_setresuid_keep(self, kernel):
+        process = spawn(kernel, "CapSetuid")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setresuid(process.pid, KEEP_ID, 998, KEEP_ID)
+        assert process.creds.uid_triple == (UID_USER, 998, UID_USER)
+
+    def test_setresuid_unprivileged_foreign_rejected(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_setresuid(process.pid, 0, 0, 0)
+
+    def test_setgid_family(self, kernel):
+        process = spawn(kernel, "CapSetgid")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetgid"))
+        kernel.sys_setgid(process.pid, 42)
+        assert process.creds.gid_triple == (42, 42, 42)
+
+    def test_setgroups_needs_cap(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_setgroups(process.pid, (42,))
+        privileged = spawn(kernel, "CapSetgid")
+        kernel.sys_priv_raise(privileged.pid, CapabilitySet.of("CapSetgid"))
+        kernel.sys_setgroups(privileged.pid, (42,))
+        assert privileged.creds.supplementary == frozenset({42})
+
+    def test_unknown_pid(self, kernel):
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_getuid(424242)
+        assert excinfo.value.errno_value == ESRCH
+
+
+class TestSetuidFixup:
+    """The kernel's root-uid capability coupling, and the prctl opt-out."""
+
+    def test_leaving_root_clears_caps_without_lockdown(self, kernel):
+        process = spawn(kernel, "CapSetuid", uid=0, gid=0, lockdown=False)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setuid(process.pid, UID_USER)
+        assert not process.caps.permitted
+        assert not process.caps.effective
+
+    def test_lockdown_preserves_caps_across_uid_change(self, kernel):
+        process = spawn(kernel, "CapSetuid", uid=0, gid=0, lockdown=True)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setuid(process.pid, UID_USER)
+        assert "CapSetuid" in process.caps.permitted
+
+    def test_euid_to_zero_fills_effective_without_lockdown(self, kernel):
+        process = spawn(kernel, "CapSetuid", "CapChown", lockdown=False)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setuid(process.pid, 0)
+        # Old-style root semantics: effective filled from permitted.
+        assert "CapChown" in process.caps.effective
+
+    def test_euid_to_zero_with_lockdown_keeps_effective(self, kernel):
+        process = spawn(kernel, "CapSetuid", "CapChown", lockdown=True)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSetuid"))
+        kernel.sys_setuid(process.pid, 0)
+        assert "CapChown" not in process.caps.effective
+
+
+class TestPrivWrappers:
+    def test_raise_lower_remove_cycle(self, kernel):
+        process = spawn(kernel, "CapChown")
+        caps = CapabilitySet.of("CapChown")
+        kernel.sys_priv_raise(process.pid, caps)
+        assert "CapChown" in process.caps.effective
+        kernel.sys_priv_lower(process.pid, caps)
+        assert "CapChown" not in process.caps.effective
+        assert "CapChown" in process.caps.permitted
+        kernel.sys_priv_remove(process.pid, caps)
+        assert "CapChown" not in process.caps.permitted
+        with pytest.raises(SyscallError):
+            kernel.sys_priv_raise(process.pid, caps)
+
+    def test_observer_notified_on_changes(self, kernel):
+        events = []
+        kernel.cred_observers.append(lambda p: events.append(p.caps.permitted))
+        process = spawn(kernel, "CapChown")
+        kernel.sys_priv_remove(process.pid, CapabilitySet.of("CapChown"))
+        assert events and not events[-1]
+
+
+class TestFileSyscalls:
+    def test_open_read_denied_then_allowed(self, kernel):
+        process = spawn(kernel, "CapDacReadSearch")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_open(process.pid, "/etc/shadow", "r")
+        assert excinfo.value.errno_value == EACCES
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapDacReadSearch"))
+        fd = kernel.sys_open(process.pid, "/etc/shadow", "r")
+        assert kernel.sys_read(process.pid, fd).startswith("root:")
+
+    def test_dac_read_search_does_not_grant_write(self, kernel):
+        process = spawn(kernel, "CapDacReadSearch")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapDacReadSearch"))
+        with pytest.raises(SyscallError):
+            kernel.sys_open(process.pid, "/etc/shadow", "w")
+
+    def test_group_access_via_supplementary(self, kernel):
+        process = spawn(kernel, supplementary=(GID_SHADOW,))
+        fd = kernel.sys_open(process.pid, "/etc/shadow", "r")
+        assert fd >= 3
+
+    def test_create_requires_parent_write(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_open(process.pid, "/etc/newfile", "wc")
+        fd = kernel.sys_open(process.pid, "/home/user/newfile", "wc", 0o600)
+        assert fd >= 3
+        stat = kernel.sys_stat(process.pid, "/home/user/newfile")
+        assert stat.owner == UID_USER
+
+    def test_write_and_read_roundtrip(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/home/user/notes", "wcr", 0o600)
+        kernel.sys_write(process.pid, fd, "hello")
+        assert kernel.sys_read(process.pid, fd) == "hello"
+        kernel.sys_truncate_fd(process.pid, fd)
+        assert kernel.sys_read(process.pid, fd) == ""
+
+    def test_read_on_writeonly_fd(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/home/user/wonly", "wc")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_read(process.pid, fd)
+        assert excinfo.value.errno_value == EBADF
+
+    def test_close_invalidates_fd(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/etc/passwd", "r")
+        kernel.sys_close(process.pid, fd)
+        with pytest.raises(SyscallError):
+            kernel.sys_read(process.pid, fd)
+
+    def test_devmem_read_records_access(self, kernel):
+        process = spawn(kernel, uid=0, gid=0)
+        fd = kernel.sys_open(process.pid, "/dev/mem", "r")
+        content = kernel.sys_read(process.pid, fd)
+        assert "physical memory" in content
+        assert kernel.devmem_reads == [process.pid]
+
+    def test_devmem_write_corrupts_memory(self, kernel):
+        process = spawn(kernel, uid=0, gid=0)
+        fd = kernel.sys_open(process.pid, "/dev/mem", "w")
+        kernel.sys_write(process.pid, fd, "pwned")
+        assert kernel.physical_memory == "pwned"
+
+    def test_devmem_denied_for_regular_user(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_open(process.pid, "/dev/mem", "r")
+
+    def test_chmod_needs_ownership_or_fowner(self, kernel):
+        process = spawn(kernel, "CapFowner")
+        with pytest.raises(SyscallError):
+            kernel.sys_chmod(process.pid, "/etc/passwd", 0o666)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapFowner"))
+        kernel.sys_chmod(process.pid, "/etc/passwd", 0o666)
+        assert kernel.fs.resolve("/etc/passwd").mode == 0o666
+
+    def test_chown_needs_cap(self, kernel):
+        process = spawn(kernel, "CapChown")
+        with pytest.raises(SyscallError):
+            kernel.sys_chown(process.pid, "/etc/passwd", UID_USER, GID_USER)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapChown"))
+        kernel.sys_chown(process.pid, "/etc/passwd", UID_USER, KEEP_ID)
+        inode = kernel.fs.resolve("/etc/passwd")
+        assert inode.owner == UID_USER
+        assert inode.group == 0  # KEEP_ID left the group alone
+
+    def test_fchmod_fchown_via_fd(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/home/user/own", "wc", 0o600)
+        kernel.sys_fchmod(process.pid, fd, 0o644)
+        assert kernel.fs.resolve("/home/user/own").mode == 0o644
+        kernel.sys_fchown(process.pid, fd, KEEP_ID, GID_USER)
+        assert kernel.fs.resolve("/home/user/own").group == GID_USER
+
+    def test_unlink_rename_respect_parent_write(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_unlink(process.pid, "/etc/passwd")
+        kernel.sys_open(process.pid, "/home/user/junk", "wc")
+        kernel.sys_rename(process.pid, "/home/user/junk", "/home/user/junk2")
+        kernel.sys_unlink(process.pid, "/home/user/junk2")
+        assert not kernel.fs.exists("/home/user/junk2")
+
+    def test_access_uses_real_ids(self, kernel):
+        process = spawn(kernel)
+        # euid switched to other, but access() judges by the real uid.
+        process.creds = process.creds.replace(euid=UID_OTHER)
+        kernel.sys_access(process.pid, "/home/user", "rw")
+        with pytest.raises(SyscallError):
+            kernel.sys_access(process.pid, "/home/other/payload.bin", "r")
+
+    def test_stat_requires_search_permission(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError):
+            kernel.sys_stat(process.pid, "/home/other/payload.bin")
+
+    def test_chroot_needs_cap(self, kernel):
+        process = spawn(kernel, "CapSysChroot")
+        with pytest.raises(SyscallError):
+            kernel.sys_chroot(process.pid, "/srv/www")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSysChroot"))
+        kernel.sys_chroot(process.pid, "/srv/www")
+        assert process.chroot_path == "/srv/www"
+
+    def test_chroot_to_file_rejected(self, kernel):
+        process = spawn(kernel, "CapSysChroot")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapSysChroot"))
+        with pytest.raises(SyscallError):
+            kernel.sys_chroot(process.pid, "/etc/passwd")
+
+
+class TestSockets:
+    def test_bind_privileged_port(self, kernel):
+        process = spawn(kernel, "CapNetBindService")
+        fd = kernel.sys_socket(process.pid)
+        with pytest.raises(SyscallError):
+            kernel.sys_bind(process.pid, fd, 80)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapNetBindService"))
+        kernel.sys_bind(process.pid, fd, 80)
+        assert kernel.bound_ports[80] == process.pid
+
+    def test_bind_address_in_use(self, kernel):
+        a = spawn(kernel)
+        b = spawn(kernel)
+        fd_a = kernel.sys_socket(a.pid)
+        kernel.sys_bind(a.pid, fd_a, 8080)
+        fd_b = kernel.sys_socket(b.pid)
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_bind(b.pid, fd_b, 8080)
+        assert excinfo.value.errno_value == EADDRINUSE
+
+    def test_double_bind_rejected(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_socket(process.pid)
+        kernel.sys_bind(process.pid, fd, 9000)
+        with pytest.raises(SyscallError):
+            kernel.sys_bind(process.pid, fd, 9001)
+
+    def test_close_releases_port(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_socket(process.pid)
+        kernel.sys_bind(process.pid, fd, 9000)
+        kernel.sys_close(process.pid, fd)
+        assert 9000 not in kernel.bound_ports
+
+    def test_listen_requires_bound(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_socket(process.pid)
+        with pytest.raises(SyscallError):
+            kernel.sys_listen(process.pid, fd)
+        kernel.sys_bind(process.pid, fd, 9000)
+        kernel.sys_listen(process.pid, fd)
+
+    def test_raw_socket_needs_cap(self, kernel):
+        process = spawn(kernel, "CapNetRaw")
+        with pytest.raises(SyscallError):
+            kernel.sys_socket(process.pid, raw=True)
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapNetRaw"))
+        assert kernel.sys_socket(process.pid, raw=True) >= 3
+
+    def test_setsockopt_privileged_options(self, kernel):
+        process = spawn(kernel, "CapNetAdmin")
+        fd = kernel.sys_socket(process.pid)
+        with pytest.raises(SyscallError):
+            kernel.sys_setsockopt(process.pid, fd, "debug")
+        kernel.sys_priv_raise(process.pid, CapabilitySet.of("CapNetAdmin"))
+        kernel.sys_setsockopt(process.pid, fd, "debug")
+        kernel.sys_setsockopt(process.pid, fd, "reuseaddr")  # unprivileged opt
+
+
+class TestSignals:
+    def test_kill_foreign_denied(self, kernel):
+        attacker = spawn(kernel)
+        victim = spawn(kernel, uid=UID_OTHER, gid=UID_OTHER)
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_kill(attacker.pid, victim.pid, signals.SIGKILL)
+        assert excinfo.value.errno_value == EPERM
+
+    def test_kill_own_process_fatal_default(self, kernel):
+        sender = spawn(kernel)
+        victim = spawn(kernel)
+        kernel.sys_kill(sender.pid, victim.pid, signals.SIGTERM)
+        assert victim.state == ZOMBIE
+        assert victim.exit_signal == signals.SIGTERM
+
+    def test_signal_zero_probes_only(self, kernel):
+        sender = spawn(kernel)
+        victim = spawn(kernel)
+        kernel.sys_kill(sender.pid, victim.pid, 0)
+        assert victim.alive
+
+    def test_cap_kill_bypasses(self, kernel):
+        attacker = spawn(kernel, "CapKill")
+        victim = spawn(kernel, uid=UID_OTHER, gid=UID_OTHER)
+        kernel.sys_priv_raise(attacker.pid, CapabilitySet.of("CapKill"))
+        kernel.sys_kill(attacker.pid, victim.pid, signals.SIGKILL)
+        assert victim.state == ZOMBIE
+
+    def test_handler_queues_instead_of_killing(self, kernel):
+        sender = spawn(kernel)
+        victim = spawn(kernel)
+        kernel.sys_signal(victim.pid, signals.SIGTERM, "my_handler")
+        kernel.sys_kill(sender.pid, victim.pid, signals.SIGTERM)
+        assert victim.alive
+        assert victim.pending_signals == [(signals.SIGTERM, "my_handler")]
+
+    def test_sig_ign_discards(self, kernel):
+        sender = spawn(kernel)
+        victim = spawn(kernel)
+        kernel.sys_signal(victim.pid, signals.SIGTERM, signals.SIG_IGN)
+        kernel.sys_kill(sender.pid, victim.pid, signals.SIGTERM)
+        assert victim.alive
+        assert victim.pending_signals == []
+
+    def test_sigkill_uncatchable(self, kernel):
+        victim = spawn(kernel)
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_signal(victim.pid, signals.SIGKILL, "handler")
+        assert excinfo.value.errno_value == EINVAL
+
+    def test_kill_dead_process(self, kernel):
+        sender = spawn(kernel)
+        victim = spawn(kernel)
+        kernel.sys_kill(sender.pid, victim.pid, signals.SIGKILL)
+        with pytest.raises(SyscallError):
+            kernel.sys_kill(sender.pid, victim.pid, signals.SIGKILL)
+
+
+class TestMachineImages:
+    def test_default_image_root_owns_shadow(self):
+        kernel = build_kernel()
+        assert kernel.fs.resolve("/etc/shadow").owner == 0
+        assert kernel.fs.resolve("/etc").owner == 0
+
+    def test_refactored_image_etc_owns_shadow(self):
+        kernel = build_kernel(refactored_ownership=True)
+        assert kernel.fs.resolve("/etc/shadow").owner == 998
+        assert kernel.fs.resolve("/etc").owner == 998
+        assert kernel.fs.resolve("/var/log/sulog").owner == 998
+
+    def test_devmem_is_root_kmem_640(self):
+        kernel = build_kernel()
+        inode = kernel.fs.resolve("/dev/mem")
+        assert (inode.owner, inode.group, inode.mode) == (0, 15, 0o640)
+
+    def test_shadow_database_contents(self):
+        kernel = build_kernel()
+        content = kernel.fs.resolve("/etc/shadow").content
+        assert "user:$6$userpw:" in content
+        assert "other:$6$otherpw:" in content
+
+    def test_spawn_duplicate_pid_rejected(self):
+        kernel = build_kernel()
+        kernel.spawn(0, 0, pid=7)
+        with pytest.raises(ValueError):
+            kernel.spawn(0, 0, pid=7)
+
+
+class TestMoreEdges:
+    def test_rename_requires_both_parents_writable(self, kernel):
+        process = spawn(kernel)
+        kernel.sys_open(process.pid, "/home/user/file", "wc")
+        with pytest.raises(SyscallError):
+            kernel.sys_rename(process.pid, "/home/user/file", "/etc/file")
+
+    def test_open_invalid_flags(self, kernel):
+        process = spawn(kernel)
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_open(process.pid, "/etc/passwd", "c")
+        assert excinfo.value.errno_value == EINVAL
+
+    def test_connect_unowned_socket(self, kernel):
+        a = spawn(kernel)
+        b = spawn(kernel)
+        fd = kernel.sys_socket(a.pid)
+        with pytest.raises(SyscallError):
+            kernel.sys_connect(b.pid, fd, 80)
+
+    def test_write_through_readonly_fd(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/etc/passwd", "r")
+        with pytest.raises(SyscallError) as excinfo:
+            kernel.sys_write(process.pid, fd, "junk")
+        assert excinfo.value.errno_value == EBADF
+
+    def test_double_close(self, kernel):
+        process = spawn(kernel)
+        fd = kernel.sys_open(process.pid, "/etc/passwd", "r")
+        kernel.sys_close(process.pid, fd)
+        with pytest.raises(SyscallError):
+            kernel.sys_close(process.pid, fd)
+
+    def test_fork_child_gets_fresh_fd_table(self, kernel):
+        parent = spawn(kernel)
+        fd = kernel.sys_open(parent.pid, "/etc/passwd", "r")
+        child = kernel.sys_fork(parent.pid)
+        with pytest.raises(SyscallError):
+            kernel.sys_read(child.pid, fd)
+
+    def test_fork_inherits_lockdown(self, kernel):
+        parent = spawn(kernel, lockdown=True)
+        child = kernel.sys_fork(parent.pid)
+        assert child.no_setuid_fixup
+
+    def test_fork_inherits_handlers(self, kernel):
+        parent = spawn(kernel)
+        kernel.sys_signal(parent.pid, signals.SIGTERM, "my_handler")
+        child = kernel.sys_fork(parent.pid)
+        assert child.handlers[signals.SIGTERM] == "my_handler"

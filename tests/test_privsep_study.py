@@ -1,0 +1,177 @@
+"""The privilege-separation study: sshd monitor/child split.
+
+Compares the monolithic sshd (paper Table III: every capability
+permitted ≈100 % of execution) with the privilege-separated variant.
+The combined exposure metric weights each process's vulnerable
+instructions over the total instructions of both.
+"""
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core import PrivAnalyzer
+from repro.core.attacks import ALL_ATTACKS
+from repro.core.multiprocess import MultiProcessAnalysis, analyze_multiprocess
+from repro.frontend import compile_source
+from repro.oskernel.setup import build_kernel
+from repro.programs import spec_by_name
+from repro.rosa import check
+from repro.core.extract import syscalls_used
+
+
+def run_privsep():
+    """The privsep pipeline through the multi-process library API."""
+    analysis = analyze_multiprocess(spec_by_name("sshdPrivsep"))
+    return analysis
+
+
+@pytest.fixture(scope="module")
+def privsep():
+    return run_privsep()
+
+
+@pytest.fixture(scope="module")
+def monolithic():
+    return PrivAnalyzer().analyze(spec_by_name("sshd"))
+
+
+class TestPrivsepStructure:
+    def test_spawns_one_session_child(self, privsep):
+        assert len(privsep.reports) == 2  # monitor + one session child
+
+    def test_payload_still_served(self, privsep):
+        assert any("scp chunks" in line for line in privsep.stdout)
+
+    def test_child_runs_as_client_user(self, privsep):
+        final = privsep.reports[1].phases[-1]
+        assert final.uids == (1001, 1001, 1001)
+
+    def test_child_drops_every_capability(self, privsep):
+        final = privsep.reports[1].phases[-1]
+        assert final.privileges == CapabilitySet.empty()
+        # ...and that empty phase holds the crypto + transfer bulk.
+        assert final.percent > 95
+
+    def test_monitor_keeps_its_capabilities(self, privsep):
+        """The monitor's copy is untouched by the child's priv_remove."""
+        parent_report = privsep.reports[0]
+        assert any(
+            "CapSetuid" in phase.privileges for phase in parent_report.phases
+        )
+
+    def test_child_dwarfs_the_monitor(self, privsep):
+        parent, child = privsep.reports
+        assert child.total > 10 * parent.total
+
+    def test_render_contains_both_processes(self, privsep):
+        text = privsep.render()
+        assert "sshdPrivsep_priv1" in text
+        assert "sshdPrivsep-child1_priv1" in text
+
+
+class TestPrivsepExposure:
+    def test_combined_exposure_collapses(self, privsep, monolithic):
+        """The study's headline: the monolithic sshd is vulnerable to
+        /dev/mem reads for ~100 % of executed instructions; with the
+        privsep split, only the monitor's small share remains exposed."""
+        split = privsep.combined_exposure(ALL_ATTACKS[0])
+        mono = monolithic.vulnerability_window(1)
+        assert mono > 0.99
+        assert split < 0.10
+        assert split < mono / 5
+
+    def test_kill_exposure_also_collapses(self, privsep, monolithic):
+        split = privsep.combined_exposure(ALL_ATTACKS[3])
+        assert monolithic.vulnerability_window(4) > 0.99
+        assert split < 0.10
+
+    def test_exposure_table_covers_all_attacks(self, privsep):
+        table = privsep.exposure_table()
+        assert set(table) == {attack.name for attack in ALL_ATTACKS}
+        assert all(0.0 <= value <= 1.0 for value in table.values())
+
+    def test_monitor_remains_exposed_while_running(self, privsep):
+        """Privsep shrinks the exposed *instruction share*, not the
+        monitor's own capabilities — its phases stay vulnerable."""
+        parent_report = privsep.reports[0]
+        attack = ALL_ATTACKS[0]
+        surface = privsep.syscall_surface()
+        exposed_phases = 0
+        for phase in parent_report.phases:
+            query = attack.build_query(
+                phase.privileges, phase.uids, phase.gids, surface
+            )
+            if check(query).vulnerable:
+                exposed_phases += 1
+        assert exposed_phases >= 1
+
+
+class TestForkSemantics:
+    def test_fork_copies_globals_then_diverges(self):
+        source = """
+        int shared;
+        int child(int x) {
+            print_int(shared);
+            shared = 99;
+            return 0;
+        }
+        void main() {
+            shared = 41;
+            spawn_wait(&child, 0);
+            print_int(shared);
+            exit(0);
+        }
+        """
+        module = compile_source(source)
+        kernel = build_kernel()
+        process = kernel.spawn(1000, 1000)
+        from repro.vm import Interpreter
+
+        vm = Interpreter(module, kernel, process)
+        assert vm.run() == 0
+        # Child saw the parent's 41; parent never saw the child's 99.
+        assert vm.stdout == ["41", "41"]
+
+    def test_child_exit_code_propagates(self):
+        source = """
+        int child(int x) { return x + 5; }
+        void main() { print_int(spawn_wait(&child, 2)); exit(0); }
+        """
+        module = compile_source(source)
+        kernel = build_kernel()
+        process = kernel.spawn(1000, 1000)
+        from repro.vm import Interpreter
+
+        vm = Interpreter(module, kernel, process)
+        vm.run()
+        assert vm.stdout == ["7"]
+
+    def test_child_capability_changes_do_not_leak_to_parent(self):
+        source = """
+        int child(int x) {
+            priv_remove(CAP_SETUID);
+            return 0;
+        }
+        void main() {
+            spawn_wait(&child, 0);
+            print_int(priv_raise(CAP_SETUID));
+            exit(0);
+        }
+        """
+        module = compile_source(source)
+        kernel = build_kernel()
+        process = kernel.spawn(1000, 1000, permitted=CapabilitySet.of("CapSetuid"))
+        kernel.sys_prctl_lockdown(process.pid)
+        from repro.vm import Interpreter
+
+        vm = Interpreter(module, kernel, process)
+        vm.run()
+        assert vm.stdout == ["0"]  # the parent's raise still succeeds
+
+    def test_fork_inherits_credentials_and_caps(self):
+        kernel = build_kernel()
+        parent = kernel.spawn(1000, 1000, permitted=CapabilitySet.of("CapKill"))
+        child = kernel.sys_fork(parent.pid)
+        assert child.creds == parent.creds
+        assert child.caps.permitted == parent.caps.permitted
+        assert child.pid != parent.pid

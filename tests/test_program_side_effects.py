@@ -1,0 +1,219 @@
+"""Kernel-visible side effects of each program workload.
+
+The phase tables say how long privileges lived; these tests check the
+programs actually *did their jobs* — passwd rewrote the shadow database,
+thttpd served and logged the request, sshd delivered the payload, su ran
+the command as the target user.  A model that held privileges without
+performing the privileged work would reproduce the paper's tables while
+measuring nothing.
+"""
+
+import pytest
+
+from repro.autopriv import transform_module
+from repro.chronopriv import instrument_module
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.oskernel.setup import build_kernel
+from repro.programs import spec_by_name
+from repro.vm import Interpreter
+
+
+def run_spec(name):
+    spec = spec_by_name(name)
+    module = compile_source(spec.source, spec.name)
+    transform_module(module, spec.permitted)
+    instrument_module(module)
+    verify_module(module)
+    kernel = build_kernel(refactored_ownership=spec.refactored_fs)
+    process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+    vm = Interpreter(
+        module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
+    )
+    vm.env.update(
+        {k: list(v) if isinstance(v, list) else v for k, v in spec.env.items()}
+    )
+    if spec.setup is not None:
+        spec.setup(kernel, vm)
+    code = vm.run()
+    assert code == spec.expected_exit
+    return kernel, process, vm
+
+
+class TestPasswd:
+    def test_shadow_hash_replaced(self):
+        kernel, _, _ = run_spec("passwd")
+        content = kernel.fs.resolve("/etc/shadow").content
+        assert "user:$6$newsecret:" in content
+        assert "user:$6$userpw:" not in content
+
+    def test_other_entries_untouched(self):
+        kernel, _, _ = run_spec("passwd")
+        content = kernel.fs.resolve("/etc/shadow").content
+        assert "other:$6$otherpw:" in content
+        assert "root:$6$rootpw:" in content
+
+    def test_shadow_ownership_and_mode_restored(self):
+        kernel, _, _ = run_spec("passwd")
+        inode = kernel.fs.resolve("/etc/shadow")
+        assert (inode.owner, inode.group, inode.mode) == (0, 42, 0o640)
+
+    def test_lock_file_cleaned_up(self):
+        kernel, _, _ = run_spec("passwd")
+        assert not kernel.fs.exists("/etc/.pwd.lock")
+        assert not kernel.fs.exists("/etc/nshadow")
+
+    def test_never_touched_devmem(self):
+        kernel, _, _ = run_spec("passwd")
+        assert kernel.devmem_reads == []
+        assert kernel.devmem_writes == []
+
+
+class TestRefactoredPasswd:
+    def test_same_functional_result(self):
+        kernel, _, _ = run_spec("passwdRef")
+        content = kernel.fs.resolve("/etc/shadow").content
+        assert "user:$6$newsecret:" in content
+
+    def test_shadow_stays_etc_owned(self):
+        kernel, _, _ = run_spec("passwdRef")
+        assert kernel.fs.resolve("/etc/shadow").owner == 998
+
+    def test_process_never_became_root(self):
+        kernel, process, _ = run_spec("passwdRef")
+        assert process.creds.euid != 0
+        assert process.creds.uid_triple == (998, 998, 1000)
+
+
+class TestSu:
+    def test_process_ends_as_target_user(self):
+        _, process, _ = run_spec("su")
+        assert process.creds.uid_triple == (1001, 1001, 1001)
+        assert process.creds.gid_triple == (1001, 1001, 1001)
+
+    def test_supplementary_groups_switched(self):
+        _, process, _ = run_spec("su")
+        assert process.creds.supplementary == frozenset({1001})
+
+    def test_wrong_password_rejected(self):
+        spec = spec_by_name("su")
+        module = compile_source(spec.source, spec.name)
+        transform_module(module, spec.permitted)
+        kernel = build_kernel()
+        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+        vm = Interpreter(
+            module, kernel, process, argv=list(spec.argv),
+            stdin=["wrong", "alsowrong", "nope"],
+        )
+        assert vm.run() == 1
+        assert "su: Sorry." in vm.stdout
+        # Identity never switched.
+        assert process.creds.uid_triple == (1000, 1000, 1000)
+
+
+class TestRefactoredSu:
+    def test_ends_as_target_without_privileged_switch(self):
+        _, process, _ = run_spec("suRef")
+        assert process.creds.uid_triple == (1001, 1001, 1001)
+
+    def test_sulog_written_unprivileged(self):
+        kernel, _, _ = run_spec("suRef")
+        assert "SU other" in kernel.fs.resolve("/var/log/sulog").content
+
+
+class TestThttpd:
+    def test_response_sent(self):
+        _, _, vm = run_spec("thttpd")
+        sent = vm.env.get("sent", [])
+        assert "HTTP/1.0 200 OK" in sent
+        assert sum(1 for line in sent if line.startswith("chunk:")) > 10
+
+    def test_request_logged(self):
+        kernel, _, _ = run_spec("thttpd")
+        assert "GET /index.html" in kernel.fs.resolve("/var/log/thttpd.log").content
+
+    def test_log_reowned_to_server_user(self):
+        kernel, _, _ = run_spec("thttpd")
+        assert kernel.fs.resolve("/var/log/thttpd.log").owner == 1000
+
+    def test_port_bound(self):
+        kernel, process, _ = run_spec("thttpd")
+        assert kernel.bound_ports.get(80) == process.pid
+
+    def test_chrooted(self):
+        _, process, _ = run_spec("thttpd")
+        assert process.chroot_path == "/srv/www"
+
+    def test_missing_file_gets_404(self):
+        spec = spec_by_name("thttpd")
+        module = compile_source(spec.source, spec.name)
+        transform_module(module, spec.permitted)
+        kernel = build_kernel()
+        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+        vm = Interpreter(module, kernel, process)
+        vm.env.update({"connections": [1], "incoming": ["GET /missing HTTP/1.0"]})
+        spec.setup(kernel, vm)
+        assert vm.run() == 0
+        assert "HTTP/1.0 404 Not Found" in vm.env["sent"]
+
+
+class TestSshd:
+    def test_payload_delivered_in_chunks(self):
+        _, _, vm = run_spec("sshd")
+        data = [line for line in vm.env.get("sent", []) if line.startswith("data:")]
+        assert len(data) >= 8  # the 1 KB payload in 128-byte chunks
+
+    def test_port_22_bound(self):
+        kernel, process, _ = run_spec("sshd")
+        assert kernel.bound_ports.get(22) == process.pid
+
+    def test_lastlog_written(self):
+        kernel, _, _ = run_spec("sshd")
+        assert "login" in kernel.fs.resolve("/var/log/lastlog").content
+
+    def test_pty_chowned_to_session_user(self):
+        kernel, _, _ = run_spec("sshd")
+        assert kernel.fs.resolve("/dev/pts7").owner == 1001
+
+    def test_bad_password_rejected(self):
+        spec = spec_by_name("sshd")
+        module = compile_source(spec.source, spec.name)
+        transform_module(module, spec.permitted)
+        kernel = build_kernel()
+        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+        vm = Interpreter(module, kernel, process)
+        vm.env.update(
+            {"connections": [1], "incoming": ["userauth:other:wrongpw"]}
+        )
+        spec.setup(kernel, vm)
+        assert vm.run() == 1
+        assert "sshd: authentication failed" in vm.stdout
+
+
+class TestPing:
+    def test_replies_counted(self):
+        _, _, vm = run_spec("ping")
+        assert "10 received" in vm.stdout
+
+    def test_lossy_network_reported(self):
+        spec = spec_by_name("ping")
+        module = compile_source(spec.source, spec.name)
+        transform_module(module, spec.permitted)
+        kernel = build_kernel()
+        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+        vm = Interpreter(module, kernel, process, argv=list(spec.argv))
+        vm.env.update({"incoming": ["icmp-reply:0", "icmp-reply:1"]})  # 8 lost
+        assert vm.run() == 0
+        assert "2 received" in vm.stdout
+
+    def test_without_netraw_fails_cleanly(self):
+        from repro.caps import CapabilitySet
+
+        spec = spec_by_name("ping")
+        module = compile_source(spec.source, spec.name)
+        transform_module(module, CapabilitySet.empty())
+        kernel = build_kernel()
+        process = kernel.spawn(spec.uid, spec.gid)
+        vm = Interpreter(module, kernel, process, argv=list(spec.argv))
+        assert vm.run() == 2
+        assert "ping: raw socket failed" in vm.stdout

@@ -1,0 +1,129 @@
+"""Object/message configurations: multiset semantics and canonical keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rewriting import Configuration, Msg, Obj
+
+
+def sample_objects():
+    return [
+        Obj(1, "Process", euid=10, rdfset=frozenset()),
+        Obj(2, "File", name="/etc/passwd", owner=40),
+        Obj(3, "User", uid=10),
+    ]
+
+
+class TestObj:
+    def test_attribute_access(self):
+        obj = Obj(1, "Process", euid=10)
+        assert obj["euid"] == 10
+        assert obj.get("missing") is None
+        assert obj.get("missing", 5) == 5
+
+    def test_update_is_pure(self):
+        obj = Obj(1, "Process", euid=10)
+        changed = obj.update(euid=0)
+        assert obj["euid"] == 10
+        assert changed["euid"] == 0
+        assert changed.oid == 1
+
+    def test_equality_by_content(self):
+        assert Obj(1, "P", x=1) == Obj(1, "P", x=1)
+        assert Obj(1, "P", x=1) != Obj(1, "P", x=2)
+        assert Obj(1, "P", x=1) != Obj(2, "P", x=1)
+
+    def test_frozenset_attrs_hash_deterministically(self):
+        a = Obj(1, "P", members=frozenset({3, 1, 2}))
+        b = Obj(1, "P", members=frozenset({2, 3, 1}))
+        assert a.key == b.key
+
+    def test_repr_is_maude_style(self):
+        assert repr(Obj(1, "Process", euid=10)).startswith("< 1 : Process |")
+
+
+class TestMsg:
+    def test_equality(self):
+        assert Msg("open", 1, 3, "r") == Msg("open", 1, 3, "r")
+        assert Msg("open", 1, 3, "r") != Msg("open", 1, 4, "r")
+
+    def test_frozenset_args_canonical(self):
+        assert Msg("m", frozenset({1, 2})).key == Msg("m", frozenset({2, 1})).key
+
+
+class TestConfiguration:
+    def test_rejects_non_elements(self):
+        with pytest.raises(TypeError):
+            Configuration([42])
+
+    def test_multiset_preserves_duplicates(self):
+        msg = Msg("open", 1)
+        config = Configuration([msg, msg])
+        assert config.count(msg) == 2
+        assert len(config) == 2
+
+    def test_ac_equality(self):
+        objs = sample_objects()
+        a = Configuration(objs)
+        b = Configuration(list(reversed(objs)))
+        assert a == b
+        assert a.key == b.key
+        assert hash(a) == hash(b)
+
+    def test_find_object(self):
+        config = Configuration(sample_objects())
+        assert config.find_object(2)["name"] == "/etc/passwd"
+        assert config.find_object(99) is None
+
+    def test_objects_filter_by_class(self):
+        config = Configuration(sample_objects())
+        assert [obj.oid for obj in config.objects("User")] == [3]
+        assert len(list(config.objects())) == 3
+
+    def test_messages_filter_by_name(self):
+        config = Configuration([Msg("open", 1), Msg("kill", 1)])
+        assert [msg.name for msg in config.messages("kill")] == ["kill"]
+
+    def test_add_remove(self):
+        msg = Msg("open", 1)
+        config = Configuration(sample_objects())
+        bigger = config.add(msg)
+        assert bigger.count(msg) == 1
+        smaller = bigger.remove(msg)
+        assert smaller == config
+
+    def test_remove_one_of_duplicates(self):
+        msg = Msg("open", 1)
+        config = Configuration([msg, msg]).remove(msg)
+        assert config.count(msg) == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Configuration([]).remove(Msg("open", 1))
+
+    def test_update_object(self):
+        config = Configuration(sample_objects())
+        updated = config.update_object(Obj(3, "User", uid=99))
+        assert updated.find_object(3)["uid"] == 99
+        assert config.find_object(3)["uid"] == 10  # original untouched
+
+    def test_update_object_missing_raises(self):
+        with pytest.raises(KeyError):
+            Configuration([]).update_object(Obj(9, "User", uid=0))
+
+    def test_update_object_noop_returns_self(self):
+        config = Configuration(sample_objects())
+        assert config.update_object(config.find_object(3)) is config
+
+    def test_consume(self):
+        msg = Msg("setuid", 1, 0)
+        proc = Obj(1, "Process", euid=10)
+        config = Configuration([proc, msg])
+        after = config.consume(msg, proc.update(euid=0))
+        assert after.count(msg) == 0
+        assert after.find_object(1)["euid"] == 0
+
+    @given(st.permutations(sample_objects() + [Msg("open", 1), Msg("open", 1)]))
+    def test_key_invariant_under_permutation(self, elements):
+        reference = Configuration(sample_objects() + [Msg("open", 1), Msg("open", 1)])
+        assert Configuration(elements).key == reference.key

@@ -1,0 +1,119 @@
+"""Equations, rules, normalization and one-step rewriting.
+
+The worked example throughout is Peano arithmetic — the classic Maude
+tutorial module — which exercises the same machinery ROSA relies on.
+"""
+
+import pytest
+
+from repro.rewriting import (
+    Equation,
+    NormalizationError,
+    RewriteSystem,
+    TermRule,
+    Var,
+    normalize,
+    op,
+    rewrite_once,
+)
+
+
+def peano(n: int):
+    result = op("zero")
+    for _ in range(n):
+        result = op("s", result)
+    return result
+
+
+@pytest.fixture
+def peano_equations():
+    # plus(zero, N) = N ; plus(s(M), N) = s(plus(M, N))
+    return [
+        Equation("plus-zero", op("plus", op("zero"), Var("N")), Var("N")),
+        Equation(
+            "plus-s",
+            op("plus", op("s", Var("M")), Var("N")),
+            op("s", op("plus", Var("M"), Var("N"))),
+        ),
+    ]
+
+
+class TestEquations:
+    def test_normalize_addition(self, peano_equations):
+        subject = op("plus", peano(2), peano(3))
+        assert normalize(subject, peano_equations) == peano(5)
+
+    def test_normalize_zero_plus_zero(self, peano_equations):
+        assert normalize(op("plus", peano(0), peano(0)), peano_equations) == peano(0)
+
+    def test_normalize_nested(self, peano_equations):
+        subject = op("plus", op("plus", peano(1), peano(1)), peano(1))
+        assert normalize(subject, peano_equations) == peano(3)
+
+    def test_normal_form_is_fixpoint(self, peano_equations):
+        result = normalize(op("plus", peano(2), peano(2)), peano_equations)
+        assert normalize(result, peano_equations) == result
+
+    def test_nonterminating_equations_detected(self):
+        looping = [Equation("swap", op("f", Var("X")), op("f", Var("X")))]
+        # f(X) -> f(X) never terminates; rather than hang, we must raise.
+        with pytest.raises(NormalizationError):
+            normalize(op("f", 1), looping, max_steps=50)
+
+    def test_condition_gates_application(self):
+        guarded = Equation(
+            "only-small",
+            op("box", Var("X")),
+            Var("X"),
+            condition=lambda subst: subst["X"].value < 10,
+        )
+        assert normalize(op("box", 5), [guarded]).value == 5
+        assert normalize(op("box", 50), [guarded]) == op("box", 50)
+
+    def test_unbound_rhs_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Equation("bad", op("f", Var("X")), Var("Y"))
+
+
+class TestRules:
+    def test_rewrite_once_enumerates_positions(self):
+        flip = TermRule("flip", op("a"), op("b"))
+        subject = op("pair", op("a"), op("a"))
+        results = {str(result) for _, result in rewrite_once(subject, [flip])}
+        assert results == {"pair(b, a)", "pair(a, b)"}
+
+    def test_rewrite_once_labels(self):
+        flip = TermRule("flip", op("a"), op("b"))
+        labels = [label for label, _ in rewrite_once(op("a"), [flip])]
+        assert labels == ["flip"]
+
+    def test_no_match_yields_nothing(self):
+        flip = TermRule("flip", op("a"), op("b"))
+        assert list(rewrite_once(op("c"), [flip])) == []
+
+    def test_conditional_rule(self):
+        grow = TermRule(
+            "grow",
+            op("n", Var("X")),
+            op("n", Var("X")),
+            condition=lambda subst: False,
+        )
+        assert list(rewrite_once(op("n", 1), [grow])) == []
+
+
+class TestRewriteSystem:
+    def test_successors_are_normalized(self, peano_equations):
+        # Rule: eat(N) => done(plus(N, s(zero))) — successor should arrive
+        # already simplified by the equations.
+        rule = TermRule(
+            "eat",
+            op("eat", Var("N")),
+            op("done", op("plus", Var("N"), peano(1))),
+        )
+        system = RewriteSystem("peano", peano_equations, [rule])
+        successors = list(system.successors(op("eat", peano(2))))
+        assert successors == [("eat", op("done", peano(3)))]
+
+    def test_repr_counts(self, peano_equations):
+        system = RewriteSystem("peano", peano_equations, [])
+        assert "2 equations" in repr(system)

@@ -1,0 +1,193 @@
+"""Bounded breadth-first search: outcomes, witnesses, budgets.
+
+Uses two toy state spaces: an integer line (successor/predecessor) and
+the Maude-tutorial vending machine.
+"""
+
+import pytest
+
+from repro.rewriting import SearchBudget, SearchOutcome, breadth_first_search
+
+
+def line_successors(bound):
+    """States 0..bound with +1/-1 moves."""
+
+    def successors(state):
+        if state + 1 <= bound:
+            yield "inc", state + 1
+        if state - 1 >= 0:
+            yield "dec", state - 1
+
+    return successors
+
+
+class TestOutcomes:
+    def test_initial_state_can_be_goal(self):
+        result = breadth_first_search(5, line_successors(10), lambda s: s == 5)
+        assert result.outcome is SearchOutcome.FOUND
+        assert result.path == []
+        assert result.state == 5
+
+    def test_found_with_shortest_witness(self):
+        result = breadth_first_search(0, line_successors(10), lambda s: s == 3)
+        assert result.found
+        assert result.path == ["inc", "inc", "inc"]
+
+    def test_exhausted_proves_unreachable(self):
+        result = breadth_first_search(0, line_successors(5), lambda s: s == 99)
+        assert result.outcome is SearchOutcome.EXHAUSTED
+        assert result.proved_unreachable
+        assert result.states_seen == 6  # 0..5
+
+    def test_state_budget_exceeded(self):
+        result = breadth_first_search(
+            0,
+            line_successors(10_000),
+            lambda s: s == 9_999,
+            budget=SearchBudget(max_states=10),
+        )
+        assert result.outcome is SearchOutcome.BUDGET_EXCEEDED
+        assert not result.proved_unreachable
+
+    def test_depth_budget_blocks_deep_goal(self):
+        result = breadth_first_search(
+            0,
+            line_successors(10),
+            lambda s: s == 9,
+            budget=SearchBudget(max_depth=3),
+        )
+        assert result.outcome is SearchOutcome.BUDGET_EXCEEDED
+
+    def test_depth_budget_still_finds_shallow_goal(self):
+        result = breadth_first_search(
+            0,
+            line_successors(10),
+            lambda s: s == 2,
+            budget=SearchBudget(max_depth=3),
+        )
+        assert result.found
+
+    def test_time_budget(self):
+        def slow_successors(state):
+            yield "step", state + 1
+
+        result = breadth_first_search(
+            0,
+            slow_successors,
+            lambda s: False,
+            budget=SearchBudget(max_states=None, max_seconds=0.05),
+        )
+        assert result.outcome is SearchOutcome.BUDGET_EXCEEDED
+
+    def test_visited_set_prevents_reexploration(self):
+        result = breadth_first_search(0, line_successors(3), lambda s: False)
+        # 4 states total; without deduplication this search never ends.
+        assert result.proved_unreachable
+        assert result.states_seen == 4
+
+
+class TestCanonicalisation:
+    def test_canonical_merges_equivalent_states(self):
+        # States are (value, junk); canonical key ignores junk.
+        def successors(state):
+            value, junk = state
+            yield "step", (value + 1, junk + 1)
+            yield "loop", (value, junk + 1)
+
+        result = breadth_first_search(
+            (0, 0),
+            successors,
+            lambda s: s[0] == 3,
+            canonical=lambda s: s[0],
+        )
+        assert result.found
+        assert result.states_seen <= 5
+
+
+class TestVendingMachine:
+    """The Maude tutorial: $ buys a cake, 3 quarters buy an apple...
+
+    State: (dollars, quarters, cakes, apples).
+    """
+
+    @staticmethod
+    def successors(state):
+        dollars, quarters, cakes, apples = state
+        if dollars >= 1:
+            yield "buy-cake", (dollars - 1, quarters, cakes + 1, apples)
+        if quarters >= 3:
+            yield "buy-apple", (dollars, quarters - 3, cakes, apples + 1)
+        if quarters >= 4:
+            yield "change", (dollars + 1, quarters - 4, cakes, apples)
+
+    def test_can_buy_cake_with_quarters(self):
+        result = breadth_first_search(
+            (0, 4, 0, 0), self.successors, lambda s: s[2] >= 1
+        )
+        assert result.found
+        assert result.path == ["change", "buy-cake"]
+
+    def test_cannot_overspend(self):
+        result = breadth_first_search(
+            (0, 2, 0, 0), self.successors, lambda s: s[3] >= 1
+        )
+        assert result.proved_unreachable
+
+    def test_two_purchases(self):
+        result = breadth_first_search(
+            (1, 3, 0, 0), self.successors, lambda s: s[2] >= 1 and s[3] >= 1
+        )
+        assert result.found
+        assert sorted(result.path) == ["buy-apple", "buy-cake"]
+
+
+class TestResultMetadata:
+    def test_elapsed_nonnegative(self):
+        result = breadth_first_search(0, line_successors(2), lambda s: s == 2)
+        assert result.elapsed >= 0
+
+    def test_states_explored_counts_expansions(self):
+        result = breadth_first_search(0, line_successors(3), lambda s: False)
+        assert result.states_explored == 4
+
+
+class TestWitnessMinimality:
+    """BFS guarantees shortest witnesses — the property that makes ROSA's
+    attack recipes canonical (the paper's 3-step Figure 2 solution)."""
+
+    def test_shortest_path_on_line(self):
+        result = breadth_first_search(0, line_successors(100), lambda s: s == 7)
+        assert len(result.path) == 7
+
+    def test_prefers_direct_route(self):
+        # Two routes to the goal: a 1-step jump and a 3-step walk.
+        def successors(state):
+            if state == 0:
+                yield "walk", 1
+                yield "jump", 9
+            elif state < 9:
+                yield "walk", state + 1
+
+        result = breadth_first_search(0, successors, lambda s: s == 9)
+        assert result.path == ["jump"]
+
+    def test_figure2_witness_is_minimal(self):
+        """No 2-step recipe opens the mode-000 file: chown alone leaves
+        the mode, chmod alone leaves the owner."""
+        from repro.rosa import Configuration, RosaQuery, check, goals, model, syscalls
+
+        config = Configuration(
+            [
+                model.process(1, euid=10, ruid=11, suid=12,
+                              egid=10, rgid=11, sgid=12),
+                model.file_obj(3, name="/etc/passwd", owner=40, group=41,
+                               perms=0o000),
+                model.user(4, 10),
+                syscalls.sys_open(1, 3, "r"),
+                syscalls.sys_chown(1, -1, -1, 41, ["CapChown"]),
+                syscalls.sys_chmod(1, -1, 0o777, ["CapFowner"]),
+            ]
+        )
+        report = check(RosaQuery("min", config, goals.file_opened_for_read(3)))
+        assert report.vulnerable
+        assert len(report.witness) == 2  # chmod (CapFowner) + open suffices

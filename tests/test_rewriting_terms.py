@@ -1,0 +1,164 @@
+"""Unit and property tests for the term algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rewriting import (
+    Atom,
+    Compound,
+    Substitution,
+    Var,
+    match,
+    op,
+    replace_at,
+    subterms,
+    term,
+)
+
+# A strategy for small ground terms.
+ground_terms = st.recursive(
+    st.one_of(
+        st.integers(-100, 100).map(Atom),
+        st.text("abc", min_size=1, max_size=3).map(Atom),
+    ),
+    lambda children: st.builds(
+        lambda functor, args: Compound(functor, tuple(args)),
+        st.sampled_from(["f", "g", "h"]),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestAtoms:
+    def test_equality_respects_type(self):
+        # bool is not int here: True and 1 must be distinct atoms.
+        assert Atom(1) != Atom(True)
+        assert Atom(1) == Atom(1)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            Atom([1])
+
+    def test_ground_and_no_variables(self):
+        assert Atom(3).is_ground()
+        assert list(Atom(3).variables()) == []
+
+
+class TestCompound:
+    def test_str_rendering(self):
+        assert str(op("s", op("zero"))) == "s(zero)"
+
+    def test_nullary_renders_bare(self):
+        assert str(op("zero")) == "zero"
+
+    def test_args_must_be_terms(self):
+        with pytest.raises(TypeError):
+            Compound("f", (1,))
+
+    def test_groundness_recursive(self):
+        assert op("f", 1, op("g", 2)).is_ground()
+        assert not Compound("f", (Var("X"),)).is_ground()
+
+    def test_op_coerces_python_values(self):
+        built = op("f", 1, "x")
+        assert built.args == (Atom(1), Atom("x"))
+
+
+class TestSubstitution:
+    def test_bind_and_get(self):
+        subst = Substitution().bind("X", Atom(1))
+        assert subst.get("X") == Atom(1)
+        assert subst["X"] == Atom(1)
+
+    def test_rebind_same_value_ok(self):
+        subst = Substitution().bind("X", Atom(1)).bind("X", Atom(1))
+        assert len(subst) == 1
+
+    def test_rebind_conflict_raises(self):
+        subst = Substitution().bind("X", Atom(1))
+        with pytest.raises(KeyError):
+            subst.bind("X", Atom(2))
+
+    def test_substitute_into_compound(self):
+        pattern = Compound("f", (Var("X"), Atom(2)))
+        result = pattern.substitute(Substitution({"X": Atom(9)}))
+        assert result == op("f", 9, 2)
+
+    def test_unbound_variable_survives(self):
+        result = Var("Y").substitute(Substitution({"X": Atom(1)}))
+        assert result == Var("Y")
+
+
+class TestMatch:
+    def test_atom_matches_itself(self):
+        assert match(Atom(3), Atom(3)) is not None
+        assert match(Atom(3), Atom(4)) is None
+
+    def test_variable_binds(self):
+        subst = match(Var("X"), op("f", 1))
+        assert subst["X"] == op("f", 1)
+
+    def test_repeated_variable_must_agree(self):
+        pattern = Compound("f", (Var("X"), Var("X")))
+        assert match(pattern, op("f", 1, 1)) is not None
+        assert match(pattern, op("f", 1, 2)) is None
+
+    def test_functor_mismatch(self):
+        assert match(op("f", 1), op("g", 1)) is None
+
+    def test_arity_mismatch(self):
+        assert match(op("f", 1), op("f", 1, 2)) is None
+
+    def test_nested(self):
+        pattern = Compound("s", (Compound("s", (Var("N"),)),))
+        subst = match(pattern, op("s", op("s", op("zero"))))
+        assert subst["N"] == op("zero")
+
+    @given(ground_terms)
+    def test_everything_matches_itself(self, subject):
+        assert match(subject, subject) is not None
+
+    @given(ground_terms)
+    def test_variable_matches_anything(self, subject):
+        subst = match(Var("X"), subject)
+        assert subst is not None
+        assert Var("X").substitute(subst) == subject
+
+
+class TestSubtermsAndReplace:
+    def test_subterms_preorder(self):
+        subject = op("f", op("g", 1), 2)
+        paths = [path for path, _ in subterms(subject)]
+        assert paths == [(), (0,), (0, 0), (1,)]
+
+    def test_replace_at_root(self):
+        assert replace_at(op("f", 1), (), Atom(9)) == Atom(9)
+
+    def test_replace_nested(self):
+        subject = op("f", op("g", 1), 2)
+        replaced = replace_at(subject, (0, 0), Atom(7))
+        assert replaced == op("f", op("g", 7), 2)
+
+    def test_replace_bad_path(self):
+        with pytest.raises(IndexError):
+            replace_at(op("f", 1), (3,), Atom(0))
+
+    @given(ground_terms)
+    def test_replace_identity(self, subject):
+        for path, sub in subterms(subject):
+            assert replace_at(subject, path, sub) == subject
+
+    @given(ground_terms)
+    def test_subterm_count_at_least_one(self, subject):
+        assert len(list(subterms(subject))) >= 1
+
+
+class TestCoercion:
+    def test_term_passthrough(self):
+        atom = Atom(1)
+        assert term(atom) is atom
+
+    def test_term_wraps_scalars(self):
+        assert term(5) == Atom(5)
+        assert term("x") == Atom("x")

@@ -1,0 +1,149 @@
+"""Maude-style term search: the vending machine as a term module."""
+
+import pytest
+
+from repro.rewriting import (
+    Equation,
+    RewriteSystem,
+    SearchBudget,
+    TermRule,
+    Var,
+    matched_substitution,
+    op,
+    search_terms,
+)
+from repro.rewriting.terms import Atom, Compound
+
+
+def money(dollars, quarters, cakes, apples):
+    return op("state", dollars, quarters, cakes, apples)
+
+
+class _FoldArithmetic(Equation):
+    """Evaluate ``add``/``sub`` over integer atoms.
+
+    Maude would import the built-in INT module for this; we provide the
+    same normalisation by overriding the application hook (the lhs/rhs
+    passed to the base class are only placeholders).
+    """
+
+    def __init__(self) -> None:
+        super().__init__("fold-int", op("add", Var("X"), Var("Y")), Var("X"))
+
+    def try_apply_at_root(self, subject):
+        if isinstance(subject, Compound) and subject.functor in ("add", "sub"):
+            lhs, rhs = subject.args
+            if isinstance(lhs, Atom) and isinstance(rhs, Atom):
+                if subject.functor == "add":
+                    return Atom(lhs.value + rhs.value)
+                return Atom(lhs.value - rhs.value)
+        return None
+
+
+def _atleast(name, amount):
+    def condition(subst):
+        return subst[name].value >= amount
+
+    return condition
+
+
+@pytest.fixture
+def machine():
+    """Maude's vending machine: $ buys a cake, 3 quarters an apple,
+    4 quarters change into a dollar."""
+    D, Q, C, A = Var("D"), Var("Q"), Var("C"), Var("A")
+    rules = [
+        TermRule(
+            "buy-cake",
+            op("state", D, Q, C, A),
+            op("state", op("sub", D, 1), Q, op("add", C, 1), A),
+            condition=_atleast("D", 1),
+        ),
+        TermRule(
+            "buy-apple",
+            op("state", D, Q, C, A),
+            op("state", D, op("sub", Q, 3), C, op("add", A, 1)),
+            condition=_atleast("Q", 3),
+        ),
+        TermRule(
+            "change",
+            op("state", D, Q, C, A),
+            op("state", op("add", D, 1), op("sub", Q, 4), C, A),
+            condition=_atleast("Q", 4),
+        ),
+    ]
+    return RewriteSystem("VENDING", [_FoldArithmetic()], rules)
+
+
+STATE_PATTERN = op("state", Var("D"), Var("Q"), Var("C"), Var("A"))
+
+
+class TestTermSearch:
+    def test_buy_cake_with_four_quarters(self, machine):
+        result = search_terms(
+            machine,
+            money(0, 4, 0, 0),
+            STATE_PATTERN,
+            condition=lambda subst: subst["C"].value >= 1,
+        )
+        assert result.found
+        assert result.path == ["change", "buy-cake"]
+
+    def test_pattern_bindings_recoverable(self, machine):
+        result = search_terms(
+            machine,
+            money(1, 3, 0, 0),
+            STATE_PATTERN,
+            condition=lambda subst: subst["C"].value >= 1 and subst["A"].value >= 1,
+        )
+        assert result.found
+        bindings = matched_substitution(STATE_PATTERN, result)
+        assert bindings["C"].value == 1
+        assert bindings["A"].value == 1
+        assert bindings["D"].value == 0
+
+    def test_unreachable_goal_exhausts(self, machine):
+        result = search_terms(
+            machine,
+            money(0, 2, 0, 0),
+            STATE_PATTERN,
+            condition=lambda subst: subst["A"].value >= 1,
+        )
+        assert result.proved_unreachable
+
+    def test_budget_respected(self, machine):
+        result = search_terms(
+            machine,
+            money(100, 400, 0, 0),
+            STATE_PATTERN,
+            condition=lambda subst: False,
+            budget=SearchBudget(max_states=20),
+        )
+        assert not result.found
+        assert not result.proved_unreachable
+
+    def test_initial_term_is_normalised_first(self, machine):
+        result = search_terms(
+            machine,
+            op("state", op("add", 0, 1), 0, 0, 0),
+            op("state", 1, 0, 0, 0),
+        )
+        assert result.found
+        assert result.path == []
+
+    def test_ground_pattern_matches_exact_state(self, machine):
+        result = search_terms(
+            machine,
+            money(0, 7, 0, 0),
+            op("state", 0, 1, 0, 2),  # spend 6 quarters on 2 apples
+        )
+        assert result.found
+        assert result.path == ["buy-apple", "buy-apple"]
+
+    def test_nonmatching_pattern_never_found(self, machine):
+        result = search_terms(
+            machine,
+            money(0, 3, 0, 0),
+            op("wrong-functor", Var("X")),
+        )
+        assert result.proved_unreachable

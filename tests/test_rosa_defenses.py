@@ -1,0 +1,210 @@
+"""Defense-weakened attackers (§X future work)."""
+
+import pytest
+
+from repro.rewriting import Configuration
+from repro.rosa import RosaQuery, check, goals, model, syscalls
+from repro.rosa.defenses import (
+    SequencedObjectSystem,
+    apply_cfi,
+    apply_data_integrity,
+    apply_seccomp,
+    compare_defenses,
+)
+from repro.rosa.query import unix_system
+from repro.rosa.syscalls import WILDCARD
+
+
+def devmem_query(caps=("CapSetuid",)):
+    """The canonical attack-1 query: setuid(0) then open /dev/mem."""
+    capset = frozenset(syscalls.caps(caps))
+    config = Configuration(
+        [
+            model.process_for_user(1, uid=1000, gid=1000),
+            model.file_obj(10, name="/dev/mem", owner=0, group=15, perms=0o640),
+            model.user(20, 0),
+            model.user(21, 1000),
+            syscalls.sys_setuid(1, WILDCARD, capset),
+            syscalls.sys_open(1, WILDCARD, "r", capset),
+        ]
+    )
+    return RosaQuery("devmem", config, goals.file_opened_for_read(10))
+
+
+class TestSeccomp:
+    def test_filtering_the_pivotal_call_blocks_attack(self):
+        undefended = check(devmem_query())
+        assert undefended.vulnerable
+        filtered = apply_seccomp(devmem_query(), ["open"])
+        assert not check(filtered).vulnerable
+
+    def test_allowing_everything_changes_nothing(self):
+        filtered = apply_seccomp(devmem_query(), ["open", "setuid"])
+        assert check(filtered).vulnerable
+
+    def test_objects_untouched(self):
+        filtered = apply_seccomp(devmem_query(), [])
+        assert len(list(filtered.initial.objects())) == len(
+            list(devmem_query().initial.objects())
+        )
+        assert list(filtered.initial.messages()) == []
+
+    def test_name_annotated(self):
+        assert apply_seccomp(devmem_query(), []).name.endswith("+seccomp")
+
+
+class TestCfi:
+    def test_program_order_allows_attack_in_that_order(self):
+        query = devmem_query()
+        order = [
+            syscalls.sys_setuid(1, WILDCARD, frozenset(syscalls.caps(["CapSetuid"]))),
+            syscalls.sys_open(1, WILDCARD, "r", frozenset(syscalls.caps(["CapSetuid"]))),
+        ]
+        constrained = apply_cfi(query, order)
+        report = check(constrained)
+        assert report.vulnerable
+        assert report.witness == ["setuid", "open"]
+
+    def test_reversed_order_blocks_attack(self):
+        """If the program opens before it setuids, a CFI-constrained
+        attacker cannot reorder them — and the open fails unprivileged."""
+        query = devmem_query()
+        order = [
+            syscalls.sys_open(1, WILDCARD, "r", frozenset(syscalls.caps(["CapSetuid"]))),
+            syscalls.sys_setuid(1, WILDCARD, frozenset(syscalls.caps(["CapSetuid"]))),
+        ]
+        constrained = apply_cfi(query, order)
+        assert not check(constrained).vulnerable
+
+    def test_message_not_in_order_never_fires(self):
+        query = devmem_query()
+        order = [
+            syscalls.sys_setuid(1, WILDCARD, frozenset(syscalls.caps(["CapSetuid"]))),
+        ]
+        constrained = apply_cfi(query, order)
+        # setuid may fire but open never does.
+        assert not check(constrained).vulnerable
+
+    def test_sequenced_system_respects_duplicates(self):
+        message = syscalls.sys_open(1, WILDCARD, "r")
+        target_a = model.file_obj(5, name="a", owner=1000, group=1000, perms=0o600)
+        target_b = model.file_obj(6, name="b", owner=1000, group=1000, perms=0o600)
+        config = Configuration(
+            [model.process_for_user(1, uid=1000, gid=1000), target_a, target_b,
+             message, message]
+        )
+        system = SequencedObjectSystem(unix_system(), [message, message])
+        both = goals.all_of(
+            goals.file_opened_for_read(5), goals.file_opened_for_read(6)
+        )
+        query = RosaQuery("two-opens", config, both, system=system)
+        assert check(query).vulnerable
+
+
+class TestDataIntegrity:
+    def test_wildcard_messages_dropped(self):
+        weakened = apply_data_integrity(devmem_query())
+        assert list(weakened.initial.messages()) == []
+        assert not check(weakened).vulnerable
+
+    def test_concrete_substitution(self):
+        # The program's actual calls: setuid(0) then open(/dev/mem).
+        capset = frozenset(syscalls.caps(["CapSetuid"]))
+        concrete = [
+            syscalls.sys_setuid(1, 0, capset),
+            syscalls.sys_open(1, 10, "r", capset),
+        ]
+        weakened = apply_data_integrity(devmem_query(), concrete)
+        assert check(weakened).vulnerable
+
+    def test_concrete_but_harmless_calls_stay_safe(self):
+        capset = frozenset(syscalls.caps(["CapSetuid"]))
+        concrete = [
+            syscalls.sys_setuid(1, 1000, capset),  # program only setuids to itself
+            syscalls.sys_open(1, 10, "r", capset),
+        ]
+        weakened = apply_data_integrity(devmem_query(), concrete)
+        assert not check(weakened).vulnerable
+
+
+class TestComparison:
+    def test_compare_defenses_matrix(self):
+        capset = frozenset(syscalls.caps(["CapSetuid"]))
+        order = [
+            syscalls.sys_setuid(1, WILDCARD, capset),
+            syscalls.sys_open(1, WILDCARD, "r", capset),
+        ]
+        comparison = compare_defenses(
+            devmem_query(),
+            program_order=order,
+            seccomp_allowlist=["open"],
+        )
+        assert comparison.verdicts["undefended"] == "vulnerable"
+        assert comparison.verdicts["seccomp"] == "invulnerable"
+        assert comparison.verdicts["cfi"] == "vulnerable"
+        assert comparison.verdicts["arg-integrity"] == "invulnerable"
+        assert "undefended=vulnerable" in comparison.render()
+
+    def test_defenses_compose(self):
+        capset = frozenset(syscalls.caps(["CapSetuid"]))
+        order = [
+            syscalls.sys_setuid(1, WILDCARD, capset),
+            syscalls.sys_open(1, WILDCARD, "r", capset),
+        ]
+        stacked = apply_seccomp(apply_cfi(devmem_query(), order), ["setuid"])
+        assert not check(stacked).vulnerable
+
+
+class TestCapsicum:
+    """§X: comparing Linux privileges against Capsicum capability mode."""
+
+    def test_capability_mode_blocks_devmem_despite_capabilities(self):
+        """The headline contrast: even CAP_DAC_OVERRIDE cannot reach
+        /dev/mem from inside the sandbox — the path-based open is gone."""
+        from repro.rosa.defenses import apply_capsicum
+
+        query = devmem_query(caps=("CapDacOverride", "CapSetuid"))
+        assert check(query).vulnerable
+        sandboxed = apply_capsicum(query)
+        assert not check(sandboxed).vulnerable
+
+    def test_descriptor_operations_survive(self):
+        """fchmod on an already-open descriptor still works in capability
+        mode, exactly as Capsicum specifies."""
+        from repro.rosa.defenses import apply_capsicum
+
+        capset = frozenset(syscalls.caps(["CapFowner"]))
+        opened = model.process_for_user(1, uid=1000, gid=1000).update(
+            wrfset=frozenset({10})
+        )
+        config = Configuration(
+            [
+                opened,
+                model.file_obj(10, name="held", owner=0, group=0, perms=0o600),
+                syscalls.sys_fchmod(1, 10, 0o777, capset),
+                syscalls.sys_open(1, WILDCARD, "r", capset),
+            ]
+        )
+
+        def file_became_open(state):
+            return state.find_object(10)["perms"] == 0o777
+
+        query = RosaQuery("fchmod-held", config, file_became_open)
+        sandboxed = apply_capsicum(query)
+        report = check(sandboxed)
+        assert report.vulnerable  # the descriptor-based route remains
+        assert report.witness == ["fchmod"]
+        # ...but the path-based open message is gone entirely.
+        assert not list(sandboxed.initial.messages("open"))
+
+    def test_credential_changes_survive(self):
+        from repro.rosa.defenses import apply_capsicum
+
+        query = devmem_query()
+        sandboxed = apply_capsicum(query)
+        assert list(sandboxed.initial.messages("setuid"))
+
+    def test_comparison_includes_capsicum_column(self):
+        comparison = compare_defenses(devmem_query())
+        assert comparison.verdicts["capsicum"] == "invulnerable"
+        assert comparison.verdicts["undefended"] == "vulnerable"

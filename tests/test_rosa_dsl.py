@@ -1,0 +1,237 @@
+"""The Maude-style textual input format (paper Figures 2 and 4)."""
+
+import pytest
+
+from repro.caps import Capability
+from repro.rosa import check, model, syscalls
+from repro.rosa.dsl import (
+    DslError,
+    parse_goal_condition,
+    parse_perm_mask,
+    parse_query,
+    render_configuration,
+    render_perm_mask,
+)
+
+FIGURE_2 = """
+*** The paper's Figure 2/4 example, verbatim structure.
+search in UNIX :
+  < 1 : Process | euid : 10 , ruid : 11 , suid : 12 ,
+                  egid : 10 , rgid : 11 , sgid : 12 ,
+                  state : run , rdfset : empty , wrfset : empty >
+  < 2 : Dir | name : "/etc" , perms : rwxrwxrwx ,
+              inode : 3 , owner : 40 , group : 41 >
+  < 3 : File | name : "/etc/passwd" , perms : --------- ,
+               owner : 40 , group : 41 >
+  < 4 : User | uid : 10 >
+  open(1, 3, r, empty)
+  setuid(1, -1, CapSetuid)
+  chown(1, -1, -1, 41, CapChown)
+  chmod(1, -1, rwxrwxrwx, empty)
+=>* such that 3 in rdfset(1) .
+"""
+
+
+class TestPermMasks:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("rwxrwxrwx", 0o777),
+            ("---------", 0o000),
+            ("rw-r-----", 0o640),
+            ("rwxr-x---", 0o750),
+            ("0o640", 0o640),
+            ("640", 0o640),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_perm_mask(text) == expected
+
+    @pytest.mark.parametrize("mask", [0o777, 0o640, 0o000, 0o755, 0o501])
+    def test_roundtrip(self, mask):
+        assert parse_perm_mask(render_perm_mask(mask)) == mask
+
+    def test_bad_mask(self):
+        with pytest.raises(DslError):
+            parse_perm_mask("rwz------")
+
+
+class TestFigure2:
+    def test_parses_and_reproduces_witness(self):
+        query = parse_query(FIGURE_2, "fig2")
+        report = check(query)
+        assert report.vulnerable
+        assert report.witness == ["chown", "chmod", "open"]
+
+    def test_objects_reconstructed(self):
+        query = parse_query(FIGURE_2)
+        process = query.initial.find_object(1)
+        assert process["euid"] == 10 and process["suid"] == 12
+        passwd = query.initial.find_object(3)
+        assert passwd["name"] == "/etc/passwd"
+        assert passwd["perms"] == 0o000
+        etc = query.initial.find_object(2)
+        assert etc["inode"] == 3
+
+    def test_messages_reconstructed(self):
+        query = parse_query(FIGURE_2)
+        by_name = {msg.name: msg for msg in query.initial.messages()}
+        assert by_name["open"].args[2] == syscalls.O_RDONLY
+        assert by_name["setuid"].args[1] == syscalls.WILDCARD
+        assert by_name["setuid"].args[2] == frozenset({Capability.CAP_SETUID})
+        assert by_name["chmod"].args[2] == 0o777
+        assert by_name["chmod"].args[3] == frozenset()
+
+    def test_comments_ignored(self):
+        query = parse_query("*** nothing\n" + FIGURE_2)
+        assert query.initial.find_object(1) is not None
+
+
+class TestMoreSyntax:
+    def test_socket_and_ports(self):
+        text = """
+        < 1 : Process | euid : 1000 , ruid : 1000 , suid : 1000 ,
+                        egid : 1000 , rgid : 1000 , sgid : 1000 >
+        < 9 : Port | port : 22 >
+        socket(1, CapNetBindService)
+        bind(1, -1, -1, CapNetBindService)
+        =>* such that bound(1) < 1024 .
+        """
+        report = check(parse_query(text, "bind"))
+        assert report.vulnerable
+
+    def test_kill_goal(self):
+        text = """
+        < 1 : Process | euid : 1000 , ruid : 1000 , suid : 1000 ,
+                        egid : 1000 , rgid : 1000 , sgid : 1000 >
+        < 2 : Process | euid : 0 , ruid : 0 , suid : 0 ,
+                        egid : 0 , rgid : 0 , sgid : 0 >
+        kill(1, 2, 9, CapKill)
+        =>* such that state(2) == dead .
+        """
+        report = check(parse_query(text, "kill"))
+        assert report.vulnerable
+        assert report.witness == ["kill"]
+
+    def test_setresuid_keep_keyword(self):
+        text = """
+        < 1 : Process | euid : 1000 , ruid : 1000 , suid : 1000 ,
+                        egid : 1000 , rgid : 1000 , sgid : 1000 >
+        < 4 : User | uid : 0 >
+        < 3 : File | name : "f" , perms : rw------- , owner : 0 , group : 0 >
+        setresuid(1, keep, -1, keep, CapSetuid)
+        open(1, 3, r, empty)
+        =>* such that 3 in rdfset(1) .
+        """
+        report = check(parse_query(text))
+        assert report.vulnerable
+        assert report.witness == ["setresuid", "open"]
+
+    def test_owner_goal(self):
+        condition = parse_goal_condition("owner(3) == 40")
+        from repro.rewriting import Configuration
+
+        config = Configuration(
+            [model.file_obj(3, name="f", owner=40, group=0, perms=0o644)]
+        )
+        assert condition(config)
+
+    def test_multiple_capabilities_in_message(self):
+        text = """
+        < 1 : Process | euid : 1000 , ruid : 1000 , suid : 1000 ,
+                        egid : 1000 , rgid : 1000 , sgid : 1000 >
+        < 3 : File | name : "f" , perms : --------- , owner : 0 , group : 0 >
+        chown(1, 3, 1000, 1000, CapChown CapFowner)
+        =>* such that owner(3) == 1000 .
+        """
+        query = parse_query(text)
+        message = next(query.initial.messages("chown"))
+        assert message.args[4] == frozenset(
+            {Capability.CAP_CHOWN, Capability.CAP_FOWNER}
+        )
+
+
+class TestErrors:
+    def test_unknown_class(self):
+        with pytest.raises(DslError, match="unknown object class"):
+            parse_query("< 1 : Widget | size : 3 > =>* such that 3 in rdfset(1) .")
+
+    def test_unknown_syscall(self):
+        with pytest.raises(DslError, match="unknown system call"):
+            parse_query("fork(1) =>* such that 3 in rdfset(1) .")
+
+    def test_missing_attribute(self):
+        with pytest.raises(DslError, match="missing attribute"):
+            parse_query("< 1 : Process | euid : 1 > =>* such that 1 in rdfset(1) .")
+
+    def test_unsupported_goal(self):
+        with pytest.raises(DslError, match="unsupported goal"):
+            parse_goal_condition("the moon is full")
+
+    def test_missing_goal(self):
+        with pytest.raises(DslError, match="such that"):
+            parse_query("< 4 : User | uid : 1 > =>*")
+
+    def test_too_few_arguments(self):
+        with pytest.raises(DslError, match="at least"):
+            parse_query("open(1) =>* such that 1 in rdfset(1) .")
+
+
+class TestRoundtrip:
+    def test_render_then_parse_preserves_configuration(self):
+        query = parse_query(FIGURE_2)
+        text = render_configuration(query.initial)
+        reparsed = parse_query(text + "\n=>* such that 3 in rdfset(1) .")
+        assert reparsed.initial == query.initial
+
+    def test_render_preserves_message_multiplicity(self):
+        from repro.rewriting import Configuration
+
+        message = syscalls.sys_open(1, 3, "r")
+        config = Configuration(
+            [model.process_for_user(1, uid=10, gid=10), message, message]
+        )
+        text = render_configuration(config)
+        reparsed = parse_query(text + "\n=>* such that 3 in rdfset(1) .")
+        assert reparsed.initial.count(message) == 2
+
+
+class TestRoundtripProperty:
+    """Random configurations survive render -> parse unchanged."""
+
+    from hypothesis import given, settings, strategies as st
+
+    ids = st.sampled_from([0, 42, 998, 1000, 1001])
+    modes = st.integers(min_value=0, max_value=0o777)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        euid=ids, owner=ids, group=ids, mode=modes,
+        port=st.integers(min_value=1, max_value=9000),
+        cap_count=st.integers(min_value=0, max_value=3),
+    )
+    def test_configuration_roundtrip(self, euid, owner, group, mode, port, cap_count):
+        from repro.caps import Capability
+        from repro.rewriting import Configuration
+        from repro.rosa.dsl import parse_query, render_configuration
+
+        caps = frozenset(list(Capability)[:cap_count])
+        config = Configuration(
+            [
+                model.process_for_user(1, uid=euid, gid=euid),
+                model.file_obj(3, name="/some/file", owner=owner, group=group, perms=mode),
+                model.dir_entry(4, name="/some", owner=owner, group=group,
+                                perms=0o755, inode=3),
+                model.socket_obj(5, owner_pid=1, port=port),
+                model.user(6, owner),
+                model.group(7, group),
+                model.port_obj(8, port),
+                syscalls.sys_open(1, 3, "r", caps),
+                syscalls.sys_chmod(1, 3, mode, caps),
+                syscalls.sys_setresuid(1, syscalls.KEEP, owner, syscalls.WILDCARD, caps),
+                syscalls.sys_rename(1, 4, "renamed", caps),
+            ]
+        )
+        text = render_configuration(config)
+        reparsed = parse_query(text + "\n=>* such that 3 in rdfset(1) .")
+        assert reparsed.initial == config

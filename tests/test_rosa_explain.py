@@ -1,0 +1,120 @@
+"""Witness explanation: narrating attack recipes step by step."""
+
+import pytest
+
+from repro.rosa import (
+    Configuration,
+    RosaQuery,
+    check,
+    explain_witness,
+    goals,
+    model,
+    syscalls,
+)
+from repro.rosa.syscalls import WILDCARD
+
+
+def figure2_query():
+    config = Configuration(
+        [
+            model.process(1, euid=10, ruid=11, suid=12, egid=10, rgid=11, sgid=12),
+            model.dir_entry(2, name="/etc", owner=40, group=41, perms=0o777, inode=3),
+            model.file_obj(3, name="/etc/passwd", owner=40, group=41, perms=0o000),
+            model.user(4, 10),
+            syscalls.sys_open(1, 3, "r"),
+            syscalls.sys_setuid(1, WILDCARD, ["CapSetuid"]),
+            syscalls.sys_chown(1, WILDCARD, WILDCARD, 41, ["CapChown"]),
+            syscalls.sys_chmod(1, WILDCARD, 0o777),
+        ]
+    )
+    return RosaQuery("figure2", config, goals.file_opened_for_read(3))
+
+
+class TestTrackStates:
+    def test_states_cover_the_whole_path(self):
+        report = check(figure2_query(), track_states=True)
+        assert len(report.witness_states) == len(report.witness) + 1
+        assert report.witness_states[0] == figure2_query().initial
+        assert report.witness_states[-1] == report.compromised_state
+
+    def test_untracked_by_default(self):
+        report = check(figure2_query())
+        assert report.witness_states == []
+
+    def test_initial_state_goal_gives_single_state(self):
+        config = Configuration(
+            [model.process(1, euid=0, ruid=0, suid=0, egid=0, rgid=0, sgid=0,
+                           rdfset={3})]
+        )
+        report = check(
+            RosaQuery("trivial", config, goals.file_opened_for_read(3)),
+            track_states=True,
+        )
+        assert report.witness == []
+        assert len(report.witness_states) == 1
+
+
+class TestExplanation:
+    def test_narrates_each_step(self):
+        report = check(figure2_query(), track_states=True)
+        text = explain_witness(report)
+        assert "step 1: chown" in text
+        assert "owner: 40 -> 10" in text
+        assert "step 2: chmod" in text
+        assert "perms 0o0 -> 0o777" in text
+        assert "step 3: open" in text
+        assert "rd access to object(s) 3" in text
+        assert text.endswith("compromised state reached.")
+
+    def test_invulnerable_report_has_no_witness(self):
+        config = Configuration(
+            [
+                model.process_for_user(1, uid=1000, gid=1000),
+                model.file_obj(3, name="f", owner=0, group=0, perms=0o000),
+                syscalls.sys_open(1, 3, "r"),
+            ]
+        )
+        report = check(
+            RosaQuery("safe", config, goals.file_opened_for_read(3)),
+            track_states=True,
+        )
+        assert "no witness" in explain_witness(report)
+
+    def test_requires_tracked_states(self):
+        report = check(figure2_query())  # not tracked
+        with pytest.raises(ValueError, match="track_states"):
+            explain_witness(report)
+
+    def test_kill_narration(self):
+        victim = model.process_for_user(2, uid=2000, gid=2000)
+        config = Configuration(
+            [
+                model.process_for_user(1, uid=1000, gid=1000),
+                victim,
+                syscalls.sys_kill(1, 2, model.SIGKILL, ["CapKill"]),
+            ]
+        )
+        report = check(
+            RosaQuery("kill", config, goals.process_terminated(2)),
+            track_states=True,
+        )
+        text = explain_witness(report)
+        assert "kill(1, 2, 9" in text
+        assert "state: run -> dead" in text
+
+    def test_created_object_narrated(self):
+        config = Configuration(
+            [
+                model.process_for_user(1, uid=1000, gid=1000),
+                syscalls.sys_socket(1),
+                syscalls.sys_bind(1, WILDCARD, 8080),
+            ]
+        )
+
+        def socket_bound(state):
+            return any(s["port"] == 8080 for s in state.objects(model.SOCKET))
+
+        report = check(RosaQuery("bind", config, socket_bound), track_states=True)
+        text = explain_witness(report)
+        assert "created" in text
+        assert "port: 0 -> 8080" in text

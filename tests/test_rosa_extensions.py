@@ -1,0 +1,274 @@
+"""The creat/link extensions (syscalls the paper's ROSA lacked, §VI)."""
+
+import pytest
+
+from repro.rewriting import Configuration
+from repro.rosa import RosaQuery, check, goals, model, syscalls, unix_system
+from repro.rosa.syscalls import WILDCARD
+
+
+def successors(config):
+    return list(unix_system().successors(config))
+
+
+def plain_process(**overrides):
+    fields = dict(euid=1000, ruid=1000, suid=1000, egid=1000, rgid=1000, sgid=1000)
+    fields.update(overrides)
+    return model.process(1, **fields)
+
+
+def writable_dir(oid=7, owner=1000):
+    return model.dir_entry(
+        oid, name="/tmp", owner=owner, group=owner, perms=0o700, inode=0
+    )
+
+
+class TestCreat:
+    def test_creates_file_and_entry(self):
+        config = Configuration(
+            [plain_process(), writable_dir(),
+             syscalls.sys_creat(1, 7, "evil", 0o666)]
+        )
+        results = successors(config)
+        assert len(results) == 1
+        after = results[0][1]
+        files = [f for f in after.objects(model.FILE) if f["name"] == "evil"]
+        assert len(files) == 1
+        assert files[0]["owner"] == 1000
+        entries = [e for e in after.objects(model.DIR) if e["name"] == "evil"]
+        assert len(entries) == 1
+        assert entries[0]["inode"] == files[0].oid
+
+    def test_needs_directory_write(self):
+        config = Configuration(
+            [plain_process(euid=1001, ruid=1001, suid=1001), writable_dir(),
+             syscalls.sys_creat(1, 7, "evil", 0o666)]
+        )
+        assert successors(config) == []
+
+    def test_dac_override_bypasses(self):
+        config = Configuration(
+            [plain_process(euid=1001, ruid=1001, suid=1001), writable_dir(),
+             syscalls.sys_creat(1, 7, "evil", 0o666, ["CapDacOverride"])]
+        )
+        assert len(successors(config)) == 1
+
+    def test_created_file_openable(self):
+        config = Configuration(
+            [plain_process(), writable_dir(),
+             syscalls.sys_creat(1, 7, "mine", 0o600),
+             syscalls.sys_open(1, WILDCARD, "rw")]
+        )
+
+        def created_and_open(state):
+            for proc in state.objects(model.PROCESS):
+                for fid in proc["wrfset"]:
+                    target = state.find_object(fid)
+                    if target is not None and target.get("name") == "mine":
+                        return True
+            return False
+
+        report = check(RosaQuery("creat-open", config, created_and_open))
+        assert report.vulnerable
+        assert report.witness == ["creat", "open"]
+
+
+class TestLink:
+    def test_creates_second_entry_same_inode(self):
+        shadow = model.file_obj(3, name="/etc/shadow", owner=0, group=42, perms=0o640)
+        config = Configuration(
+            [plain_process(), shadow, writable_dir(),
+             syscalls.sys_link(1, 3, 7, "innocent")]
+        )
+        results = successors(config)
+        assert len(results) == 1
+        after = results[0][1]
+        entries = model.parent_entries(after, 3)
+        assert len(entries) == 1
+        assert entries[0]["name"] == "innocent"
+
+    def test_needs_directory_write(self):
+        shadow = model.file_obj(3, name="/etc/shadow", owner=0, group=42, perms=0o640)
+        locked = model.dir_entry(7, name="/etc", owner=0, group=0, perms=0o755, inode=0)
+        config = Configuration(
+            [plain_process(), shadow, locked, syscalls.sys_link(1, 3, 7, "x")]
+        )
+        assert successors(config) == []
+
+    def test_hardlink_attack_shape(self):
+        """The classic: the victim file is unreachable (its own directory
+        denies search), but linking it into the attacker's directory makes
+        the lookup pass through the attacker-searchable entry — read access
+        then only depends on the file's own mode bits."""
+        secret = model.file_obj(
+            3, name="/locked/secret", owner=0, group=1000, perms=0o640
+        )
+        locked_parent = model.dir_entry(
+            5, name="/locked", owner=0, group=0, perms=0o700, inode=3
+        )
+        config_without_link = Configuration(
+            [plain_process(), secret, locked_parent,
+             syscalls.sys_open(1, 3, "r")]
+        )
+        assert not check(
+            RosaQuery("no-link", config_without_link, goals.file_opened_for_read(3))
+        ).vulnerable
+
+        config_with_link = config_without_link.add(
+            writable_dir(7), syscalls.sys_link(1, 3, 7, "alias")
+        )
+        report = check(
+            RosaQuery("with-link", config_with_link, goals.file_opened_for_read(3))
+        )
+        assert report.vulnerable
+        assert report.witness == ["link", "open"]
+
+    def test_link_then_unlink_roundtrip(self):
+        target = model.file_obj(3, name="f", owner=1000, group=1000, perms=0o600)
+        config = Configuration(
+            [plain_process(), target, writable_dir(),
+             syscalls.sys_link(1, 3, 7, "alias"),
+             syscalls.sys_unlink(1, WILDCARD)]
+        )
+
+        def entry_gone_again(state):
+            return (
+                not model.parent_entries(state, 3)
+                and not list(state.messages())
+            )
+
+        report = check(RosaQuery("roundtrip", config, entry_gone_again))
+        assert report.vulnerable  # reachable: link then unlink either entry
+
+
+class TestDslSupport:
+    def test_parse_creat_and_link(self):
+        from repro.rosa.dsl import parse_query
+
+        text = """
+        < 1 : Process | euid : 1000 , ruid : 1000 , suid : 1000 ,
+                        egid : 1000 , rgid : 1000 , sgid : 1000 >
+        < 3 : File | name : "secret" , perms : rw-r----- , owner : 0 , group : 1000 >
+        < 5 : Dir | name : "/locked" , perms : rwx------ , owner : 0 ,
+                    group : 0 , inode : 3 >
+        < 7 : Dir | name : "/tmp" , perms : rwx------ , owner : 1000 ,
+                    group : 1000 , inode : 0 >
+        link(1, 3, 7, "alias")
+        open(1, 3, r, empty)
+        =>* such that 3 in rdfset(1) .
+        """
+        report = check(parse_query(text, "hardlink"))
+        assert report.vulnerable
+        assert report.witness == ["link", "open"]
+
+
+class TestStickyBit:
+    """The restricted-deletion rule (extension beyond the paper's model)."""
+
+    def sticky_entry(self, perms=0o1777, owner=0):
+        return model.dir_entry(
+            7, name="/tmp/victim", owner=owner, group=0, perms=perms, inode=3
+        )
+
+    def victim_file(self, owner=0):
+        return model.file_obj(3, name="victim", owner=owner, group=0, perms=0o644)
+
+    def test_sticky_blocks_foreign_unlink(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=0), self.sticky_entry(),
+             syscalls.sys_unlink(1, 7)]
+        )
+        assert successors(config) == []
+
+    def test_without_sticky_world_writable_dir_is_removable(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=0),
+             self.sticky_entry(perms=0o777),
+             syscalls.sys_unlink(1, 7)]
+        )
+        assert len(successors(config)) == 1
+
+    def test_file_owner_may_remove(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=1000), self.sticky_entry(),
+             syscalls.sys_unlink(1, 7)]
+        )
+        assert len(successors(config)) == 1
+
+    def test_directory_owner_may_remove(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=0),
+             self.sticky_entry(owner=1000),
+             syscalls.sys_unlink(1, 7)]
+        )
+        assert len(successors(config)) == 1
+
+    def test_cap_fowner_bypasses(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=0), self.sticky_entry(),
+             syscalls.sys_unlink(1, 7, ["CapFowner", "CapDacOverride"])]
+        )
+        assert len(successors(config)) == 1
+
+    def test_rename_also_restricted(self):
+        config = Configuration(
+            [plain_process(), self.victim_file(owner=0), self.sticky_entry(),
+             syscalls.sys_rename(1, 7, "renamed")]
+        )
+        assert successors(config) == []
+
+    def test_kernel_agrees(self):
+        """The same scenario through the simulated kernel."""
+        from repro.caps import CapabilitySet
+        from repro.oskernel import SyscallError
+        from repro.oskernel.setup import build_kernel
+
+        kernel = build_kernel()
+        kernel.fs.mkdir("/tmp", 0, 0, 0o1777)
+        kernel.fs.create_file("/tmp/rootfile", 0, 0, 0o644)
+        kernel.fs.create_file("/tmp/mine", 1000, 1000, 0o644)
+        process = kernel.spawn(1000, 1000)
+        with pytest.raises(SyscallError):
+            kernel.sys_unlink(process.pid, "/tmp/rootfile")
+        kernel.sys_unlink(process.pid, "/tmp/mine")  # own file: allowed
+        privileged = kernel.spawn(
+            1000, 1000, permitted=CapabilitySet.of("CapFowner")
+        )
+        kernel.sys_priv_raise(privileged.pid, CapabilitySet.of("CapFowner"))
+        kernel.sys_unlink(privileged.pid, "/tmp/rootfile")
+
+
+class TestSetgroups:
+    """setgroups as an attack step (extension beyond the paper's model)."""
+
+    def test_needs_cap_setgid(self):
+        config = Configuration(
+            [plain_process(), model.group(9, 15), syscalls.sys_setgroups(1, 15)]
+        )
+        assert successors(config) == []
+
+    def test_joins_group(self):
+        config = Configuration(
+            [plain_process(), model.group(9, 15),
+             syscalls.sys_setgroups(1, 15, ["CapSetgid"])]
+        )
+        results = successors(config)
+        assert len(results) == 1
+        after = results[0][1]
+        assert 15 in after.find_object(1)["supplementary"]
+
+    def test_devmem_via_supplementary_kmem(self):
+        """A second route to attack 1 under CapSetgid: join the kmem
+        group instead of switching the primary gid."""
+        from repro.rosa import RosaQuery, check, goals
+
+        config = Configuration(
+            [plain_process(),
+             model.file_obj(10, name="/dev/mem", owner=0, group=15, perms=0o640),
+             model.group(9, 15),
+             syscalls.sys_setgroups(1, WILDCARD, ["CapSetgid"]),
+             syscalls.sys_open(1, WILDCARD, "r", frozenset(syscalls.caps(["CapSetgid"])))]
+        )
+        report = check(RosaQuery("kmem", config, goals.file_opened_for_read(10)))
+        assert report.vulnerable
+        assert report.witness == ["setgroups", "open"]

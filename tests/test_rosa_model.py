@@ -1,0 +1,91 @@
+"""ROSA object constructors and wildcard candidate domains."""
+
+import pytest
+
+from repro.rewriting import Configuration
+from repro.rosa import model
+
+
+class TestConstructors:
+    def test_process_defaults(self):
+        proc = model.process(1, euid=0, ruid=0, suid=0, egid=0, rgid=0, sgid=0)
+        assert proc["state"] == model.STATE_RUN
+        assert proc["rdfset"] == frozenset()
+        assert proc["supplementary"] == frozenset()
+
+    def test_process_for_user(self):
+        proc = model.process_for_user(1, uid=1000, gid=2000)
+        assert proc["euid"] == proc["ruid"] == proc["suid"] == 1000
+        assert proc["egid"] == proc["rgid"] == proc["sgid"] == 2000
+
+    def test_file_obj_validates_perms(self):
+        with pytest.raises(ValueError):
+            model.file_obj(1, name="f", owner=0, group=0, perms=0o10000)
+        with pytest.raises(ValueError):
+            model.file_obj(1, name="f", owner=0, group=0, perms=-1)
+
+    def test_dir_entry_has_inode(self):
+        entry = model.dir_entry(2, name="/etc", owner=0, group=0, perms=0o755, inode=3)
+        assert entry["inode"] == 3
+        assert entry.cls == model.DIR
+
+    def test_socket_defaults_unbound(self):
+        assert model.socket_obj(4, owner_pid=1)["port"] == 0
+
+
+class TestCandidateDomains:
+    def config(self):
+        return Configuration(
+            [
+                model.process_for_user(1, uid=1000, gid=1000),
+                model.process_for_user(2, uid=0, gid=0),
+                model.file_obj(5, name="a", owner=0, group=0, perms=0o644),
+                model.file_obj(6, name="b", owner=0, group=0, perms=0o644),
+                model.dir_entry(7, name="/d", owner=0, group=0, perms=0o755, inode=5),
+                model.user(10, 0),
+                model.user(11, 1000),
+                model.group(12, 42),
+                model.port_obj(13, 22),
+            ]
+        )
+
+    def test_uids_from_user_objects_only(self):
+        assert model.candidate_uids(self.config()) == frozenset({0, 1000})
+
+    def test_gids_from_group_objects_only(self):
+        assert model.candidate_gids(self.config()) == frozenset({42})
+
+    def test_files(self):
+        assert model.candidate_files(self.config()) == frozenset({5, 6})
+
+    def test_dirs(self):
+        assert model.candidate_dirs(self.config()) == frozenset({7})
+
+    def test_processes(self):
+        assert model.candidate_processes(self.config()) == frozenset({1, 2})
+
+    def test_ports_from_port_objects(self):
+        assert model.candidate_ports(self.config()) == frozenset({22})
+
+    def test_ports_default_when_absent(self):
+        assert model.candidate_ports(Configuration([])) == model.DEFAULT_PORTS
+
+    def test_fresh_oid_avoids_collisions(self):
+        config = self.config()
+        fresh = model.fresh_oid(config)
+        assert config.find_object(fresh) is None
+        assert fresh == 14
+
+    def test_parent_entries_finds_hard_links(self):
+        config = self.config().add(
+            model.dir_entry(20, name="/e", owner=0, group=0, perms=0o755, inode=5)
+        )
+        entries = model.parent_entries(config, 5)
+        assert {entry.oid for entry in entries} == {7, 20}
+        assert model.parent_entries(config, 6) == []
+
+    def test_find_process_checks_class(self):
+        config = self.config()
+        assert model.find_process(config, 1) is not None
+        assert model.find_process(config, 5) is None  # a file, not a process
+        assert model.find_process(config, 999) is None

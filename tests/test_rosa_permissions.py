@@ -1,0 +1,184 @@
+"""The DAC + capability permission rules ROSA's rewrite rules consult."""
+
+import pytest
+
+from repro.caps import Capability
+from repro.rosa import model, permissions
+
+NO_CAPS = frozenset()
+DAC_OVERRIDE = frozenset({Capability.CAP_DAC_OVERRIDE})
+DAC_READ = frozenset({Capability.CAP_DAC_READ_SEARCH})
+
+
+def proc(euid=1000, egid=1000, supplementary=(), **kwargs):
+    return model.process(
+        1,
+        euid=euid, ruid=kwargs.get("ruid", euid), suid=kwargs.get("suid", euid),
+        egid=egid, rgid=kwargs.get("rgid", egid), sgid=kwargs.get("sgid", egid),
+        supplementary=supplementary,
+    )
+
+
+def file_with(perms, owner=0, group=0):
+    return model.file_obj(9, name="f", owner=owner, group=group, perms=perms)
+
+
+class TestDacClassSelection:
+    """Owner XOR group XOR other: the class is exclusive."""
+
+    def test_owner_class_applies_to_owner(self):
+        assert permissions.may_read(proc(euid=5), file_with(0o400, owner=5), NO_CAPS)
+
+    def test_owner_locked_out_despite_other_bits(self):
+        # Mode 0o077: the owner class has no bits even though others do.
+        assert not permissions.may_read(proc(euid=5), file_with(0o077, owner=5), NO_CAPS)
+
+    def test_group_class(self):
+        assert permissions.may_read(proc(euid=5, egid=7), file_with(0o040, group=7), NO_CAPS)
+        assert not permissions.may_read(proc(euid=5, egid=8), file_with(0o040, group=7), NO_CAPS)
+
+    def test_supplementary_groups_count(self):
+        reader = proc(euid=5, egid=6, supplementary=(7,))
+        assert permissions.may_read(reader, file_with(0o040, group=7), NO_CAPS)
+
+    def test_group_locked_out_despite_other_bits(self):
+        assert not permissions.may_read(
+            proc(euid=5, egid=7), file_with(0o004, owner=1, group=7), NO_CAPS
+        )
+
+    def test_other_class(self):
+        assert permissions.may_read(proc(euid=5), file_with(0o004, owner=1, group=2), NO_CAPS)
+
+
+class TestCapabilityOverrides:
+    def test_dac_override_grants_read_and_write(self):
+        locked = file_with(0o000)
+        assert permissions.may_read(proc(), locked, DAC_OVERRIDE)
+        assert permissions.may_write(proc(), locked, DAC_OVERRIDE)
+        assert permissions.may_search(proc(), locked, DAC_OVERRIDE)
+
+    def test_dac_read_search_grants_read_not_write(self):
+        locked = file_with(0o000)
+        assert permissions.may_read(proc(), locked, DAC_READ)
+        assert not permissions.may_write(proc(), locked, DAC_READ)
+        assert permissions.may_search(proc(), locked, DAC_READ)
+
+    def test_no_caps_no_access(self):
+        locked = file_with(0o000)
+        assert not permissions.may_read(proc(), locked, NO_CAPS)
+        assert not permissions.may_write(proc(), locked, NO_CAPS)
+
+
+class TestLookup:
+    def test_no_parent_entries_means_unconstrained(self):
+        assert permissions.lookup_permits([], proc(), NO_CAPS)
+
+    def test_searchable_entry_permits(self):
+        entry = model.dir_entry(2, name="/d", owner=0, group=0, perms=0o711, inode=9)
+        assert permissions.lookup_permits([entry], proc(), NO_CAPS)
+
+    def test_unsearchable_entry_denies(self):
+        entry = model.dir_entry(2, name="/d", owner=0, group=0, perms=0o700, inode=9)
+        assert not permissions.lookup_permits([entry], proc(), NO_CAPS)
+
+    def test_any_hard_link_suffices(self):
+        locked = model.dir_entry(2, name="/a", owner=0, group=0, perms=0o700, inode=9)
+        open_entry = model.dir_entry(3, name="/b", owner=0, group=0, perms=0o711, inode=9)
+        assert permissions.lookup_permits([locked, open_entry], proc(), NO_CAPS)
+
+
+class TestChmodChown:
+    def test_chmod_needs_ownership(self):
+        target = file_with(0o644, owner=1000)
+        assert permissions.may_chmod(proc(euid=1000), target, NO_CAPS)
+        assert not permissions.may_chmod(proc(euid=1001), target, NO_CAPS)
+
+    def test_cap_fowner_bypasses_ownership(self):
+        target = file_with(0o644, owner=0)
+        assert permissions.may_chmod(
+            proc(euid=1000), target, frozenset({Capability.CAP_FOWNER})
+        )
+
+    def test_chown_owner_change_needs_cap(self):
+        target = file_with(0o644, owner=1000, group=1000)
+        assert not permissions.may_chown(proc(euid=1000), target, 0, 1000, NO_CAPS)
+        assert permissions.may_chown(
+            proc(euid=1000), target, 0, 1000, frozenset({Capability.CAP_CHOWN})
+        )
+
+    def test_owner_may_give_group_to_own_group(self):
+        target = file_with(0o644, owner=1000, group=1000)
+        giver = proc(euid=1000, supplementary=(42,))
+        assert permissions.may_chown(giver, target, 1000, 42, NO_CAPS)
+
+    def test_owner_may_not_give_group_to_foreign_group(self):
+        target = file_with(0o644, owner=1000, group=1000)
+        assert not permissions.may_chown(proc(euid=1000), target, 1000, 999, NO_CAPS)
+
+    def test_non_owner_cannot_change_group(self):
+        target = file_with(0o644, owner=0, group=0)
+        assert not permissions.may_chown(
+            proc(euid=1000, supplementary=(42,)), target, 0, 42, NO_CAPS
+        )
+
+
+class TestSignals:
+    def test_matching_euid_to_ruid(self):
+        sender = proc(euid=5, ruid=6)
+        victim = proc(euid=9, ruid=5, suid=9)
+        assert permissions.may_signal(sender, victim, NO_CAPS)
+
+    def test_matching_ruid_to_suid(self):
+        sender = proc(euid=9, ruid=5)
+        victim = proc(euid=8, ruid=8, suid=5)
+        assert permissions.may_signal(sender, victim, NO_CAPS)
+
+    def test_victim_euid_does_not_count(self):
+        # kill(2) checks the target's real and saved ids, not effective.
+        sender = proc(euid=5, ruid=5, suid=5)
+        victim = proc(euid=5, ruid=9, suid=9)
+        assert not permissions.may_signal(sender, victim, NO_CAPS)
+
+    def test_cap_kill_bypasses(self):
+        sender = proc(euid=5)
+        victim = proc(euid=9, ruid=9, suid=9)
+        assert permissions.may_signal(sender, victim, frozenset({Capability.CAP_KILL}))
+
+
+class TestSetIds:
+    def test_unprivileged_may_permute_current(self):
+        subject = proc(euid=2, ruid=1, suid=3)
+        for uid in (1, 2, 3):
+            assert permissions.may_set_uid(subject, uid, NO_CAPS)
+        assert not permissions.may_set_uid(subject, 0, NO_CAPS)
+
+    def test_cap_setuid_allows_anything(self):
+        subject = proc(euid=1000)
+        assert permissions.may_set_uid(subject, 0, frozenset({Capability.CAP_SETUID}))
+
+    def test_gid_analogue(self):
+        subject = proc(egid=2, rgid=1, sgid=3)
+        assert permissions.may_set_gid(subject, 3, NO_CAPS)
+        assert not permissions.may_set_gid(subject, 0, NO_CAPS)
+        assert permissions.may_set_gid(subject, 0, frozenset({Capability.CAP_SETGID}))
+
+
+class TestBind:
+    def test_privileged_port_needs_cap(self):
+        assert not permissions.may_bind(80, NO_CAPS)
+        assert permissions.may_bind(
+            80, frozenset({Capability.CAP_NET_BIND_SERVICE})
+        )
+
+    def test_unprivileged_port_free(self):
+        assert permissions.may_bind(8080, NO_CAPS)
+
+    def test_boundary_port_1024_is_unprivileged(self):
+        assert permissions.may_bind(1024, NO_CAPS)
+
+    def test_port_1023_is_privileged(self):
+        assert not permissions.may_bind(1023, NO_CAPS)
+
+    def test_nonpositive_ports_rejected(self):
+        assert not permissions.may_bind(0, NO_CAPS)
+        assert not permissions.may_bind(-1, frozenset({Capability.CAP_NET_BIND_SERVICE}))

@@ -1,0 +1,161 @@
+"""Property-based tests of the ROSA model's global security laws.
+
+These are the invariants that make ROSA's verdicts trustworthy:
+
+* **capability monotonicity** — granting a superset of capabilities can
+  never make an attack infeasible that a subset enabled;
+* **state invariants** — no rewrite step creates processes, resurrects
+  the dead, changes a file's identity, or shrinks an fd set;
+* **budget monotonicity** — a larger message budget never removes
+  reachable states.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caps import Capability, CapabilitySet
+from repro.core.attacks import ALL_ATTACKS
+from repro.rewriting import Configuration
+from repro.rosa import check, model, syscalls, unix_system
+from repro.rosa.query import RosaQuery
+from repro.rosa.syscalls import WILDCARD
+
+INTERESTING_CAPS = [
+    Capability.CAP_SETUID,
+    Capability.CAP_SETGID,
+    Capability.CAP_CHOWN,
+    Capability.CAP_FOWNER,
+    Capability.CAP_DAC_OVERRIDE,
+    Capability.CAP_DAC_READ_SEARCH,
+    Capability.CAP_KILL,
+    Capability.CAP_NET_BIND_SERVICE,
+]
+
+SURFACE = frozenset(
+    {
+        "open_read", "open_write", "setuid", "setresuid", "setgid",
+        "kill", "chmod", "chown", "socket", "bind",
+    }
+)
+
+cap_sets = st.frozensets(st.sampled_from(INTERESTING_CAPS), max_size=3).map(
+    CapabilitySet
+)
+attacks = st.sampled_from(ALL_ATTACKS)
+uid_triples = st.sampled_from(
+    [(1000, 1000, 1000), (0, 0, 0), (998, 998, 1000), (1001, 1001, 1001)]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(attacks, cap_sets, cap_sets, uid_triples)
+def test_capability_monotonicity(attack, smaller, extra, uids):
+    """vulnerable(caps) implies vulnerable(caps ∪ extra)."""
+    larger = smaller | extra
+    small_query = attack.build_query(smaller, uids, uids, SURFACE)
+    large_query = attack.build_query(larger, uids, uids, SURFACE)
+    if check(small_query).vulnerable:
+        assert check(large_query).vulnerable
+
+
+@settings(max_examples=40, deadline=None)
+@given(attacks, cap_sets, uid_triples)
+def test_bigger_syscall_budget_never_helps_defender(attack, caps, uids):
+    """vulnerable with budget 1 implies vulnerable with budget 2."""
+    single = attack.build_query(caps, uids, uids, SURFACE, repeat=1)
+    double = attack.build_query(caps, uids, uids, SURFACE, repeat=2)
+    if check(single).vulnerable:
+        assert check(double).vulnerable
+
+
+def _random_configuration(caps):
+    capset = caps.as_frozenset()
+    return Configuration(
+        [
+            model.process_for_user(1, uid=1000, gid=1000),
+            model.process_for_user(2, uid=2000, gid=2000),
+            model.file_obj(10, name="secret", owner=0, group=42, perms=0o640),
+            model.dir_entry(11, name="/d", owner=0, group=0, perms=0o755, inode=10),
+            model.user(20, 0),
+            model.user(21, 1000),
+            model.group(30, 42),
+            syscalls.sys_open(1, WILDCARD, "rw", capset),
+            syscalls.sys_setuid(1, WILDCARD, capset),
+            syscalls.sys_chown(1, WILDCARD, WILDCARD, WILDCARD, capset),
+            syscalls.sys_chmod(1, WILDCARD, 0o777, capset),
+            syscalls.sys_kill(1, WILDCARD, 9, capset),
+            syscalls.sys_socket(1, capset),
+            syscalls.sys_bind(1, WILDCARD, WILDCARD, capset),
+            syscalls.sys_unlink(1, WILDCARD, capset),
+            syscalls.sys_creat(1, WILDCARD, "new", 0o600, capset),
+            syscalls.sys_link(1, WILDCARD, WILDCARD, "alias", capset),
+        ]
+    )
+
+
+def _all_reachable(config, limit=4000):
+    """Explore the whole space (bounded), yielding every edge."""
+    system = unix_system()
+    seen = {config.key}
+    frontier = [config]
+    edges = []
+    while frontier and len(seen) < limit:
+        state = frontier.pop()
+        for label, nxt in system.successors(state):
+            edges.append((state, label, nxt))
+            if nxt.key not in seen:
+                seen.add(nxt.key)
+                frontier.append(nxt)
+    return edges
+
+
+@settings(max_examples=15, deadline=None)
+@given(cap_sets)
+def test_rewrite_step_invariants(caps):
+    """Structural laws every single rewrite step must respect."""
+    for before, label, after in _all_reachable(_random_configuration(caps), limit=400):
+        # Process population is stable (no fork/exec modeled).
+        before_pids = {p.oid for p in before.objects(model.PROCESS)}
+        after_pids = {p.oid for p in after.objects(model.PROCESS)}
+        assert before_pids == after_pids, label
+
+        # The dead stay dead.
+        for pid in before_pids:
+            if before.find_object(pid)["state"] == model.STATE_DEAD:
+                assert after.find_object(pid)["state"] == model.STATE_DEAD, label
+
+        # fd sets only grow.
+        for pid in before_pids:
+            assert before.find_object(pid)["rdfset"] <= after.find_object(pid)["rdfset"], label
+            assert before.find_object(pid)["wrfset"] <= after.find_object(pid)["wrfset"], label
+
+        # Exactly one message is consumed per step.
+        before_messages = sum(1 for e in before if not hasattr(e, "cls"))
+        after_messages = sum(1 for e in after if not hasattr(e, "cls"))
+        assert after_messages == before_messages - 1, label
+
+        # Files never vanish (only Dir entries can).
+        before_files = {f.oid for f in before.objects(model.FILE)}
+        after_files = {f.oid for f in after.objects(model.FILE)}
+        assert before_files <= after_files, label
+
+        # Owner changes happen only through chown/fchown/creat.
+        if label not in ("chown", "fchown"):
+            for fid in before_files:
+                assert (
+                    before.find_object(fid)["owner"] == after.find_object(fid)["owner"]
+                ), label
+
+
+@settings(max_examples=10, deadline=None)
+@given(cap_sets)
+def test_search_is_deterministic(caps):
+    """The same query always yields the same verdict and witness."""
+    config = _random_configuration(caps)
+    from repro.rosa import goals
+
+    query = RosaQuery("det", config, goals.file_opened_for_read(10))
+    first = check(query)
+    second = check(query)
+    assert first.verdict == second.verdict
+    assert first.witness == second.witness
+    assert first.states_seen == second.states_seen

@@ -1,0 +1,380 @@
+"""Per-syscall rewrite rules: wildcard expansion, consumption, effects."""
+
+import pytest
+
+from repro.rewriting import Configuration
+from repro.rosa import model, syscalls, unix_system
+from repro.rosa.syscalls import KEEP, WILDCARD
+
+
+def successors(config):
+    return list(unix_system().successors(config))
+
+
+def single_successor(config):
+    results = successors(config)
+    assert len(results) == 1, [label for label, _ in results]
+    return results[0][1]
+
+
+def plain_process(**overrides):
+    fields = dict(euid=1000, ruid=1000, suid=1000, egid=1000, rgid=1000, sgid=1000)
+    fields.update(overrides)
+    return model.process(1, **fields)
+
+
+def shadow_file(perms=0o640, owner=0, group=42):
+    return model.file_obj(5, name="/etc/shadow", owner=owner, group=group, perms=perms)
+
+
+class TestOpenRule:
+    def test_open_denied_without_permission(self):
+        config = Configuration(
+            [plain_process(), shadow_file(), syscalls.sys_open(1, 5, "r")]
+        )
+        assert successors(config) == []
+
+    def test_open_succeeds_with_cap(self):
+        config = Configuration(
+            [plain_process(), shadow_file(),
+             syscalls.sys_open(1, 5, "r", ["CapDacReadSearch"])]
+        )
+        after = single_successor(config)
+        assert 5 in after.find_object(1)["rdfset"]
+        assert list(after.messages("open")) == []  # message consumed
+
+    def test_open_rw_updates_both_sets(self):
+        config = Configuration(
+            [plain_process(), shadow_file(perms=0o666),
+             syscalls.sys_open(1, 5, "rw")]
+        )
+        after = single_successor(config)
+        assert 5 in after.find_object(1)["rdfset"]
+        assert 5 in after.find_object(1)["wrfset"]
+
+    def test_open_rw_needs_both_permissions(self):
+        # CapDacReadSearch grants read only; O_RDWR must fail.
+        config = Configuration(
+            [plain_process(), shadow_file(perms=0o000),
+             syscalls.sys_open(1, 5, "rw", ["CapDacReadSearch"])]
+        )
+        assert successors(config) == []
+
+    def test_wildcard_fid_expands_over_files(self):
+        config = Configuration(
+            [plain_process(),
+             model.file_obj(5, name="a", owner=1000, group=1000, perms=0o600),
+             model.file_obj(6, name="b", owner=1000, group=1000, perms=0o600),
+             syscalls.sys_open(1, WILDCARD, "r")]
+        )
+        results = successors(config)
+        opened = {next(iter(c.find_object(1)["rdfset"])) for _, c in results}
+        assert opened == {5, 6}
+
+    def test_parent_directory_gates_open(self):
+        entry = model.dir_entry(7, name="/etc", owner=0, group=0, perms=0o700, inode=5)
+        config = Configuration(
+            [plain_process(), shadow_file(perms=0o644), entry,
+             syscalls.sys_open(1, 5, "r")]
+        )
+        assert successors(config) == []
+
+    def test_dead_process_cannot_open(self):
+        dead = plain_process(state=model.STATE_DEAD)
+        config = Configuration(
+            [dead, shadow_file(perms=0o644), syscalls.sys_open(1, 5, "r")]
+        )
+        assert successors(config) == []
+
+
+class TestSetuidRules:
+    def test_privileged_setuid_sets_all_three(self):
+        config = Configuration(
+            [plain_process(), model.user(9, 0),
+             syscalls.sys_setuid(1, 0, ["CapSetuid"])]
+        )
+        after = single_successor(config)
+        target = after.find_object(1)
+        assert (target["ruid"], target["euid"], target["suid"]) == (0, 0, 0)
+
+    def test_unprivileged_setuid_to_saved(self):
+        config = Configuration(
+            [plain_process(suid=1001), syscalls.sys_setuid(1, 1001)]
+        )
+        after = single_successor(config)
+        target = after.find_object(1)
+        assert target["euid"] == 1001
+        assert target["ruid"] == 1000  # only effective changes
+
+    def test_unprivileged_setuid_to_foreign_blocked(self):
+        config = Configuration([plain_process(), syscalls.sys_setuid(1, 0)])
+        assert successors(config) == []
+
+    def test_wildcard_uid_uses_user_objects(self):
+        config = Configuration(
+            [plain_process(), model.user(9, 0), model.user(10, 555),
+             syscalls.sys_setuid(1, WILDCARD, ["CapSetuid"])]
+        )
+        new_euids = {c.find_object(1)["euid"] for _, c in successors(config)}
+        assert new_euids == {0, 555}
+
+    def test_seteuid_changes_effective_only(self):
+        config = Configuration(
+            [plain_process(suid=7), syscalls.sys_seteuid(1, 7)]
+        )
+        after = single_successor(config)
+        assert after.find_object(1)["euid"] == 7
+        assert after.find_object(1)["suid"] == 7
+        assert after.find_object(1)["ruid"] == 1000
+
+    def test_setresuid_keep_leaves_slot(self):
+        config = Configuration(
+            [plain_process(), model.user(9, 42),
+             syscalls.sys_setresuid(1, KEEP, 42, KEEP, ["CapSetuid"])]
+        )
+        after = single_successor(config)
+        target = after.find_object(1)
+        assert (target["ruid"], target["euid"], target["suid"]) == (1000, 42, 1000)
+
+    def test_setresuid_unprivileged_permutes(self):
+        config = Configuration(
+            [plain_process(suid=7), syscalls.sys_setresuid(1, 7, 7, 7)]
+        )
+        after = single_successor(config)
+        assert after.find_object(1)["ruid"] == 7
+
+    def test_setresuid_unprivileged_foreign_blocked(self):
+        config = Configuration(
+            [plain_process(), syscalls.sys_setresuid(1, 0, 0, 0)]
+        )
+        assert successors(config) == []
+
+
+class TestSetgidRules:
+    def test_privileged_setgid(self):
+        config = Configuration(
+            [plain_process(), model.group(9, 42),
+             syscalls.sys_setgid(1, 42, ["CapSetgid"])]
+        )
+        after = single_successor(config)
+        assert after.find_object(1)["egid"] == 42
+        assert after.find_object(1)["rgid"] == 42
+
+    def test_setegid_unprivileged_to_saved(self):
+        config = Configuration(
+            [plain_process(sgid=15), syscalls.sys_setegid(1, 15)]
+        )
+        after = single_successor(config)
+        assert after.find_object(1)["egid"] == 15
+
+    def test_setresgid_wildcards(self):
+        config = Configuration(
+            [plain_process(), model.group(9, 15),
+             syscalls.sys_setresgid(1, KEEP, WILDCARD, KEEP, ["CapSetgid"])]
+        )
+        after = single_successor(config)
+        assert after.find_object(1)["egid"] == 15
+
+
+class TestKillRule:
+    def victim(self, uid=2000):
+        return model.process(
+            2, euid=uid, ruid=uid, suid=uid, egid=uid, rgid=uid, sgid=uid
+        )
+
+    def test_kill_foreign_denied(self):
+        config = Configuration(
+            [plain_process(), self.victim(),
+             syscalls.sys_kill(1, 2, model.SIGKILL)]
+        )
+        assert successors(config) == []
+
+    def test_kill_with_cap(self):
+        config = Configuration(
+            [plain_process(), self.victim(),
+             syscalls.sys_kill(1, 2, model.SIGKILL, ["CapKill"])]
+        )
+        after = single_successor(config)
+        assert after.find_object(2)["state"] == model.STATE_DEAD
+
+    def test_kill_after_setuid_identity_change(self):
+        # The classic attack-4 recipe: setuid(victim) then kill.
+        config = Configuration(
+            [plain_process(), self.victim(), model.user(9, 2000),
+             syscalls.sys_setuid(1, WILDCARD, ["CapSetuid"]),
+             syscalls.sys_kill(1, WILDCARD, model.SIGKILL)]
+        )
+        from repro.rosa import RosaQuery, check, goals
+
+        report = check(RosaQuery("kill-via-setuid", config, goals.process_terminated(2)))
+        assert report.vulnerable
+        assert report.witness == ["setuid", "kill"]
+
+    def test_nonfatal_signal_consumes_message_only(self):
+        config = Configuration(
+            [plain_process(), self.victim(),
+             syscalls.sys_kill(1, 2, 15, ["CapKill"])]  # SIGTERM modeled non-state-changing
+        )
+        after = single_successor(config)
+        assert after.find_object(2)["state"] == model.STATE_RUN
+
+    def test_dead_victim_not_rekillable(self):
+        dead = self.victim().update(state=model.STATE_DEAD)
+        config = Configuration(
+            [plain_process(), dead, syscalls.sys_kill(1, 2, model.SIGKILL, ["CapKill"])]
+        )
+        assert successors(config) == []
+
+
+class TestChmodChownRules:
+    def test_chmod_as_owner(self):
+        target = model.file_obj(5, name="f", owner=1000, group=1000, perms=0o600)
+        config = Configuration(
+            [plain_process(), target, syscalls.sys_chmod(1, 5, 0o777)]
+        )
+        after = single_successor(config)
+        assert after.find_object(5)["perms"] == 0o777
+
+    def test_chmod_same_mode_is_not_a_transition(self):
+        target = model.file_obj(5, name="f", owner=1000, group=1000, perms=0o777)
+        config = Configuration(
+            [plain_process(), target, syscalls.sys_chmod(1, 5, 0o777)]
+        )
+        assert successors(config) == []
+
+    def test_fchmod_requires_open_file(self):
+        target = model.file_obj(5, name="f", owner=1000, group=1000, perms=0o600)
+        config = Configuration(
+            [plain_process(), target, syscalls.sys_fchmod(1, 5, 0o777)]
+        )
+        assert successors(config) == []
+        opened = plain_process(rdfset={5})
+        config2 = Configuration(
+            [opened, target, syscalls.sys_fchmod(1, 5, 0o777)]
+        )
+        assert len(successors(config2)) == 1
+
+    def test_chown_with_cap_expands_wildcards(self):
+        target = model.file_obj(5, name="f", owner=0, group=0, perms=0o600)
+        config = Configuration(
+            [plain_process(), target, model.user(9, 1000), model.group(10, 1000),
+             syscalls.sys_chown(1, 5, WILDCARD, WILDCARD, ["CapChown"])]
+        )
+        after = single_successor(config)
+        assert after.find_object(5)["owner"] == 1000
+        assert after.find_object(5)["group"] == 1000
+
+
+class TestDirectoryRules:
+    def entry(self, perms=0o755):
+        return model.dir_entry(7, name="/tmp/x", owner=1000, group=1000, perms=perms, inode=5)
+
+    def test_unlink_needs_write_and_search(self):
+        config = Configuration(
+            [plain_process(euid=1001, ruid=1001, suid=1001), self.entry(0o755),
+             syscalls.sys_unlink(1, 7)]
+        )
+        assert successors(config) == []
+
+    def test_unlink_removes_entry(self):
+        config = Configuration(
+            [plain_process(), self.entry(0o700), syscalls.sys_unlink(1, 7)]
+        )
+        after = single_successor(config)
+        assert after.find_object(7) is None
+
+    def test_rename_changes_name(self):
+        config = Configuration(
+            [plain_process(), self.entry(0o700),
+             syscalls.sys_rename(1, 7, "/tmp/y")]
+        )
+        after = single_successor(config)
+        assert after.find_object(7)["name"] == "/tmp/y"
+
+
+class TestSocketRules:
+    def test_socket_creates_fresh_object(self):
+        config = Configuration([plain_process(), syscalls.sys_socket(1)])
+        after = single_successor(config)
+        sockets = list(after.objects(model.SOCKET))
+        assert len(sockets) == 1
+        assert sockets[0]["port"] == 0
+        assert sockets[0]["owner_pid"] == 1
+
+    def test_bind_privileged_port_needs_cap(self):
+        sock = model.socket_obj(3, owner_pid=1)
+        config = Configuration(
+            [plain_process(), sock, syscalls.sys_bind(1, 3, 22)]
+        )
+        assert successors(config) == []
+        config2 = Configuration(
+            [plain_process(), sock,
+             syscalls.sys_bind(1, 3, 22, ["CapNetBindService"])]
+        )
+        after = single_successor(config2)
+        assert after.find_object(3)["port"] == 22
+
+    def test_bind_unprivileged_port(self):
+        sock = model.socket_obj(3, owner_pid=1)
+        config = Configuration(
+            [plain_process(), sock, syscalls.sys_bind(1, 3, 8080)]
+        )
+        after = single_successor(config)
+        assert after.find_object(3)["port"] == 8080
+
+    def test_bind_rejects_port_in_use(self):
+        bound = model.socket_obj(3, owner_pid=1, port=8080)
+        fresh = model.socket_obj(4, owner_pid=1)
+        config = Configuration(
+            [plain_process(), bound, fresh, syscalls.sys_bind(1, 4, 8080)]
+        )
+        assert successors(config) == []
+
+    def test_bind_only_own_sockets(self):
+        foreign = model.socket_obj(3, owner_pid=99)
+        config = Configuration(
+            [plain_process(), foreign, syscalls.sys_bind(1, 3, 8080)]
+        )
+        assert successors(config) == []
+
+    def test_socket_then_bind_sequence(self):
+        from repro.rosa import RosaQuery, check, goals
+
+        config = Configuration(
+            [plain_process(),
+             syscalls.sys_socket(1, ["CapNetBindService"]),
+             syscalls.sys_bind(1, WILDCARD, WILDCARD, ["CapNetBindService"])]
+        )
+        report = check(
+            RosaQuery("bind", config, goals.socket_bound_to_privileged_port(pid=1))
+        )
+        assert report.vulnerable
+        assert report.witness == ["socket", "bind"]
+
+    def test_connect_consumes_message(self):
+        sock = model.socket_obj(3, owner_pid=1)
+        config = Configuration(
+            [plain_process(), sock, syscalls.sys_connect(1, 3, 80)]
+        )
+        after = single_successor(config)
+        assert list(after.messages()) == []
+
+
+class TestMessageMultiplicity:
+    def test_message_included_twice_usable_twice(self):
+        """ROSA bounds syscall counts by message multiplicity (§V-B)."""
+        target_a = model.file_obj(5, name="a", owner=1000, group=1000, perms=0o600)
+        target_b = model.file_obj(6, name="b", owner=1000, group=1000, perms=0o600)
+        message = syscalls.sys_open(1, WILDCARD, "r")
+        config = Configuration([plain_process(), target_a, target_b, message, message])
+        from repro.rosa import RosaQuery, check, goals
+
+        both = goals.all_of(
+            goals.file_opened_for_read(5), goals.file_opened_for_read(6)
+        )
+        report = check(RosaQuery("two-opens", config, both))
+        assert report.vulnerable
+
+        single = Configuration([plain_process(), target_a, target_b, message])
+        report2 = check(RosaQuery("one-open", single, both))
+        assert not report2.vulnerable

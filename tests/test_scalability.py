@@ -1,0 +1,126 @@
+"""Repo-scale smoke tests: the toolchain on machine-generated programs.
+
+The paper's programs are 9–83 kSLOC of C; our models are small by
+design, but the toolchain itself must not fall over on larger inputs.
+These tests generate PrivC programs two orders of magnitude bigger than
+the models and run the full pipeline, bounding wall-clock loosely enough
+for slow CI machines.
+"""
+
+import time
+
+import pytest
+
+from repro.autopriv import transform_module
+from repro.caps import CapabilitySet
+from repro.chronopriv import instrument_module
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.passes import optimize_module
+from repro.oskernel.setup import UID_USER, GID_USER, build_kernel
+from repro.vm import Interpreter
+
+
+def generate_wide_program(function_count: int) -> str:
+    """Many small functions, a fraction of them privileged, all called."""
+    parts = []
+    for index in range(function_count):
+        if index % 10 == 0:
+            parts.append(
+                f"""
+int worker{index}(int x) {{
+    priv_raise(CAP_DAC_READ_SEARCH);
+    int n = strlen(getspnam("user"));
+    priv_lower(CAP_DAC_READ_SEARCH);
+    return x + n;
+}}"""
+            )
+        else:
+            parts.append(
+                f"""
+int worker{index}(int x) {{
+    int y = x * {index % 7 + 1} + {index};
+    if (y % 2 == 0) {{ y = y + 3; }}
+    return y;
+}}"""
+            )
+    calls = "\n".join(
+        f"    acc = worker{index}(acc);" for index in range(function_count)
+    )
+    return "\n".join(parts) + f"""
+void main() {{
+    int acc = 1;
+{calls}
+    print_int(acc);
+    exit(0);
+}}
+"""
+
+
+def generate_deep_cfg(block_count: int) -> str:
+    """One function with a long if/else ladder — a CFG stress test."""
+    ladder = "\n".join(
+        f"    if (acc % {index + 2} == 0) {{ acc = acc + {index}; }}"
+        f" else {{ acc = acc - 1; }}"
+        for index in range(block_count)
+    )
+    return f"""
+void main() {{
+    int acc = 1000;
+{ladder}
+    print_int(acc);
+    exit(0);
+}}
+"""
+
+
+class TestScalability:
+    @pytest.mark.parametrize("function_count", [200])
+    def test_wide_program_full_pipeline(self, function_count):
+        source = generate_wide_program(function_count)
+        start = time.monotonic()
+        module = compile_source(source)
+        transform_module(module, CapabilitySet.of("CapDacReadSearch"))
+        instrument_module(module)
+        verify_module(module)
+        kernel = build_kernel()
+        process = kernel.spawn(
+            UID_USER, GID_USER, permitted=CapabilitySet.of("CapDacReadSearch")
+        )
+        vm = Interpreter(module, kernel, process)
+        code = vm.run()
+        elapsed = time.monotonic() - start
+        assert code == 0
+        assert process.caps.permitted == CapabilitySet.empty()
+        assert elapsed < 60, f"pipeline took {elapsed:.1f}s on {function_count} functions"
+
+    @pytest.mark.parametrize("block_count", [300])
+    def test_deep_cfg_analyses(self, block_count):
+        source = generate_deep_cfg(block_count)
+        start = time.monotonic()
+        module = compile_source(source)
+        optimize_module(module)
+        transform_module(module, CapabilitySet.of("CapSetuid"))
+        instrument_module(module)
+        verify_module(module)
+        kernel = build_kernel()
+        process = kernel.spawn(UID_USER, GID_USER, permitted=CapabilitySet.of("CapSetuid"))
+        vm = Interpreter(module, kernel, process)
+        assert vm.run() == 0
+        elapsed = time.monotonic() - start
+        assert elapsed < 60, f"deep CFG took {elapsed:.1f}s"
+
+    def test_dataflow_fixpoint_on_many_functions(self):
+        """Interprocedural liveness over a 100-function call graph."""
+        from repro.autopriv import analyze_module
+
+        source = generate_wide_program(100)
+        module = compile_source(source)
+        liveness = analyze_module(module)
+        privileged = [
+            function
+            for function in module.defined_functions()
+            if liveness.uses[function]
+        ]
+        # Every tenth worker plus main (transitively).
+        assert len(privileged) == 10 + 1

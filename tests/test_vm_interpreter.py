@@ -1,0 +1,240 @@
+"""The IR interpreter: evaluation semantics, signals, failure modes."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    ConstantInt,
+    I64,
+    I8,
+    IRBuilder,
+    IntType,
+    Module,
+    Phi,
+    VOID,
+)
+from repro.oskernel import Kernel, signals
+from repro.vm import Interpreter, ProgramExit, VMError
+
+
+def make_vm(module, uid=1000, gid=1000, **kwargs):
+    kernel = Kernel()
+    process = kernel.spawn(uid, gid)
+    return Interpreter(module, kernel, process, **kwargs), kernel, process
+
+
+class TestEvaluation:
+    def test_arithmetic_wraps_two_complement(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [I64], ["x"])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.add(function.arguments[0], 1))
+        vm, _, _ = make_vm(module)
+        assert vm.call_function(function, [2**63 - 1]) == -(2**63)
+
+    def test_division_by_zero_is_vm_error(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [I64], ["x"])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.sdiv(1, function.arguments[0]))
+        vm, _, _ = make_vm(module)
+        with pytest.raises(VMError, match="by zero"):
+            vm.call_function(function, [0])
+
+    def test_select(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [I64], ["x"])
+        builder = IRBuilder(function.add_block("entry"))
+        cond = builder.icmp("sgt", function.arguments[0], 0)
+        builder.ret(builder.select(cond, 1, -1))
+        vm, _, _ = make_vm(module)
+        assert vm.call_function(function, [5]) == 1
+        assert vm.call_function(function, [-5]) == -1
+
+    def test_phi_uses_predecessor(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [I64], ["x"])
+        entry = function.add_block("entry")
+        left = function.add_block("left")
+        right = function.add_block("right")
+        merge = function.add_block("merge")
+        builder = IRBuilder(entry)
+        cond = builder.icmp("eq", function.arguments[0], 0)
+        builder.br(cond, left, right)
+        builder.position_at_end(left)
+        builder.jmp(merge)
+        builder.position_at_end(right)
+        builder.jmp(merge)
+        builder.position_at_end(merge)
+        phi = builder.phi(I64)
+        phi.add_incoming(ConstantInt(I64, 10), left)
+        phi.add_incoming(ConstantInt(I64, 20), right)
+        builder.ret(phi)
+        vm, _, _ = make_vm(module)
+        assert vm.call_function(function, [0]) == 10
+        assert vm.call_function(function, [1]) == 20
+
+    def test_load_uninitialised_slot_reads_zero(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        slot = builder.alloca("x")
+        builder.ret(builder.load(slot))
+        vm, _, _ = make_vm(module)
+        assert vm.call_function(function, []) == 0
+
+    def test_globals_initialised(self):
+        module = Module("m")
+        var = module.add_global("g", 9)
+        function = module.add_function("f", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.load(var))
+        vm, _, _ = make_vm(module)
+        assert vm.call_function(function, []) == 9
+
+    def test_unreachable_is_fatal(self):
+        module = Module("m")
+        function = module.add_function("f", VOID, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.unreachable()
+        vm, _, _ = make_vm(module)
+        with pytest.raises(VMError, match="unreachable"):
+            vm.call_function(function, [])
+
+    def test_load_through_non_pointer(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [I64], ["x"])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.load(function.arguments[0]))
+        vm, _, _ = make_vm(module)
+        with pytest.raises(VMError, match="non-pointer"):
+            vm.call_function(function, [3])
+
+    def test_missing_intrinsic(self):
+        module = Module("m")
+        ext = module.declare("no_such_intrinsic", I64, [])
+        function = module.add_function("f", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.call(ext, []))
+        vm, _, _ = make_vm(module)
+        with pytest.raises(VMError, match="no intrinsic"):
+            vm.call_function(function, [])
+
+    def test_call_depth_guard(self):
+        module = Module("m")
+        function = module.add_function("f", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(builder.call(function, []))
+        vm, _, _ = make_vm(module)
+        with pytest.raises(VMError, match="call depth"):
+            vm.call_function(function, [])
+
+    def test_instruction_budget(self):
+        module = Module("m")
+        function = module.add_function("main", VOID, [])
+        entry = function.add_block("entry")
+        loop = function.add_block("loop")
+        builder = IRBuilder(entry)
+        builder.jmp(loop)
+        builder.position_at_end(loop)
+        builder.jmp(loop)
+        vm, _, _ = make_vm(module, max_instructions=1000)
+        with pytest.raises(VMError, match="budget"):
+            vm.run()
+
+    def test_executed_instruction_counter(self):
+        module = Module("m")
+        function = module.add_function("main", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.add(1, 2)
+        builder.ret(0)
+        vm, _, _ = make_vm(module)
+        vm.run()
+        assert vm.executed_instructions == 2
+
+
+class TestRunAndExit:
+    def test_exit_intrinsic(self):
+        module = Module("m")
+        ext = module.declare("exit", I64, [I64])
+        function = module.add_function("main", VOID, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.call(ext, [7])
+        builder.ret()
+        vm, _, _ = make_vm(module)
+        assert vm.run() == 7
+
+    def test_fallthrough_returns_value(self):
+        module = Module("m")
+        function = module.add_function("main", I64, [])
+        builder = IRBuilder(function.add_block("entry"))
+        builder.ret(5)
+        vm, _, _ = make_vm(module)
+        assert vm.run() == 5
+
+    def test_void_main_returns_zero(self):
+        module = Module("m")
+        function = module.add_function("main", VOID, [])
+        IRBuilder(function.add_block("entry")).ret()
+        vm, _, _ = make_vm(module)
+        assert vm.run() == 0
+
+
+class TestSignalDispatch:
+    def build_signal_module(self):
+        """main registers a handler, then another process signals it."""
+        from repro.frontend import compile_source
+
+        source = """
+        int handled;
+        void on_term(int signum) { handled = signum; }
+        void main() {
+            handled = 0;
+            signal(SIGTERM, &on_term);
+            sleep(0);           // syscall boundary where delivery happens
+            print_int(handled);
+        }
+        """
+        return compile_source(source)
+
+    def test_handler_runs_at_call_boundary(self):
+        module = self.build_signal_module()
+        kernel = Kernel()
+        process = kernel.spawn(1000, 1000)
+        vm = Interpreter(module, kernel, process)
+
+        # Intercept the sleep intrinsic to deliver a signal mid-run.
+        original_sleep = vm.intrinsics["sleep"]
+
+        def sleepy(inner_vm, args):
+            sender = kernel.spawn(1000, 1000)
+            kernel.sys_kill(sender.pid, process.pid, signals.SIGTERM)
+            return original_sleep(inner_vm, args)
+
+        vm.register_intrinsic("sleep", sleepy)
+        assert vm.run() == 0
+        assert vm.stdout == [str(signals.SIGTERM)]
+
+    def test_fatal_signal_terminates_run(self):
+        from repro.frontend import compile_source
+
+        source = """
+        void main() {
+            sleep(0);
+            print_int(1);
+        }
+        """
+        module = compile_source(source)
+        kernel = Kernel()
+        process = kernel.spawn(1000, 1000)
+        vm = Interpreter(module, kernel, process)
+
+        def killer(inner_vm, args):
+            sender = kernel.spawn(1000, 1000)
+            kernel.sys_kill(sender.pid, process.pid, signals.SIGKILL)
+            return 0
+
+        vm.register_intrinsic("sleep", killer)
+        code = vm.run()
+        assert code == 128 + signals.SIGKILL
+        assert vm.stdout == []  # never reached the print
