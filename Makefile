@@ -1,4 +1,6 @@
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test bench examples reproduce trace-smoke clean
+
+TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +14,20 @@ bench:
 # Regenerate every paper table and figure with the printed series visible.
 reproduce:
 	pytest benchmarks/ --benchmark-only -s -q
+
+# Observability smoke test: a traced analyze run must emit valid JSONL
+# spans covering every pipeline stage (see docs/OBSERVABILITY.md).
+trace-smoke:
+	PYTHONPATH=src python -m repro.cli analyze passwd --trace \
+		--trace-out $(TRACE_SMOKE_OUT) --profile > /dev/null
+	PYTHONPATH=src python -c "\
+	import json, sys; \
+	lines = [line for line in open('$(TRACE_SMOKE_OUT)') if line.strip()]; \
+	assert lines, 'trace JSONL is empty'; \
+	names = {json.loads(line)['name'] for line in lines}; \
+	missing = {'compile', 'autopriv.transform', 'chronopriv-run', 'rosa.query'} - names; \
+	assert not missing, f'spans missing: {missing}'; \
+	print(f'trace-smoke ok: {len(lines)} spans, stages {sorted(names)}')"
 
 examples:
 	@for script in examples/*.py; do \

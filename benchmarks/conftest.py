@@ -5,24 +5,71 @@ full pipeline runs once per program per session; the benchmarks then time
 the pieces the paper times (chiefly ROSA searches, Figures 5–11) and
 print the regenerated rows so `pytest benchmarks/ --benchmark-only -s`
 reproduces the evaluation section end to end.
+
+The shared pipeline runs record per-stage span breakdowns (compile /
+chronopriv-run / rosa) through :mod:`repro.telemetry`; the terminal
+summary prints them so every benchmark session also reports where the
+non-benchmarked pipeline time went.  The timed inner loops themselves
+run with telemetry disabled — the overhead-free default path.
 """
 
 import pytest
 
 from repro.core import PrivAnalyzer
 from repro.programs import spec_by_name
+from repro.telemetry import Telemetry
 
 ORIGINAL_PROGRAMS = ("passwd", "ping", "sshd", "su", "thttpd")
 REFACTORED_PROGRAMS = ("passwdRef", "suRef")
 
+#: Stages reported in the per-program breakdown table.
+BREAKDOWN_STAGES = (
+    "compile", "autopriv.transform", "chronopriv-run", "rosa.check-phase",
+)
+
 _cache = {}
+#: Per-program per-stage seconds, filled as analyses run:
+#: ``{"passwd": {"compile": 0.03, ...}, ...}``.
+STAGE_TIMINGS = {}
 
 
 def analysis_for(name):
     """Run (and cache) the full PrivAnalyzer pipeline for one program."""
     if name not in _cache:
-        _cache[name] = PrivAnalyzer().analyze(spec_by_name(name))
+        telemetry = Telemetry.enabled()
+        _cache[name] = PrivAnalyzer(telemetry=telemetry).analyze(spec_by_name(name))
+        totals = {}
+        for span in telemetry.tracer.finished:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        STAGE_TIMINGS[name] = {
+            stage: totals.get(stage, 0.0) for stage in BREAKDOWN_STAGES
+        }
+        STAGE_TIMINGS[name]["total"] = totals.get("pipeline.analyze", 0.0)
     return _cache[name]
+
+
+@pytest.fixture(scope="session")
+def stage_timings():
+    """Per-stage pipeline breakdowns recorded so far (program -> stage -> s)."""
+    return STAGE_TIMINGS
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not STAGE_TIMINGS:
+        return
+    terminalreporter.write_sep("-", "pipeline stage breakdown (ms)")
+    header = f"{'program':<12}" + "".join(
+        f"{stage:>20}" for stage in BREAKDOWN_STAGES + ("total",)
+    )
+    terminalreporter.write_line(header)
+    for name, stages in STAGE_TIMINGS.items():
+        terminalreporter.write_line(
+            f"{name:<12}"
+            + "".join(
+                f"{stages.get(stage, 0.0) * 1000:>20.1f}"
+                for stage in BREAKDOWN_STAGES + ("total",)
+            )
+        )
 
 
 @pytest.fixture(scope="session")

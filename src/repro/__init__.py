@@ -31,6 +31,12 @@ Quickstart::
           f"{analysis.vulnerability_window(1):.0%} of execution")
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+# Library etiquette: the ``repro`` logger hierarchy stays silent unless
+# the application (or the CLI's --verbose/--quiet) installs a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())

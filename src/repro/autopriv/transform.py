@@ -14,7 +14,8 @@ handler may run at any time.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+import time
+from typing import Callable, Dict, List, Tuple
 
 from repro.caps import CapabilitySet
 from repro.ir import Call, ConstantInt, Function, I64, Module
@@ -35,6 +36,8 @@ class TransformReport:
     entry_removed: CapabilitySet
     #: Privileges pinned live by signal handlers (never removed).
     pinned: CapabilitySet
+    #: Wall-clock seconds per pass: ``{"liveness": ..., "insertion": ...}``.
+    timings: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def insertion_count(self) -> int:
@@ -61,9 +64,18 @@ def transform_module(
     entry: str = "main",
     insert_lockdown: bool = True,
     indirect_targets_filter: str = "address-taken",
+    clock: Callable[[], float] = time.perf_counter,
 ) -> TransformReport:
-    """Insert ``priv_remove`` calls in place; returns what was inserted."""
+    """Insert ``priv_remove`` calls in place; returns what was inserted.
+
+    The report's ``timings`` break the pass into its two phases —
+    privilege-liveness dataflow and call insertion — for the telemetry
+    layer's per-pass profile.
+    """
+    pass_start = clock()
     liveness = analyze_module(module, entry, indirect_targets_filter)
+    liveness_seconds = clock() - pass_start
+    insertion_start = clock()
     insertions: List[Tuple[str, str, int, CapabilitySet]] = []
     candidates = initial_permitted - liveness.pinned
 
@@ -134,6 +146,10 @@ def transform_module(
         insertions=insertions,
         entry_removed=entry_removed,
         pinned=liveness.pinned,
+        timings={
+            "liveness": liveness_seconds,
+            "insertion": clock() - insertion_start,
+        },
     )
 
 

@@ -10,9 +10,16 @@ Subcommands:
 * ``rosa <file>`` — check a Maude-style query file (Figure 2/4 syntax);
 * ``table3`` / ``table5`` — regenerate the paper's headline tables.
 
+Observability (see ``docs/OBSERVABILITY.md``): ``--trace`` records
+per-stage spans (``--trace-out`` writes them as JSONL), ``--profile``
+prints a per-stage timing table to stderr, ``--audit-out`` dumps the
+simulated kernel's syscall audit trail, and ``--verbose``/``--quiet``
+control stderr logging.
+
 Examples::
 
     privanalyzer analyze passwd
+    privanalyzer analyze passwd --trace --trace-out trace.jsonl --profile
     privanalyzer analyze agent.privc --caps CapSetuid,CapDacReadSearch
     privanalyzer rosa examples/queries/figure2.rosa
     privanalyzer table5 --format markdown
@@ -21,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -30,6 +38,35 @@ from repro.core import PrivAnalyzer
 from repro.core import report as report_mod
 from repro.programs import PROGRAM_MODULES, spec_by_name
 from repro.programs.common import ProgramSpec
+from repro.telemetry import (
+    Telemetry,
+    render_profile,
+    render_span_tree,
+    spans_to_jsonl,
+)
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flags shared by analyze / rosa / table commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", action="store_true",
+        help="record pipeline spans; without --trace-out, print the span "
+        "tree to stderr",
+    )
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write recorded spans as JSONL to PATH (implies --trace)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage timing table to stderr (implies --trace)",
+    )
+    group.add_argument(
+        "--audit-out", metavar="PATH", default=None,
+        help="record every simulated-kernel syscall and write the audit "
+        "trail as JSONL to PATH",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="privanalyzer",
         description="Measure how effectively a program uses Linux privileges "
         "(PrivAnalyzer, DSN 2019 reproduction).",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log pipeline progress to stderr (DEBUG level)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -65,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="address-taken",
         help="indirect-call resolution for AutoPriv",
     )
+    _add_observability_flags(analyze)
 
     hints = sub.add_parser("hints", help="refactoring guidance (paper §VII-D/E)")
     hints.add_argument("program")
@@ -81,14 +128,74 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="narrate the witness step by step when vulnerable",
     )
+    _add_observability_flags(rosa)
 
     for table in ("table3", "table5"):
         table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
         table_parser.add_argument(
             "--format", choices=("table", "markdown", "csv"), default="table"
         )
+        _add_observability_flags(table_parser)
 
     return parser
+
+
+def _telemetry_from_args(args) -> Optional[Telemetry]:
+    """Build the telemetry bundle the flags ask for, or ``None``."""
+    want_trace = bool(
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "profile", False)
+    )
+    want_audit = getattr(args, "audit_out", None) is not None
+    if not want_trace and not want_audit:
+        return None
+    return Telemetry.enabled(audit=want_audit)
+
+
+def _export_telemetry(args, telemetry: Optional[Telemetry]) -> None:
+    """Honour --trace-out / --trace / --profile / --audit-out after a command."""
+    if telemetry is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        jsonl = spans_to_jsonl(telemetry.tracer)
+        _write_or_die(trace_out, jsonl + "\n" if jsonl else "")
+    elif getattr(args, "trace", False):
+        print(render_span_tree(telemetry.tracer), file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(render_profile(telemetry.tracer), file=sys.stderr)
+    audit_out = getattr(args, "audit_out", None)
+    if audit_out and telemetry.audit is not None:
+        jsonl = telemetry.audit.to_jsonl()
+        _write_or_die(audit_out, jsonl + "\n" if jsonl else "")
+
+
+def _write_or_die(path: str, text: str) -> None:
+    try:
+        Path(path).write_text(text)
+    except OSError as error:
+        raise SystemExit(f"privanalyzer: cannot write {path}: {error.strerror}")
+
+
+def _configure_logging(args) -> None:
+    """Wire the ``repro`` root logger to stderr per --verbose/--quiet."""
+    level = logging.WARNING
+    if getattr(args, "verbose", False):
+        level = logging.DEBUG
+    elif getattr(args, "quiet", False):
+        level = logging.ERROR
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    # Re-bind to the *current* stderr on every invocation (tests and
+    # embedders may have swapped it since the last run).
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli_handler = True
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logger.addHandler(handler)
 
 
 def _resolve_spec(args) -> ProgramSpec:
@@ -122,10 +229,11 @@ def _cmd_list(args, out) -> int:
     return 0
 
 
-def _cmd_analyze(args, out) -> int:
+def _cmd_analyze(args, out, telemetry: Optional[Telemetry] = None) -> int:
     spec = _resolve_spec(args)
     analyzer = PrivAnalyzer(
-        indirect_targets_filter=args.callgraph, optimize=args.optimize
+        indirect_targets_filter=args.callgraph, optimize=args.optimize,
+        telemetry=telemetry,
     )
     analysis = analyzer.analyze(spec)
     if args.format == "table":
@@ -161,23 +269,29 @@ def _cmd_hints(args, out) -> int:
     return 0
 
 
-def _cmd_rosa(args, out) -> int:
+def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
     from repro.rewriting import SearchBudget
     from repro.rosa import check, explain_witness
     from repro.rosa.dsl import parse_query
+    from repro.telemetry.tracing import NULL_TRACER
 
     text = Path(args.file).read_text()
     query = parse_query(text, name=Path(args.file).stem)
     budget = SearchBudget(max_states=args.max_states, max_seconds=args.max_seconds)
-    report = check(query, budget, track_states=args.explain)
+    tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+    report = check(query, budget, track_states=args.explain, tracer=tracer)
     print(report.summary(), file=out)
+    # ✗ and ⊙ verdicts come with their cost: an unreachable/undecided
+    # answer that took the whole budget reads very differently from one
+    # that exhausted a tiny state space (paper §VIII).
+    print(report.cost_line(), file=out)
     if args.explain and report.vulnerable:
         print(explain_witness(report), file=out)
     return 0 if not report.vulnerable else 1
 
 
-def _cmd_table(args, out, names) -> int:
-    analyzer = PrivAnalyzer()
+def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
+    analyzer = PrivAnalyzer(telemetry=telemetry)
     analyses = [analyzer.analyze(spec_by_name(name)) for name in names]
     if args.format == "markdown":
         for analysis in analyses:
@@ -197,22 +311,28 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
+    _configure_logging(args)
+    telemetry = _telemetry_from_args(args)
     try:
         if args.command == "list":
             return _cmd_list(args, out)
         if args.command == "analyze":
-            return _cmd_analyze(args, out)
+            return _cmd_analyze(args, out, telemetry)
         if args.command == "hints":
             return _cmd_hints(args, out)
         if args.command == "rosa":
-            return _cmd_rosa(args, out)
+            return _cmd_rosa(args, out, telemetry)
         if args.command == "table3":
-            return _cmd_table(args, out, ("passwd", "ping", "sshd", "su", "thttpd"))
+            return _cmd_table(
+                args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry
+            )
         if args.command == "table5":
-            return _cmd_table(args, out, ("passwdRef", "suRef"))
+            return _cmd_table(args, out, ("passwdRef", "suRef"), telemetry)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, Unix style.
         return 0
+    finally:
+        _export_telemetry(args, telemetry)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

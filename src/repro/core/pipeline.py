@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, List, Optional, Sequence
 
 from repro.autopriv import TransformReport, transform_module
@@ -33,7 +34,10 @@ from repro.oskernel.setup import build_kernel
 from repro.programs.common import ProgramSpec
 from repro.rewriting import SearchBudget
 from repro.rosa.query import RosaReport, Verdict, check
+from repro.telemetry import Telemetry
 from repro.vm import Interpreter
+
+logger = logging.getLogger("repro.pipeline")
 
 
 @dataclasses.dataclass
@@ -133,12 +137,16 @@ class PrivAnalyzer:
         indirect_targets_filter: str = "address-taken",
         message_repeat: int = 1,
         optimize: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
         self.indirect_targets_filter = indirect_targets_filter
         self.message_repeat = message_repeat
         self.optimize = optimize
+        #: Observability sink: spans per pipeline stage, VM/search metrics,
+        #: and (when its ``audit`` is set) a kernel syscall audit trail.
+        self.telemetry = telemetry or Telemetry.disabled()
 
     # -- stage 1: compile + AutoPriv + ChronoPriv ---------------------------------
 
@@ -146,33 +154,59 @@ class PrivAnalyzer:
         """Compile the spec's source and run both compiler stages."""
         from repro.ir.passes import optimize_module
 
-        module = compile_source(spec.source, spec.name)
-        if self.optimize:
-            optimize_module(module)
-        transform = transform_module(
-            module,
-            spec.permitted,
-            indirect_targets_filter=self.indirect_targets_filter,
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        with tracer.span("compile", program=spec.name):
+            with tracer.span("frontend.compile"):
+                module = compile_source(spec.source, spec.name)
+            if self.optimize:
+                with tracer.span("ir.optimize"):
+                    optimize_module(module)
+            with tracer.span("autopriv.transform") as span:
+                transform = transform_module(
+                    module,
+                    spec.permitted,
+                    indirect_targets_filter=self.indirect_targets_filter,
+                )
+                span.set_attribute("insertions", transform.insertion_count)
+            for pass_name, seconds in transform.timings.items():
+                metrics.histogram(f"autopriv.{pass_name}_seconds").observe(seconds)
+            with tracer.span("chronopriv.instrument") as span:
+                instrumentation = instrument_module(module)
+                span.set_attribute("blocks", instrumentation.blocks_instrumented)
+            with tracer.span("ir.verify"):
+                verify_module(module)
+        logger.debug(
+            "%s: compiled (%d priv_remove insertions, %d blocks instrumented)",
+            spec.name, transform.insertion_count, instrumentation.blocks_instrumented,
         )
-        instrumentation = instrument_module(module)
-        verify_module(module)
         return module, transform, instrumentation
 
     # -- stage 2: dynamic analysis --------------------------------------------------
 
     def run_dynamic(self, spec: ProgramSpec, module: Module) -> tuple:
         """Execute the instrumented program with the spec's workload."""
-        kernel = build_kernel(refactored_ownership=spec.refactored_fs)
-        process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
-        vm = Interpreter(
-            module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
+        with self.telemetry.tracer.span("chronopriv-run", program=spec.name) as span:
+            kernel = build_kernel(refactored_ownership=spec.refactored_fs)
+            if self.telemetry.audit is not None:
+                kernel.enable_audit(self.telemetry.audit)
+            process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
+            vm = Interpreter(
+                module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin),
+                metrics=self.telemetry.metrics,
+            )
+            vm.env.update(spec.env)
+            recorder = ChronoRecorder(spec.name, process)
+            recorder.attach(vm, kernel)
+            if spec.setup is not None:
+                spec.setup(kernel, vm)
+            exit_code = vm.run()
+            span.set_attribute("instructions", vm.executed_instructions)
+            span.set_attribute("exit_code", exit_code)
+        logger.debug(
+            "%s: workload ran %d instructions, exit %d",
+            spec.name, vm.executed_instructions, exit_code,
         )
-        vm.env.update(spec.env)
-        recorder = ChronoRecorder(spec.name, process)
-        recorder.attach(vm, kernel)
-        if spec.setup is not None:
-            spec.setup(kernel, vm)
-        exit_code = vm.run()
         return recorder.report(), exit_code, vm.stdout
 
     # -- stage 3: bounded model checking ----------------------------------------------
@@ -180,33 +214,49 @@ class PrivAnalyzer:
     def check_phase(
         self, phase: ChronoPhase, program_syscalls: frozenset
     ) -> PhaseAnalysis:
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
         verdicts: Dict[int, RosaReport] = {}
-        for attack in self.attacks:
-            query = attack.build_query(
-                phase.privileges,
-                phase.uids,
-                phase.gids,
-                program_syscalls,
-                repeat=self.message_repeat,
-                label=f"{phase.name}/attack{attack.attack_id}",
-            )
-            verdicts[attack.attack_id] = check(query, self.budget)
+        with tracer.span("rosa.check-phase", phase=phase.name):
+            for attack in self.attacks:
+                query = attack.build_query(
+                    phase.privileges,
+                    phase.uids,
+                    phase.gids,
+                    program_syscalls,
+                    repeat=self.message_repeat,
+                    label=f"{phase.name}/attack{attack.attack_id}",
+                )
+                report = check(query, self.budget, tracer=tracer)
+                verdicts[attack.attack_id] = report
+                metrics.counter("rosa.queries").inc()
+                metrics.counter(f"rosa.verdict.{report.verdict.value}").inc()
+                metrics.histogram("rosa.query_seconds").observe(report.elapsed)
+                metrics.histogram("rosa.states_seen").observe(report.states_seen)
+                metrics.gauge("rosa.peak_frontier").set_max(report.stats.peak_frontier)
         return PhaseAnalysis(phase=phase, verdicts=verdicts)
 
     # -- the whole pipeline ----------------------------------------------------------------
 
     def analyze(self, spec: ProgramSpec) -> ProgramAnalysis:
-        module, transform, instrumentation = self.compile(spec)
-        chrono, exit_code, stdout = self.run_dynamic(spec, module)
-        if exit_code != spec.expected_exit:
-            raise RuntimeError(
-                f"{spec.name}: workload exited with {exit_code}, "
-                f"expected {spec.expected_exit}; stdout={stdout!r}"
-            )
-        program_syscalls = syscalls_used(module)
-        phases = [
-            self.check_phase(phase, program_syscalls) for phase in chrono.phases
-        ]
+        with self.telemetry.tracer.span("pipeline.analyze", program=spec.name) as span:
+            module, transform, instrumentation = self.compile(spec)
+            chrono, exit_code, stdout = self.run_dynamic(spec, module)
+            if exit_code != spec.expected_exit:
+                raise RuntimeError(
+                    f"{spec.name}: workload exited with {exit_code}, "
+                    f"expected {spec.expected_exit}; stdout={stdout!r}"
+                )
+            with self.telemetry.tracer.span("extract.syscalls"):
+                program_syscalls = syscalls_used(module)
+            phases = [
+                self.check_phase(phase, program_syscalls) for phase in chrono.phases
+            ]
+            span.set_attribute("phases", len(phases))
+        logger.info(
+            "%s: %d phases, %d ROSA queries",
+            spec.name, len(phases), len(phases) * len(self.attacks),
+        )
         return ProgramAnalysis(
             spec=spec,
             module=module,

@@ -17,7 +17,8 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import functools
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.caps import Capability, CapabilitySet, CapabilityState, Credentials
 from repro.oskernel import permissions, signals
@@ -54,6 +55,39 @@ class Kernel:
         #: Observers called with the process after any credential or
         #: capability change (ChronoPriv's phase hook).
         self.cred_observers: List[Callable[[Process], None]] = []
+        #: Optional syscall audit trail
+        #: (:class:`repro.telemetry.audit.SyscallAuditTrail`); ``None``
+        #: keeps every ``sys_*`` method on its unaudited fast path.
+        self.audit = None
+
+    # -- syscall auditing --------------------------------------------------------
+
+    def enable_audit(self, trail=None, capacity: int = 4096):
+        """Attach a syscall audit trail and return it.
+
+        Every subsequent ``sys_*`` call is recorded with the caller's
+        credentials and capability sets at call time, the arguments, and
+        the result or errno — the raw material for seccomp-style policy
+        extraction (see ``docs/OBSERVABILITY.md``).
+        """
+        if trail is None:
+            from repro.telemetry.audit import SyscallAuditTrail
+
+            trail = SyscallAuditTrail(capacity=capacity)
+        self.audit = trail
+        return trail
+
+    def _audit_creds(self, pid: int):
+        """(uids, gids, effective, permitted) of ``pid``, if it exists."""
+        process = self.processes.get(pid)
+        if process is None:
+            return None, None, None, None
+        return (
+            process.creds.uid_triple,
+            process.creds.gid_triple,
+            process.caps.effective.describe(),
+            process.caps.permitted.describe(),
+        )
 
     # -- process management ----------------------------------------------------
 
@@ -558,3 +592,54 @@ class Kernel:
     def sys_exit(self, pid: int) -> None:
         process = self.process(pid)
         process.state = ZOMBIE
+
+
+# -- syscall audit wrapping ----------------------------------------------------
+#
+# Every ``sys_*`` method is wrapped once, at import time, with a recorder
+# that is a single attribute load + ``is None`` test when auditing is off.
+# Wrapping here (rather than inside each method) keeps the syscall bodies
+# focused on semantics and guarantees new syscalls are audited by default.
+
+
+def _audit_value(value: Any) -> Any:
+    """Render one syscall result for the audit record."""
+    if isinstance(value, Process):
+        return f"<process pid={value.pid}>"
+    if isinstance(value, Stat):
+        return f"<stat owner={value.owner} group={value.group} mode={value.mode:o}>"
+    return value
+
+
+def _audited(syscall_name: str, method: Callable) -> Callable:
+    @functools.wraps(method)
+    def wrapper(self, pid: int, *args, **kwargs):
+        trail = self.audit
+        if trail is None:
+            return method(self, pid, *args, **kwargs)
+        uids, gids, effective, permitted = self._audit_creds(pid)
+        recorded_args = args + tuple(kwargs.values())
+        try:
+            result = method(self, pid, *args, **kwargs)
+        except SyscallError as error:
+            trail.record(
+                syscall_name, pid, recorded_args,
+                errno=error.errno_value, error=str(error),
+                uids=uids, gids=gids,
+                caps_effective=effective, caps_permitted=permitted,
+            )
+            raise
+        trail.record(
+            syscall_name, pid, recorded_args,
+            result=_audit_value(result),
+            uids=uids, gids=gids,
+            caps_effective=effective, caps_permitted=permitted,
+        )
+        return result
+
+    return wrapper
+
+
+for _name in [name for name in vars(Kernel) if name.startswith("sys_")]:
+    setattr(Kernel, _name, _audited(_name[len("sys_"):], getattr(Kernel, _name)))
+del _name

@@ -41,9 +41,12 @@ from repro.rewriting.objects import (
     ObjectSystem,
 )
 from repro.rewriting.search import (
+    PROGRESS_INTERVAL,
+    ProgressSample,
     SearchBudget,
     SearchOutcome,
     SearchResult,
+    SearchStats,
     breadth_first_search,
 )
 from repro.rewriting.termsearch import matched_substitution, search_terms
@@ -59,10 +62,13 @@ __all__ = [
     "Obj",
     "ObjectRule",
     "ObjectSystem",
+    "PROGRESS_INTERVAL",
+    "ProgressSample",
     "RewriteSystem",
     "SearchBudget",
     "SearchOutcome",
     "SearchResult",
+    "SearchStats",
     "Substitution",
     "Term",
     "TermRule",

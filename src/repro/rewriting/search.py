@@ -25,6 +25,48 @@ from typing import Callable, Generic, Hashable, Iterable, List, Optional, Tuple,
 
 State = TypeVar("State")
 
+#: How many expansions between two progress samples, by default.
+PROGRESS_INTERVAL = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgressSample:
+    """One periodic reading of a running search (the §VIII telemetry).
+
+    Emitted every ``progress_interval`` expansions to the ``progress``
+    callback of :func:`breadth_first_search`, so long searches are no
+    longer silent until their 5-hour-style budget runs out.
+    """
+
+    states_explored: int
+    states_seen: int
+    frontier: int
+    depth: int
+    elapsed: float
+    #: Expansion rate since the search started (0.0 until time passes).
+    states_per_second: float
+    #: Fraction (0–1) of the tightest budget consumed; 0.0 if unlimited.
+    budget_used: float
+
+
+@dataclasses.dataclass
+class SearchStats:
+    """Cost accounting for one search, beyond the headline counters.
+
+    Always populated (the extra bookkeeping is a few integer ops per
+    state); ``samples`` is filled only when a ``progress`` callback was
+    installed.
+    """
+
+    #: Largest frontier ever held — the search's memory high-water mark.
+    peak_frontier: int = 0
+    #: Successor states rejected because their canonical key was seen.
+    dedup_hits: int = 0
+    #: Deepest state expanded (rewrite-path length).
+    max_depth: int = 0
+    #: Periodic readings, oldest first (only with a progress callback).
+    samples: List[ProgressSample] = dataclasses.field(default_factory=list)
+
 
 class SearchOutcome(enum.Enum):
     """The three possible verdicts of a bounded search."""
@@ -73,6 +115,9 @@ class SearchResult(Generic[State]):
     #: starting with the initial state and ending with ``state``
     #: (length ``len(path) + 1``).  Empty otherwise.
     path_states: List[State] = dataclasses.field(default_factory=list)
+    #: Cost accounting: frontier high-water mark, dedup hits, depth,
+    #: and (with a progress callback) the periodic samples.
+    stats: SearchStats = dataclasses.field(default_factory=SearchStats)
 
     @property
     def found(self) -> bool:
@@ -91,6 +136,9 @@ def breadth_first_search(
     budget: SearchBudget = SearchBudget(),
     canonical: Callable[[State], Hashable] = lambda state: state,
     track_states: bool = False,
+    progress: Optional[Callable[[ProgressSample], None]] = None,
+    progress_interval: int = PROGRESS_INTERVAL,
+    clock: Callable[[], float] = time.monotonic,
 ) -> SearchResult[State]:
     """Search breadth-first from ``initial`` for a state satisfying ``goal``.
 
@@ -103,8 +151,24 @@ def breadth_first_search(
     Maude's ``=>*`` (zero or more rewrites).  With ``track_states`` the
     result carries the full state sequence of the witness path (costs one
     state reference per frontier entry per step).
+
+    ``progress`` is called with a :class:`ProgressSample` every
+    ``progress_interval`` expansions; ``clock`` makes all timing (budget
+    enforcement, elapsed, sample rates) deterministic in tests.
     """
-    start = time.monotonic()
+    start = clock()
+    peak_frontier = 0
+    dedup_hits = 0
+    max_depth = 0
+    samples: List[ProgressSample] = []
+
+    def stats() -> SearchStats:
+        return SearchStats(
+            peak_frontier=peak_frontier,
+            dedup_hits=dedup_hits,
+            max_depth=max_depth,
+            samples=samples,
+        )
 
     def result(
         outcome: SearchOutcome,
@@ -118,9 +182,29 @@ def breadth_first_search(
             path=path,
             states_explored=explored,
             states_seen=len(visited),
-            elapsed=time.monotonic() - start,
+            elapsed=clock() - start,
             path_states=path_states or [],
+            stats=stats(),
         )
+
+    def sample(depth: int, frontier_size: int) -> None:
+        elapsed = clock() - start
+        budget_used = 0.0
+        if budget.max_states is not None and budget.max_states > 0:
+            budget_used = len(visited) / budget.max_states
+        if budget.max_seconds is not None and budget.max_seconds > 0:
+            budget_used = max(budget_used, elapsed / budget.max_seconds)
+        reading = ProgressSample(
+            states_explored=explored,
+            states_seen=len(visited),
+            frontier=frontier_size,
+            depth=depth,
+            elapsed=elapsed,
+            states_per_second=explored / elapsed if elapsed > 0 else 0.0,
+            budget_used=min(budget_used, 1.0),
+        )
+        samples.append(reading)
+        progress(reading)
 
     explored = 0
     visited = {canonical(initial)}
@@ -131,12 +215,17 @@ def breadth_first_search(
     # Paths share structure via tuples to keep memory linear in the
     # frontier size; states are tracked only on request.
     frontier: deque = deque([(initial, 0, (), (initial,) if track_states else ())])
+    peak_frontier = 1
     pruned_by_depth = False
     while frontier:
-        if budget.max_seconds is not None and time.monotonic() - start > budget.max_seconds:
+        if budget.max_seconds is not None and clock() - start > budget.max_seconds:
             return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
         state, depth, path, states = frontier.popleft()
         explored += 1
+        if depth > max_depth:
+            max_depth = depth
+        if progress is not None and explored % progress_interval == 0:
+            sample(depth, len(frontier))
         if budget.max_depth is not None and depth >= budget.max_depth:
             # Deeper states may exist beyond the bound; if no goal turns up
             # elsewhere, the verdict must be "undecided", not "unreachable".
@@ -145,6 +234,7 @@ def breadth_first_search(
         for label, nxt in successors(state):
             key = canonical(nxt)
             if key in visited:
+                dedup_hits += 1
                 continue
             visited.add(key)
             next_path = path + (label,)
@@ -156,6 +246,8 @@ def breadth_first_search(
             if budget.max_states is not None and len(visited) > budget.max_states:
                 return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
             frontier.append((nxt, depth + 1, next_path, next_states))
+            if len(frontier) > peak_frontier:
+                peak_frontier = len(frontier)
     if pruned_by_depth:
         return result(SearchOutcome.BUDGET_EXCEEDED, None, [])
     return result(SearchOutcome.EXHAUSTED, None, [])

@@ -18,18 +18,26 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Optional
+import logging
+import time
+from typing import Callable, List, Optional
 
 from repro.rewriting import (
     Configuration,
     ObjectSystem,
+    PROGRESS_INTERVAL,
+    ProgressSample,
     SearchBudget,
     SearchOutcome,
     SearchResult,
+    SearchStats,
     breadth_first_search,
 )
 from repro.rosa.goals import Goal
 from repro.rosa.rules import unix_rules
+from repro.telemetry.tracing import NULL_TRACER, Tracer
+
+logger = logging.getLogger("repro.rosa")
 
 
 class Verdict(enum.Enum):
@@ -79,6 +87,8 @@ class RosaReport:
     #: With ``check(..., track_states=True)``: every configuration along
     #: the witness, initial state first.  Empty otherwise.
     witness_states: List[Configuration] = dataclasses.field(default_factory=list)
+    #: Search cost accounting (peak frontier, dedup hits, progress samples).
+    stats: SearchStats = dataclasses.field(default_factory=SearchStats)
 
     @property
     def vulnerable(self) -> bool:
@@ -91,6 +101,15 @@ class RosaReport:
             head += " via " + " -> ".join(self.witness)
         return head + f" ({self.states_seen} states, {self.elapsed * 1000:.1f} ms)"
 
+    def cost_line(self) -> str:
+        """The search's cost, for ✗/⊙ verdicts that would otherwise hide it."""
+        return (
+            f"search cost: {self.states_explored} states explored, "
+            f"{self.states_seen} seen, peak frontier {self.stats.peak_frontier}, "
+            f"{self.stats.dedup_hits} dedup hits, depth {self.stats.max_depth}, "
+            f"{self.elapsed * 1000:.1f} ms"
+        )
+
 
 #: Budget mirroring the paper's setup, scaled to our smaller state spaces.
 DEFAULT_BUDGET = SearchBudget(max_states=500_000, max_depth=None, max_seconds=300.0)
@@ -100,27 +119,47 @@ def check(
     query: RosaQuery,
     budget: SearchBudget = DEFAULT_BUDGET,
     track_states: bool = False,
+    tracer: Tracer = NULL_TRACER,
+    progress: Optional[Callable[[ProgressSample], None]] = None,
+    progress_interval: int = PROGRESS_INTERVAL,
+    clock: Callable[[], float] = time.monotonic,
 ) -> RosaReport:
     """Run one bounded model-checking query and classify the outcome.
 
     With ``track_states`` the report carries every configuration along
     the witness path, enabling :func:`repro.rosa.explain.explain_witness`.
+    ``tracer`` wraps the search in a ``rosa.query`` span; ``progress``
+    receives periodic :class:`~repro.rewriting.ProgressSample` readings
+    so long-running searches (the paper's 5-hour budgets) are observable
+    while they run.
     """
     system = query.system or unix_system()
-    result: SearchResult = breadth_first_search(
-        query.initial,
-        system.successors,
-        query.goal,
-        budget=budget,
-        canonical=lambda config: config.key,
-        track_states=track_states,
+    with tracer.span("rosa.query", query=query.name) as span:
+        result: SearchResult = breadth_first_search(
+            query.initial,
+            system.successors,
+            query.goal,
+            budget=budget,
+            canonical=lambda config: config.key,
+            track_states=track_states,
+            progress=progress,
+            progress_interval=progress_interval,
+            clock=clock,
+        )
+        if result.outcome is SearchOutcome.FOUND:
+            verdict = Verdict.VULNERABLE
+        elif result.outcome is SearchOutcome.EXHAUSTED:
+            verdict = Verdict.INVULNERABLE
+        else:
+            verdict = Verdict.TIMEOUT
+        span.set_attribute("verdict", verdict.value)
+        span.set_attribute("states_seen", result.states_seen)
+        span.set_attribute("states_explored", result.states_explored)
+        span.set_attribute("peak_frontier", result.stats.peak_frontier)
+    logger.debug(
+        "query %s: %s (%d states, %.1f ms)",
+        query.name, verdict.value, result.states_seen, result.elapsed * 1000,
     )
-    if result.outcome is SearchOutcome.FOUND:
-        verdict = Verdict.VULNERABLE
-    elif result.outcome is SearchOutcome.EXHAUSTED:
-        verdict = Verdict.INVULNERABLE
-    else:
-        verdict = Verdict.TIMEOUT
     return RosaReport(
         query=query,
         verdict=verdict,
@@ -130,4 +169,5 @@ def check(
         states_seen=result.states_seen,
         elapsed=result.elapsed,
         witness_states=result.path_states,
+        stats=result.stats,
     )

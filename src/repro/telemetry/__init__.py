@@ -1,0 +1,93 @@
+"""Zero-dependency observability for the PrivAnalyzer reproduction.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.telemetry.tracing` — nested span tracing with a no-op fast
+  path, exported as JSONL or a human-readable tree;
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms in a
+  flat named registry (VM instruction counts, syscall dispatches, ROSA
+  search costs, AutoPriv pass timings);
+* :mod:`repro.telemetry.audit` — a ring-buffer syscall audit trail on
+  the simulated kernel, the raw material for seccomp-style policy
+  extraction.
+
+:class:`Telemetry` bundles all three plus the injectable clock; the
+pipeline, VM, kernel and CLI all accept one.  ``Telemetry.disabled()``
+is the default everywhere and costs nothing on hot paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.telemetry.audit import AuditRecord, SyscallAuditTrail
+from repro.telemetry.clock import Clock, ManualClock, MONOTONIC
+from repro.telemetry.export import (
+    metrics_to_jsonl,
+    render_metrics,
+    render_profile,
+    render_span_tree,
+    span_to_dict,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracing import NULL_TRACER, Span, Tracer
+
+
+@dataclasses.dataclass
+class Telemetry:
+    """Everything one pipeline run records, behind one handle."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    audit: Optional[SyscallAuditTrail] = None
+
+    @property
+    def active(self) -> bool:
+        """True when spans are actually being recorded."""
+        return self.tracer.enabled
+
+    @classmethod
+    def enabled(
+        cls,
+        clock: Clock = MONOTONIC,
+        audit: bool = False,
+        audit_capacity: int = 4096,
+    ) -> "Telemetry":
+        """A fully live bundle; ``audit=True`` adds the syscall recorder."""
+        return cls(
+            tracer=Tracer(clock=clock),
+            metrics=MetricsRegistry(),
+            audit=SyscallAuditTrail(capacity=audit_capacity, clock=clock) if audit else None,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The default: span calls are no-ops, nothing else is wired."""
+        return cls(tracer=Tracer(enabled=False), metrics=MetricsRegistry(), audit=None)
+
+
+__all__ = [
+    "AuditRecord",
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "MONOTONIC",
+    "NULL_TRACER",
+    "Span",
+    "SyscallAuditTrail",
+    "Telemetry",
+    "Tracer",
+    "metrics_to_jsonl",
+    "render_metrics",
+    "render_profile",
+    "render_span_tree",
+    "span_to_dict",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+]

@@ -1,0 +1,47 @@
+"""Clocks for the telemetry layer.
+
+All telemetry timing goes through an injectable *clock* — any zero-argument
+callable returning seconds as a float.  Production code uses
+:data:`MONOTONIC` (``time.monotonic``, immune to wall-clock steps);
+tests inject a :class:`ManualClock` so span durations, search progress
+samples and audit timestamps are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A clock is any ``() -> float`` returning seconds.
+Clock = Callable[[], float]
+
+#: The production clock.
+MONOTONIC: Clock = time.monotonic
+
+
+class ManualClock:
+    """A deterministic clock that only moves when told to.
+
+    ``tick`` advances the reading by a fixed amount *after* every call,
+    which gives strictly increasing timestamps without any test having
+    to interleave explicit ``advance`` calls:
+
+    >>> clock = ManualClock(start=10.0, tick=1.0)
+    >>> clock(), clock(), clock()
+    (10.0, 11.0, 12.0)
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = float(start)
+        self.tick = float(tick)
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("clocks only run forward")
+        self.now += seconds

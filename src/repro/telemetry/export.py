@@ -1,0 +1,146 @@
+"""Exporters: JSONL for machines, indented trees and tables for humans.
+
+Span JSONL is one object per finished span, in end order (children
+before parents), each carrying ``span_id``/``parent_id`` so consumers
+can rebuild the tree; :func:`spans_from_jsonl` does exactly that for
+round-trip tests.  The human renderers re-sort by start time so the
+tree reads in execution order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Span, Tracer
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "attributes": dict(span.attributes),
+    }
+
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """Every finished span as one JSON line, end order."""
+    return "\n".join(
+        json.dumps(span_to_dict(span), sort_keys=True, default=repr)
+        for span in tracer.finished
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse span JSONL back into dicts (blank lines ignored)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def _children_by_parent(spans: Sequence[Dict[str, Any]]) -> Dict[Optional[int], List[Dict[str, Any]]]:
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span["start"], span["span_id"]))
+    return children
+
+
+def render_span_tree(tracer: Tracer) -> str:
+    """The trace as an indented tree with per-span durations.
+
+    ::
+
+        pipeline.analyze                      412.1 ms  program=passwd
+          compile                              31.9 ms
+            autopriv.transform                  8.4 ms
+    """
+    spans = [span_to_dict(span) for span in tracer.finished]
+    if not spans:
+        return "(no spans recorded)"
+    children = _children_by_parent(spans)
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[int], depth: int) -> None:
+        for span in children.get(parent_id, ()):
+            label = "  " * depth + span["name"]
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(span["attributes"].items())
+            )
+            lines.append(
+                f"{label:<44} {span['duration'] * 1000:10.2f} ms"
+                + (f"  {attrs}" if attrs else "")
+            )
+            walk(span["span_id"], depth + 1)
+
+    # Roots include spans whose parents were never finished/exported.
+    known = {span["span_id"] for span in spans}
+    roots = sorted(
+        {parent for parent in children if parent is None or parent not in known},
+        key=lambda parent: (parent is not None, parent),
+    )
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_profile(tracer: Tracer) -> str:
+    """Aggregate finished spans by name: calls, total, mean, share.
+
+    The share column is each name's total as a percentage of the longest
+    root span — the per-stage timing table ``--profile`` prints.
+    """
+    spans = tracer.finished
+    if not spans:
+        return "(no spans recorded)"
+    totals: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for span in spans:
+        if span.name not in totals:
+            totals[span.name] = []
+            order.append(span.name)
+        totals[span.name].append(span.duration)
+    root_duration = max(
+        (span.duration for span in spans if span.parent_id is None),
+        default=max(span.duration for span in spans),
+    )
+    header = f"{'stage':<32} {'calls':>6} {'total ms':>10} {'mean ms':>10} {'share':>7}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(order, key=lambda name: -sum(totals[name])):
+        durations = totals[name]
+        total = sum(durations)
+        share = (100.0 * total / root_duration) if root_duration else 0.0
+        lines.append(
+            f"{name:<32} {len(durations):>6} {total * 1000:>10.2f} "
+            f"{(total / len(durations)) * 1000:>10.2f} {share:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def metrics_to_jsonl(metrics: MetricsRegistry) -> str:
+    """Every instrument as one JSON line: ``{"name": ..., "type": ..., ...}``."""
+    lines = []
+    for name, snapshot in metrics.snapshot().items():
+        entry = {"name": name}
+        entry.update(snapshot)
+        lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsRegistry) -> str:
+    """A compact human table of every instrument."""
+    rows: List[str] = []
+    for name, snap in metrics.snapshot().items():
+        if snap["type"] == "histogram":
+            detail = (
+                f"count={snap['count']} sum={snap['sum']:.6g} "
+                f"mean={snap['mean']:.6g} min={snap['min']:.6g} max={snap['max']:.6g}"
+            )
+        else:
+            detail = f"value={snap['value']}"
+        rows.append(f"{name:<36} {snap['type']:<10} {detail}")
+    return "\n".join(rows) if rows else "(no metrics recorded)"

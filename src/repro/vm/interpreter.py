@@ -83,6 +83,7 @@ class Interpreter:
         argv: Sequence[str] = (),
         stdin: Sequence[str] = (),
         max_instructions: int = 50_000_000,
+        metrics=None,
     ) -> None:
         from repro.vm.intrinsics import default_intrinsics
 
@@ -101,6 +102,9 @@ class Interpreter:
             slot.value = var.initial
             self.globals[var] = slot
         self.intrinsics: Dict[str, Callable] = default_intrinsics()
+        #: Optional :class:`repro.telemetry.MetricsRegistry`; when set, the
+        #: VM counts retired instructions and intrinsic/syscall dispatches.
+        self.metrics = metrics
         #: Extra environment the workload provides (e.g. pending HTTP
         #: requests for thttpd, scp channel data for sshd).
         self.env: Dict[str, Any] = {}
@@ -129,6 +133,11 @@ class Interpreter:
             result = self.call_function(function, list(args))
         except ProgramExit as stop:
             return stop.code
+        finally:
+            if self.metrics is not None:
+                self.metrics.counter("vm.instructions_executed").inc(
+                    self.executed_instructions
+                )
         return result if isinstance(result, int) else 0
 
     # -- execution core -----------------------------------------------------------
@@ -151,6 +160,13 @@ class Interpreter:
         fn = self.intrinsics.get(name)
         if fn is None:
             raise VMError(f"no intrinsic or definition for @{name}")
+        if self.metrics is not None:
+            from repro.vm.intrinsics import SYSCALL_INTRINSICS
+
+            self.metrics.counter("vm.intrinsic_dispatches").inc()
+            if name in SYSCALL_INTRINSICS:
+                self.metrics.counter("vm.syscall_dispatches").inc()
+                self.metrics.counter(f"vm.syscall.{name}").inc()
         return fn(self, args)
 
     def _run_frame(self, frame: Frame):

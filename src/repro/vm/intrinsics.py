@@ -469,6 +469,22 @@ def _chrono_count(vm, args):
     return 0
 
 
+#: Intrinsics that enter the simulated kernel (the VM's telemetry counts
+#: dispatches to these as syscalls; libc-ish helpers and workload plumbing
+#: are excluded, but note ``getspnam`` opens /etc/shadow internally).
+SYSCALL_INTRINSICS = frozenset({
+    "priv_raise", "priv_lower", "priv_remove", "prctl_lockdown",
+    "getuid", "geteuid", "getgid", "getegid",
+    "setuid", "seteuid", "setresuid", "setgid", "setegid", "setresgid",
+    "setgroups1", "setgroups0",
+    "open", "read", "write", "ftruncate", "close",
+    "chmod", "fchmod", "chown", "fchown", "unlink", "rename", "access",
+    "stat_owner", "stat_group", "stat_mode", "stat_exists", "chroot",
+    "socket", "socket_raw", "setsockopt", "bind", "listen", "connect",
+    "signal", "kill", "spawn_wait", "exit",
+})
+
+
 def default_intrinsics() -> Dict[str, Callable]:
     """The full intrinsics table a fresh interpreter starts with."""
     return {

@@ -1,0 +1,307 @@
+"""The telemetry layer: spans, metrics, exporters, search progress."""
+
+import json
+
+import pytest
+
+from repro.rewriting import SearchBudget, breadth_first_search
+from repro.telemetry import (
+    ManualClock,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    metrics_to_jsonl,
+    render_metrics,
+    render_profile,
+    render_span_tree,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestManualClock:
+    def test_tick_advances_after_each_reading(self):
+        clock = ManualClock(start=5.0, tick=2.0)
+        assert [clock(), clock(), clock()] == [5.0, 7.0, 9.0]
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(3.5)
+        assert clock() == 3.5
+
+    def test_clocks_only_run_forward(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestTracer:
+    def test_nesting_and_exact_durations(self):
+        clock = ManualClock(tick=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        # Clock readings: outer.start=0, inner.start=1, inner.end=2, outer.end=3.
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.depth == 1 and outer.depth == 0
+
+    def test_finish_order_is_children_first(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert tracer.names() == ["b", "c", "a"]
+
+    def test_siblings_get_distinct_ids_and_same_parent(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("root") as root:
+            with tracer.span("one") as one:
+                pass
+            with tracer.span("two") as two:
+                pass
+        assert one.span_id != two.span_id
+        assert one.parent_id == two.parent_id == root.span_id
+
+    def test_attributes_at_open_and_during(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("work", program="passwd") as span:
+            span.set_attribute("states", 42)
+        assert span.attributes == {"program": "passwd", "states": 42}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.finished
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.end is not None
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_disabled_tracer_records_nothing(self):
+        """The guard: with telemetry off, no spans exist at all."""
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything", key="value") as span:
+            span.set_attribute("more", 1)
+            with tracer.span("nested"):
+                pass
+        assert tracer.finished == []
+        assert tracer.current is None
+
+    def test_disabled_span_is_shared_and_inert(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_clear_resets_ids(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        with tracer.span("b") as span:
+            pass
+        assert span.span_id == 1
+        assert tracer.names() == ["b"]
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits").inc(-1)
+
+    def test_gauge_set_and_set_max(self):
+        gauge = MetricsRegistry().gauge("frontier")
+        gauge.set(10)
+        gauge.set_max(7)
+        assert gauge.value == 10
+        gauge.set_max(12)
+        assert gauge.value == 12
+
+    def test_histogram_aggregates(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.min == 1.0 and histogram.max == 4.0
+        assert histogram.mean == 2.5
+        assert histogram.stddev == pytest.approx(1.118033988749895)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_name_sorted_and_jsonable(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(2)
+        registry.counter("a").inc()
+        registry.histogram("c").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        json.dumps(snapshot)  # must not raise
+
+
+class TestExporters:
+    def _traced(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("pipeline.analyze", program="su"):
+            with tracer.span("compile"):
+                pass
+            with tracer.span("rosa.query", verdict="invulnerable"):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self):
+        tracer = self._traced()
+        restored = spans_from_jsonl(spans_to_jsonl(tracer))
+        assert len(restored) == 3
+        by_name = {span["name"]: span for span in restored}
+        assert by_name["compile"]["parent_id"] == by_name["pipeline.analyze"]["span_id"]
+        assert by_name["rosa.query"]["attributes"] == {"verdict": "invulnerable"}
+        # Durations survive exactly (floats, no formatting loss).
+        assert by_name["compile"]["duration"] == 1.0
+
+    def test_jsonl_is_one_valid_object_per_line(self):
+        for line in spans_to_jsonl(self._traced()).splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_tree_renders_nesting(self):
+        tree = render_span_tree(self._traced())
+        lines = tree.splitlines()
+        assert lines[0].startswith("pipeline.analyze")
+        assert lines[1].startswith("  compile")
+        assert "verdict=invulnerable" in lines[2]
+
+    def test_profile_aggregates_by_name(self):
+        tracer = Tracer(clock=ManualClock(tick=1.0))
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("step"):
+                    pass
+        profile = render_profile(tracer)
+        step_row = next(line for line in profile.splitlines() if line.startswith("step"))
+        assert " 3 " in step_row  # three calls aggregated into one row
+
+    def test_empty_tracer_renders_placeholder(self):
+        tracer = Tracer(clock=ManualClock())
+        assert "no spans" in render_span_tree(tracer)
+        assert "no spans" in render_profile(tracer)
+
+    def test_metrics_jsonl_and_table(self):
+        registry = MetricsRegistry()
+        registry.counter("rosa.queries").inc(20)
+        registry.histogram("rosa.query_seconds").observe(0.25)
+        lines = [json.loads(line) for line in metrics_to_jsonl(registry).splitlines()]
+        assert {line["name"] for line in lines} == {"rosa.queries", "rosa.query_seconds"}
+        table = render_metrics(registry)
+        assert "rosa.queries" in table and "value=20" in table
+
+
+class TestTelemetryBundle:
+    def test_disabled_is_inert(self):
+        telemetry = Telemetry.disabled()
+        assert not telemetry.active
+        assert telemetry.audit is None
+        with telemetry.tracer.span("x"):
+            pass
+        assert telemetry.tracer.finished == []
+
+    def test_enabled_with_audit(self):
+        telemetry = Telemetry.enabled(audit=True, audit_capacity=16)
+        assert telemetry.active
+        assert telemetry.audit is not None
+        assert telemetry.audit.capacity == 16
+
+
+class TestSearchProgress:
+    """Search cost accounting and periodic progress sampling."""
+
+    @staticmethod
+    def _successors(state):
+        return [("s", state * 2 + 1), ("s", state * 2 + 2)]
+
+    def test_stats_always_populated(self):
+        result = breadth_first_search(
+            0, self._successors, lambda s: s == 6, SearchBudget(max_states=None)
+        )
+        assert result.found
+        assert result.stats.peak_frontier >= 2
+        assert result.stats.max_depth >= 1
+        assert result.stats.samples == []
+
+    def test_dedup_hits_counted(self):
+        # Both rules map everything to one successor: all but the first
+        # expansion of it are dedup hits.
+        result = breadth_first_search(
+            0,
+            lambda state: [("a", 1), ("b", 1)],
+            lambda state: False,
+            SearchBudget(max_states=None),
+        )
+        assert result.stats.dedup_hits == 3  # 0 yields one dup, 1 yields two
+
+    def test_progress_samples_at_interval(self):
+        clock = ManualClock(tick=0.001)
+        seen = []
+        result = breadth_first_search(
+            0,
+            self._successors,
+            lambda state: False,
+            SearchBudget(max_states=100, max_seconds=None),
+            progress=seen.append,
+            progress_interval=10,
+            clock=clock,
+        )
+        assert seen, "expected at least one progress sample"
+        assert seen == result.stats.samples
+        first = seen[0]
+        assert first.states_explored == 10
+        assert first.states_per_second > 0
+        assert 0.0 < first.budget_used <= 1.0
+        # Samples are monotone in explored states and elapsed time.
+        for earlier, later in zip(seen, seen[1:]):
+            assert later.states_explored > earlier.states_explored
+            assert later.elapsed >= earlier.elapsed
+
+    def test_no_callback_means_no_sampling(self):
+        result = breadth_first_search(
+            0,
+            self._successors,
+            lambda state: False,
+            SearchBudget(max_states=50),
+            progress_interval=5,
+        )
+        assert result.stats.samples == []
+
+    def test_deterministic_elapsed_with_manual_clock(self):
+        clock = ManualClock(tick=1.0)
+        result = breadth_first_search(
+            0, self._successors, lambda s: s == 2, SearchBudget(), clock=clock
+        )
+        # clock(): start=0, elapsed computed on one further reading per
+        # budget check plus the final one — all integral with tick=1.
+        assert result.elapsed == int(result.elapsed)
+        assert result.elapsed > 0
