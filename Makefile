@@ -1,4 +1,4 @@
-.PHONY: install test bench examples reproduce trace-smoke clean
+.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 
@@ -10,6 +10,16 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Write BENCH_rosa.json: the ROSA query engine's perf trajectory
+# (per-benchmark wall-clock, states explored, cache hit rate).
+bench-json:
+	python benchmarks/perf_snapshot.py
+
+# Assert the cached passwd pipeline run is not slower than the uncached
+# one and that the query cache actually served hits.
+perf-check:
+	python benchmarks/perf_check.py
 
 # Regenerate every paper table and figure with the printed series visible.
 reproduce:

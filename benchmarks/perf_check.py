@@ -1,0 +1,71 @@
+"""``make perf-check``: the query cache must never cost wall-clock.
+
+Runs the full passwd pipeline with a cold engine and then with a warm
+one (same analyzer, cache primed by the first run) and asserts the warm
+run is not slower — within a noise tolerance, since passwd's ROSA stage
+is a few milliseconds of a VM-dominated pipeline and the two runs are
+near-identical by construction.  Also asserts the cache actually engaged
+(passwd's 20 phase×attack queries hit 17 distinct keys, so the second
+run must be answered entirely from cache).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import PrivAnalyzer  # noqa: E402
+from repro.programs import spec_by_name  # noqa: E402
+
+REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
+#: Allowed warm/cold ratio: >1.0 absorbs scheduler noise on a pipeline
+#: whose cacheable stage is only a few percent of wall-clock.
+TOLERANCE = float(os.environ.get("PERF_CHECK_TOLERANCE", "1.15"))
+
+
+def best_run(analyzer_factory) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        analyzer = analyzer_factory()
+        start = time.perf_counter()
+        analyzer.analyze(spec_by_name("passwd"))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    cold = best_run(PrivAnalyzer)
+
+    shared = PrivAnalyzer()
+    shared.analyze(spec_by_name("passwd"))  # prime the cache
+    warm = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        shared.analyze(spec_by_name("passwd"))
+        warm = min(warm, time.perf_counter() - start)
+
+    stats = shared.engine.cache_stats()
+    ratio = warm / cold
+    print(
+        f"perf-check: cold {cold * 1000:.1f} ms, warm {warm * 1000:.1f} ms "
+        f"(ratio {ratio:.2f}, tolerance {TOLERANCE}), "
+        f"cache hit rate {stats['hit_rate']:.2f}"
+    )
+    if stats["hits"] == 0:
+        print("perf-check FAILED: the query cache never hit", file=sys.stderr)
+        return 1
+    if ratio > TOLERANCE:
+        print(
+            f"perf-check FAILED: cached run {ratio:.2f}x slower than uncached",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf-check ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,8 +76,17 @@ class Capability(enum.IntEnum):
     def __str__(self) -> str:
         return self.camel_name
 
+    def __repr__(self) -> str:
+        # Same text as the stock IntEnum repr, but precomputed: canonical
+        # configuration keys repr() capability sets on every state the
+        # search creates, and enum.__repr__ is pure-Python per call.
+        return _REPRS[self]
+
 
 # Lookup tables built once at import time.
+_REPRS = {
+    cap: f"<Capability.{cap.name}: {cap.value}>" for cap in Capability
+}
 _BY_KERNEL_NAME = {cap.name: cap for cap in Capability}
 _BY_CAMEL_NAME = {cap.camel_name: cap for cap in Capability}
 _BY_LOWER_NAME = {cap.name.lower(): cap for cap in Capability}

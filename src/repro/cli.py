@@ -69,6 +69,40 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """ROSA query-engine flags shared by analyze / table commands."""
+    group = parser.add_argument_group("query engine (see docs/PERFORMANCE.md)")
+    group.add_argument(
+        "--no-query-cache", action="store_true",
+        help="disable ROSA result caching; every query searches from scratch",
+    )
+    group.add_argument(
+        "--query-cache", metavar="PATH", default=None,
+        help="persist the ROSA result cache as JSON at PATH across runs",
+    )
+    group.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run distinct ROSA searches on a pool of N worker processes "
+        "(default: serial, which is fastest at repro-scale budgets)",
+    )
+
+
+def _engine_kwargs(args) -> dict:
+    """PrivAnalyzer keyword arguments derived from the engine flags."""
+    from repro.rosa.engine import ParallelPolicy
+
+    kwargs: dict = {
+        "use_query_cache": not getattr(args, "no_query_cache", False),
+        "query_cache_path": getattr(args, "query_cache", None),
+    }
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        kwargs["parallel"] = ParallelPolicy(
+            mode="process" if jobs > 1 else "serial", max_workers=jobs
+        )
+    return kwargs
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="privanalyzer",
@@ -112,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="indirect-call resolution for AutoPriv",
     )
     _add_observability_flags(analyze)
+    _add_engine_flags(analyze)
 
     hints = sub.add_parser("hints", help="refactoring guidance (paper §VII-D/E)")
     hints.add_argument("program")
@@ -136,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "--format", choices=("table", "markdown", "csv"), default="table"
         )
         _add_observability_flags(table_parser)
+        _add_engine_flags(table_parser)
 
     return parser
 
@@ -233,7 +269,7 @@ def _cmd_analyze(args, out, telemetry: Optional[Telemetry] = None) -> int:
     spec = _resolve_spec(args)
     analyzer = PrivAnalyzer(
         indirect_targets_filter=args.callgraph, optimize=args.optimize,
-        telemetry=telemetry,
+        telemetry=telemetry, **_engine_kwargs(args),
     )
     analysis = analyzer.analyze(spec)
     if args.format == "table":
@@ -291,7 +327,9 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
 
 
 def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
-    analyzer = PrivAnalyzer(telemetry=telemetry)
+    # One analyzer for the whole table: its query cache carries verdicts
+    # across programs that share (privileges, uids, gids, surface) tuples.
+    analyzer = PrivAnalyzer(telemetry=telemetry, **_engine_kwargs(args))
     analyses = [analyzer.analyze(spec_by_name(name)) for name in names]
     if args.format == "markdown":
         for analysis in analyses:

@@ -19,13 +19,18 @@ from repro.core.attacks import (
 from repro.core.extract import INTRINSIC_TO_ROSA, syscalls_used
 from repro.core.pipeline import PhaseAnalysis, PrivAnalyzer, ProgramAnalysis
 from repro.core import blame, multiprocess, report
-from repro.core.multiprocess import MultiProcessAnalysis, analyze_multiprocess
+from repro.core.multiprocess import (
+    DEFAULT_MULTIPROCESS_BUDGET,
+    MultiProcessAnalysis,
+    analyze_multiprocess,
+)
 
 __all__ = [
     "ALL_ATTACKS",
     "ATTACKS_BY_ID",
     "Attack",
     "BIND_PRIVILEGED_PORT",
+    "DEFAULT_MULTIPROCESS_BUDGET",
     "INTRINSIC_TO_ROSA",
     "KILL_SSHD",
     "PhaseAnalysis",

@@ -22,8 +22,13 @@ from repro.ir import Module, verify_module
 from repro.oskernel.setup import build_kernel
 from repro.programs.common import ProgramSpec
 from repro.rewriting import SearchBudget
-from repro.rosa.query import check
+from repro.rosa.engine import QueryCache, QueryEngine, QueryRequest
+from repro.rosa.query import Verdict
 from repro.vm import Interpreter
+
+#: The privsep study's search budget: one place to tighten it uniformly
+#: across ``combined_exposure`` and ``exposure_table`` callers.
+DEFAULT_MULTIPROCESS_BUDGET = SearchBudget(max_states=100_000, max_seconds=30.0)
 
 
 @dataclasses.dataclass
@@ -36,6 +41,13 @@ class MultiProcessAnalysis:
     reports: List[ChronoReport]
     stdout: List[str]
     exit_code: int
+    #: Shared query engine: privsep phases repeat credential tuples across
+    #: processes and attacks, so exposure computations reuse verdicts.
+    engine: QueryEngine = dataclasses.field(
+        default_factory=lambda: QueryEngine(cache=QueryCache()),
+        repr=False,
+        compare=False,
+    )
 
     @property
     def total_instructions(self) -> int:
@@ -47,7 +59,7 @@ class MultiProcessAnalysis:
     def combined_exposure(
         self,
         attack: Attack,
-        budget: SearchBudget = SearchBudget(max_states=100_000, max_seconds=30.0),
+        budget: SearchBudget = DEFAULT_MULTIPROCESS_BUDGET,
     ) -> float:
         """Fraction of all processes' instructions executed while the
         executing process was vulnerable to ``attack``."""
@@ -55,20 +67,33 @@ class MultiProcessAnalysis:
         total = self.total_instructions
         if total == 0:
             return 0.0
-        vulnerable = 0
-        for report in self.reports:
-            for phase in report.phases:
-                query = attack.build_query(
+        phases = [
+            phase for report in self.reports for phase in report.phases
+        ]
+        requests = [
+            QueryRequest(
+                attack.build_query(phase.privileges, phase.uids, phase.gids, surface),
+                budget=budget,
+                spec=attack.query_spec(
                     phase.privileges, phase.uids, phase.gids, surface
-                )
-                if check(query, budget).verdict.value == "vulnerable":
-                    vulnerable += phase.instruction_count
+                ),
+            )
+            for phase in phases
+        ]
+        vulnerable = sum(
+            phase.instruction_count
+            for phase, report in zip(phases, self.engine.run_queries(requests))
+            if report.verdict is Verdict.VULNERABLE
+        )
         return vulnerable / total
 
-    def exposure_table(self) -> Dict[str, float]:
+    def exposure_table(
+        self, budget: SearchBudget = DEFAULT_MULTIPROCESS_BUDGET
+    ) -> Dict[str, float]:
         """Combined exposure per modeled attack, by attack name."""
         return {
-            attack.name: self.combined_exposure(attack) for attack in ALL_ATTACKS
+            attack.name: self.combined_exposure(attack, budget)
+            for attack in ALL_ATTACKS
         }
 
     def render(self) -> str:

@@ -33,7 +33,8 @@ from repro.ir import Module, verify_module
 from repro.oskernel.setup import build_kernel
 from repro.programs.common import ProgramSpec
 from repro.rewriting import SearchBudget
-from repro.rosa.query import RosaReport, Verdict, check
+from repro.rosa.engine import ParallelPolicy, QueryCache, QueryEngine, QueryRequest
+from repro.rosa.query import RosaReport, Verdict
 from repro.telemetry import Telemetry
 from repro.vm import Interpreter
 
@@ -138,6 +139,10 @@ class PrivAnalyzer:
         message_repeat: int = 1,
         optimize: bool = False,
         telemetry: Optional[Telemetry] = None,
+        engine: Optional[QueryEngine] = None,
+        use_query_cache: bool = True,
+        query_cache_path: Optional[str] = None,
+        parallel: Optional[ParallelPolicy] = None,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -147,6 +152,21 @@ class PrivAnalyzer:
         #: Observability sink: spans per pipeline stage, VM/search metrics,
         #: and (when its ``audit`` is set) a kernel syscall audit trail.
         self.telemetry = telemetry or Telemetry.disabled()
+        #: The ROSA query engine: dedupes/caches/schedules the phase × attack
+        #: queries.  Phases sharing a credential tuple search once, and a
+        #: shared engine carries answers across programs/table regenerations.
+        #: ``use_query_cache=False`` degrades to plain per-query searches.
+        if engine is None:
+            cache = (
+                QueryCache(path=query_cache_path) if use_query_cache else None
+            )
+            engine = QueryEngine(
+                budget=self.budget,
+                cache=cache,
+                parallel=parallel,
+                telemetry=self.telemetry,
+            )
+        self.engine = engine
 
     # -- stage 1: compile + AutoPriv + ChronoPriv ---------------------------------
 
@@ -218,6 +238,7 @@ class PrivAnalyzer:
         metrics = self.telemetry.metrics
         verdicts: Dict[int, RosaReport] = {}
         with tracer.span("rosa.check-phase", phase=phase.name):
+            requests = []
             for attack in self.attacks:
                 query = attack.build_query(
                     phase.privileges,
@@ -227,7 +248,19 @@ class PrivAnalyzer:
                     repeat=self.message_repeat,
                     label=f"{phase.name}/attack{attack.attack_id}",
                 )
-                report = check(query, self.budget, tracer=tracer)
+                spec = attack.query_spec(
+                    phase.privileges,
+                    phase.uids,
+                    phase.gids,
+                    program_syscalls,
+                    repeat=self.message_repeat,
+                    label=f"{phase.name}/attack{attack.attack_id}",
+                )
+                requests.append(
+                    QueryRequest(query, budget=self.budget, spec=spec)
+                )
+            reports = self.engine.run_queries(requests)
+            for attack, report in zip(self.attacks, reports):
                 verdicts[attack.attack_id] = report
                 metrics.counter("rosa.queries").inc()
                 metrics.counter(f"rosa.verdict.{report.verdict.value}").inc()

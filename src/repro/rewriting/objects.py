@@ -39,7 +39,7 @@ class Obj:
     enforce this; :class:`Configuration.update_object` does).
     """
 
-    __slots__ = ("oid", "cls", "attrs", "_key")
+    __slots__ = ("oid", "cls", "attrs", "_key", "_hash")
 
     def __init__(self, oid: int, cls: str, **attrs) -> None:
         self.oid = oid
@@ -51,6 +51,9 @@ class Obj:
             oid,
             tuple(sorted((name, _canonical_value(value)) for name, value in attrs.items())),
         )
+        # Objects are shared across the many configurations a search
+        # builds, so the canonical key is hashed once, not per lookup.
+        self._hash = hash(self._key)
 
     def __getitem__(self, name: str):
         return self.attrs[name]
@@ -72,11 +75,20 @@ class Obj:
         return isinstance(other, Obj) and other._key == self._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}: {value!r}" for name, value in sorted(self.attrs.items()))
         return f"< {self.oid} : {self.cls} | {inner} >"
+
+    def __reduce__(self):
+        # Rebuild through __init__ so cached hashes are recomputed in the
+        # receiving process (str hashes are salted per interpreter).
+        return (_rebuild_obj, (self.oid, self.cls, self.attrs))
+
+
+def _rebuild_obj(oid: int, cls: str, attrs: Dict) -> "Obj":
+    return Obj(oid, cls, **attrs)
 
 
 class Msg:
@@ -86,12 +98,13 @@ class Msg:
     sentinel ``-1`` in message arguments, mirroring the paper's Figure 2.
     """
 
-    __slots__ = ("name", "args", "_key")
+    __slots__ = ("name", "args", "_key", "_hash")
 
     def __init__(self, name: str, *args) -> None:
         self.name = name
         self.args = tuple(args)
         self._key = ("msg", name, tuple(_canonical_value(arg) for arg in self.args))
+        self._hash = hash(self._key)
 
     @property
     def key(self) -> Hashable:
@@ -101,11 +114,16 @@ class Msg:
         return isinstance(other, Msg) and other._key == self._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ",".join(repr(arg) for arg in self.args)
         return f"{self.name}({inner})"
+
+    def __reduce__(self):
+        # Rebuild through __init__ so cached hashes are recomputed in the
+        # receiving process (str hashes are salted per interpreter).
+        return (Msg, (self.name,) + self.args)
 
 
 class Configuration:
@@ -117,7 +135,7 @@ class Configuration:
     time.
     """
 
-    __slots__ = ("_counts", "_key")
+    __slots__ = ("_counts", "_key", "_hash", "_by_oid", "_msg_names")
 
     def __init__(self, elements: Iterable = ()) -> None:
         counts: Dict = {}
@@ -125,8 +143,27 @@ class Configuration:
             if not isinstance(element, (Obj, Msg)):
                 raise TypeError(f"configuration element must be Obj or Msg: {element!r}")
             counts[element] = counts.get(element, 0) + 1
+        self._init_from_counts(counts)
+
+    def _init_from_counts(self, counts: Dict) -> None:
         self._counts = counts
         self._key = tuple(sorted(((elem.key, count) for elem, count in counts.items())))
+        # The hash and the lookup indexes are computed lazily: most
+        # configurations a search constructs are immediately rejected by
+        # the visited set and never enumerated again.
+        self._hash: Optional[int] = None
+        self._by_oid: Optional[Dict[int, Obj]] = None
+        self._msg_names: Optional[frozenset] = None
+
+    @classmethod
+    def _from_counts(cls, counts: Dict) -> "Configuration":
+        """Internal fast constructor from an already-validated count map."""
+        config = cls.__new__(cls)
+        config._init_from_counts(counts)
+        return config
+
+    def __reduce__(self):
+        return (Configuration, (list(self),))
 
     # -- canonical identity --------------------------------------------------
 
@@ -139,7 +176,12 @@ class Configuration:
         return isinstance(other, Configuration) and other._key == self._key
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        # Cached: the BFS dedup set probes each configuration's hash many
+        # times, and the canonical key is a deep tuple.
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._key)
+        return value
 
     # -- iteration -------------------------------------------------------------
 
@@ -166,34 +208,56 @@ class Configuration:
             if isinstance(element, Msg) and (name is None or element.name == name):
                 yield element
 
+    def message_names(self) -> frozenset:
+        """The set of distinct pending message names (cached).
+
+        This is the rewrite layer's rule index: a message-triggered rule
+        can only fire when its trigger name is present, so rule systems
+        consult this set to skip rules outright.
+        """
+        names = self._msg_names
+        if names is None:
+            names = self._msg_names = frozenset(
+                element.name for element in self._counts if isinstance(element, Msg)
+            )
+        return names
+
     def find_object(self, oid: int) -> Optional[Obj]:
         """The object with identifier ``oid``, or None."""
-        for obj in self.objects():
-            if obj.oid == oid:
-                return obj
-        return None
+        index = self._by_oid
+        if index is None:
+            index = self._by_oid = {
+                element.oid: element
+                for element in self._counts
+                if isinstance(element, Obj)
+            }
+        return index.get(oid)
 
     # -- functional updates ------------------------------------------------------
 
     def add(self, *elements) -> "Configuration":
         """Return a configuration with ``elements`` added."""
-        return Configuration(list(self) + list(elements))
+        counts = dict(self._counts)
+        for element in elements:
+            if not isinstance(element, (Obj, Msg)):
+                raise TypeError(f"configuration element must be Obj or Msg: {element!r}")
+            counts[element] = counts.get(element, 0) + 1
+        return Configuration._from_counts(counts)
 
     def remove(self, element) -> "Configuration":
         """Return a configuration with one occurrence of ``element`` removed.
 
         :raises KeyError: if the element is not present.
         """
-        if self._counts.get(element, 0) == 0:
+        count = self._counts.get(element, 0)
+        if count == 0:
             raise KeyError(f"element not in configuration: {element!r}")
-        items = []
-        skipped = False
-        for existing in self:
-            if not skipped and existing == element:
-                skipped = True
-                continue
-            items.append(existing)
-        return Configuration(items)
+        counts = dict(self._counts)
+        if count == 1:
+            del counts[element]
+        else:
+            counts[element] = count - 1
+        return Configuration._from_counts(counts)
 
     def update_object(self, new_obj: Obj) -> "Configuration":
         """Replace the object whose oid matches ``new_obj.oid``.
@@ -205,7 +269,14 @@ class Configuration:
             raise KeyError(f"no object with oid {new_obj.oid}")
         if old == new_obj:
             return self
-        return self.remove(old).add(new_obj)
+        counts = dict(self._counts)
+        count = counts[old]
+        if count == 1:
+            del counts[old]
+        else:  # pragma: no cover - object oids are unique in practice
+            counts[old] = count - 1
+        counts[new_obj] = counts.get(new_obj, 0) + 1
+        return Configuration._from_counts(counts)
 
     def consume(self, message: Msg, *updates: Obj) -> "Configuration":
         """Remove one occurrence of ``message`` and apply object updates.
@@ -262,14 +333,57 @@ class MessageRule(ObjectRule):
 
 
 class ObjectSystem:
-    """A set of object rules, exposing the successor function for search."""
+    """A set of object rules, exposing the successor function for search.
 
-    def __init__(self, name: str, rules: Iterable[ObjectRule]) -> None:
+    Rules are *indexed by the message head they consume*: a
+    :class:`MessageRule` can only fire when a message with its trigger
+    name is pending, so :meth:`successors` skips such rules outright when
+    the configuration holds no matching message — instead of attempting
+    all rules against all messages per state.  Rule order is preserved,
+    so the successor stream is element-for-element identical to the
+    unindexed enumeration (skipped rules would have yielded nothing).
+
+    ``indexed=False`` restores the brute-force enumeration; benchmarks
+    use it to measure the index's effect, and tests use it to assert the
+    two paths agree.
+    """
+
+    def __init__(
+        self, name: str, rules: Iterable[ObjectRule], indexed: bool = True
+    ) -> None:
         self.name = name
         self.rules = tuple(rules)
+        self.indexed = indexed
+        #: ``(rule, trigger)`` pairs in rule order; ``trigger`` is the
+        #: message name gating the rule, or None for always-attempted rules.
+        self._triggers: Tuple[Tuple[ObjectRule, Optional[str]], ...] = tuple(
+            (
+                rule,
+                rule.message_name
+                if isinstance(rule, MessageRule) and rule.message_name
+                else None,
+            )
+            for rule in self.rules
+        )
+
+    @property
+    def signature(self) -> Tuple:
+        """Deterministic identity of the rule set, for query cache keys."""
+        return (
+            self.name,
+            tuple((type(rule).__name__, rule.label) for rule in self.rules),
+        )
 
     def successors(self, config: Configuration) -> Iterator[Tuple[str, Configuration]]:
-        for rule in self.rules:
+        if not self.indexed:
+            for rule in self.rules:
+                for result in rule.rewrites(config):
+                    yield rule.label, result
+            return
+        present = config.message_names()
+        for rule, trigger in self._triggers:
+            if trigger is not None and trigger not in present:
+                continue
             for result in rule.rewrites(config):
                 yield rule.label, result
 

@@ -233,10 +233,13 @@ def breadth_first_search(
             continue
         for label, nxt in successors(state):
             key = canonical(nxt)
-            if key in visited:
+            # Add-then-check-size dedup: one hash of the (deep) canonical
+            # key per successor instead of a membership probe plus an add.
+            size_before = len(visited)
+            visited.add(key)
+            if len(visited) == size_before:
                 dedup_hits += 1
                 continue
-            visited.add(key)
             next_path = path + (label,)
             next_states = states + (nxt,) if track_states else ()
             if goal(nxt):

@@ -24,6 +24,13 @@ Typical use::
 
 from repro.rewriting import Configuration, Msg, Obj, SearchBudget
 from repro.rosa import defenses, dsl, goals, model, permissions, syscalls
+from repro.rosa.engine import (
+    ParallelPolicy,
+    QueryCache,
+    QueryEngine,
+    QueryRequest,
+    query_cache_key,
+)
 from repro.rosa.explain import explain_witness
 from repro.rosa.query import (
     DEFAULT_BUDGET,
@@ -40,6 +47,10 @@ __all__ = [
     "DEFAULT_BUDGET",
     "Msg",
     "Obj",
+    "ParallelPolicy",
+    "QueryCache",
+    "QueryEngine",
+    "QueryRequest",
     "RosaQuery",
     "RosaReport",
     "SearchBudget",
@@ -51,6 +62,7 @@ __all__ = [
     "goals",
     "model",
     "permissions",
+    "query_cache_key",
     "syscalls",
     "unix_rules",
     "unix_system",

@@ -1,0 +1,606 @@
+"""The ROSA query engine: canonical keys, result caching, batch scheduling.
+
+The pipeline asks ROSA one bounded-model-checking question per
+(ChronoPriv phase × attack) pair, and the multi-process study repeats
+the same questions across processes and attacks.  Distinct phases very
+often share their (privileges, uids, gids, syscall-surface) tuple — the
+paper's Table III rows collapse to a handful of distinct credential
+states — so the searches are heavily redundant.  This module makes that
+redundancy free:
+
+* :func:`query_cache_key` derives a deterministic **canonical key** for a
+  query from its initial configuration's canonical key, its goal
+  identity, the rule system and the search budget;
+* :class:`QueryCache` memoizes verdicts by canonical key — an in-memory
+  LRU with optional on-disk JSON persistence, so repeated questions are
+  answered in O(1) instead of re-running the BFS;
+* :class:`QueryEngine` is the batch front end: :meth:`QueryEngine.check`
+  is a cache-aware drop-in for :func:`repro.rosa.query.check`, and
+  :meth:`QueryEngine.run_queries` dedupes a batch by canonical key and
+  fans the distinct searches out over ``concurrent.futures`` (a process
+  pool for paper-scale budgets, threads or serial execution otherwise).
+
+Caching never changes a verdict: two queries share a cache entry only
+when their initial configurations are AC-equal, their goals are
+structurally identical, the rule system matches and the budget matches —
+exactly the conditions under which the bounded search is deterministic.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.rewriting import SearchBudget, SearchStats
+from repro.rosa.query import (
+    DEFAULT_BUDGET,
+    RosaQuery,
+    RosaReport,
+    Verdict,
+    check,
+    unix_system,
+)
+from repro.telemetry.tracing import NULL_TRACER
+
+logger = logging.getLogger("repro.rosa.engine")
+
+#: Bump when the cache entry format or the key derivation changes;
+#: persisted caches with another version are discarded, not misread.
+CACHE_SCHEMA_VERSION = 1
+
+
+# -- canonical query keys -----------------------------------------------------
+
+
+def goal_identity(goal) -> Hashable:
+    """A deterministic, structural identity for a goal predicate.
+
+    Goals are closures (see :mod:`repro.rosa.goals`); two goals built by
+    the same factory with the same arguments are the same predicate, so
+    the identity is the function's qualified name plus the canonical
+    description of every closed-over value, recursively (``any_of`` /
+    ``all_of`` close over tuples of goals).  Queries may short-circuit
+    this with :attr:`RosaQuery.goal_key`.
+    """
+    qualname = getattr(goal, "__qualname__", None)
+    if qualname is None:  # pragma: no cover - goals are plain functions
+        return repr(goal)
+    cells: Tuple = ()
+    closure = getattr(goal, "__closure__", None)
+    if closure:
+        cells = tuple(_describe_value(cell.cell_contents) for cell in closure)
+    return (getattr(goal, "__module__", ""), qualname, cells)
+
+
+def _describe_value(value) -> Hashable:
+    if callable(value) and hasattr(value, "__qualname__"):
+        return goal_identity(value)
+    if isinstance(value, (tuple, list)):
+        return ("seq",) + tuple(_describe_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted(repr(item) for item in value))
+    if isinstance(value, dict):
+        return ("map",) + tuple(
+            sorted((repr(k), _describe_value(v)) for k, v in value.items())
+        )
+    return repr(value)
+
+
+def budget_identity(budget: SearchBudget) -> Tuple:
+    return (budget.max_states, budget.max_depth, budget.max_seconds)
+
+
+#: The default rule set's signature, computed once — building the 17-rule
+#: UNIX module per key derivation would dominate small-query lookups.
+_DEFAULT_SIGNATURE = None
+
+
+def query_cache_key(query: RosaQuery, budget: SearchBudget = DEFAULT_BUDGET) -> str:
+    """The canonical content-hash key of one (query, budget) pair.
+
+    Derived from the initial configuration's canonical (AC-equality) key,
+    the goal identity, the rule-system signature and the budget — every
+    input that determines the search's verdict.  The hash is stable
+    across processes and interpreter runs (no ``hash()`` involvement), so
+    it keys the on-disk cache too.
+    """
+    if query.system is not None:
+        signature = query.system.signature
+    else:
+        global _DEFAULT_SIGNATURE
+        if _DEFAULT_SIGNATURE is None:
+            _DEFAULT_SIGNATURE = unix_system().signature
+        signature = _DEFAULT_SIGNATURE
+    material = (
+        "rosa-query",
+        CACHE_SCHEMA_VERSION,
+        query.initial.key,
+        query.goal_key if query.goal_key is not None else goal_identity(query.goal),
+        signature,
+        budget_identity(budget),
+    )
+    return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()
+
+
+# -- the result cache ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CachedOutcome:
+    """The JSON-serialisable essence of one search result.
+
+    Everything the pipeline's verdict grids and exposure metrics consume:
+    the verdict, the witness rule labels, and the cost counters.  The
+    compromised configuration itself is not persisted (it is a graph of
+    live objects); cache-served reports carry ``compromised_state=None``
+    unless the in-memory entry still holds the full report.
+    """
+
+    verdict: str
+    witness: Tuple[str, ...]
+    states_explored: int
+    states_seen: int
+    elapsed: float
+    peak_frontier: int
+    dedup_hits: int
+    max_depth: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CachedOutcome":
+        return cls(
+            verdict=str(data["verdict"]),
+            witness=tuple(data.get("witness", ())),
+            states_explored=int(data.get("states_explored", 0)),
+            states_seen=int(data.get("states_seen", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            peak_frontier=int(data.get("peak_frontier", 0)),
+            dedup_hits=int(data.get("dedup_hits", 0)),
+            max_depth=int(data.get("max_depth", 0)),
+        )
+
+    @classmethod
+    def from_report(cls, report: RosaReport) -> "CachedOutcome":
+        return cls(
+            verdict=report.verdict.value,
+            witness=tuple(report.witness),
+            states_explored=report.states_explored,
+            states_seen=report.states_seen,
+            elapsed=report.elapsed,
+            peak_frontier=report.stats.peak_frontier,
+            dedup_hits=report.stats.dedup_hits,
+            max_depth=report.stats.max_depth,
+        )
+
+    def to_report(self, query: RosaQuery) -> RosaReport:
+        return RosaReport(
+            query=query,
+            verdict=Verdict(self.verdict),
+            witness=list(self.witness),
+            compromised_state=None,
+            states_explored=self.states_explored,
+            states_seen=self.states_seen,
+            elapsed=self.elapsed,
+            witness_states=[],
+            stats=SearchStats(
+                peak_frontier=self.peak_frontier,
+                dedup_hits=self.dedup_hits,
+                max_depth=self.max_depth,
+            ),
+            from_cache=True,
+        )
+
+
+@dataclasses.dataclass
+class _CacheEntry:
+    outcome: CachedOutcome
+    #: The full report, kept for in-memory hits so witnesses'
+    #: compromised states survive; dropped on disk round-trips.
+    report: Optional[RosaReport] = None
+
+
+class QueryCache:
+    """An LRU of search outcomes keyed by canonical query key.
+
+    ``capacity`` bounds the in-memory entry count (least recently used
+    entries evict first).  With ``path`` set, entries persist as JSON:
+    :meth:`load` runs at construction, :meth:`save` writes atomically and
+    is called by the engine after each batch that added entries.
+    """
+
+    def __init__(self, capacity: int = 4096, path: Optional[str] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._dirty = False
+        if path is not None:
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> Optional[_CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, key: str, outcome: CachedOutcome, report: Optional[RosaReport] = None
+    ) -> None:
+        self._entries[key] = _CacheEntry(outcome=outcome, report=report)
+        self._entries.move_to_end(key)
+        self._dirty = True
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = True
+
+    # -- persistence ----------------------------------------------------------
+
+    def load(self) -> int:
+        """Load persisted entries from ``path``; returns the count loaded."""
+        if self.path is None or not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            logger.warning("query cache %s unreadable, ignoring: %s", self.path, error)
+            return 0
+        if data.get("version") != CACHE_SCHEMA_VERSION:
+            logger.info(
+                "query cache %s has version %r, want %d; starting fresh",
+                self.path, data.get("version"), CACHE_SCHEMA_VERSION,
+            )
+            return 0
+        loaded = 0
+        for key, entry in data.get("entries", {}).items():
+            try:
+                self._entries[key] = _CacheEntry(CachedOutcome.from_json(entry))
+                loaded += 1
+            except (KeyError, TypeError, ValueError):
+                continue
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return loaded
+
+    def save(self) -> bool:
+        """Write entries to ``path`` atomically; returns True if written."""
+        if self.path is None or not self._dirty:
+            return False
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "entries": {
+                key: entry.outcome.to_json() for key, entry in self._entries.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(prefix=".rosa-cache-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=0, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+        return True
+
+
+# -- batch scheduling ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelPolicy:
+    """How :meth:`QueryEngine.run_queries` executes distinct searches.
+
+    ``mode``:
+
+    * ``"serial"`` — run in the calling thread (full tracing fidelity);
+    * ``"thread"`` — a thread pool: useful when searches block on the
+      wall-clock budget, not for CPU speedup under the GIL;
+    * ``"process"`` — a process pool: real CPU parallelism; requires each
+      request to carry a picklable ``spec`` builder (goal closures do not
+      pickle), and pays a pool-startup cost only worth it for paper-scale
+      budgets;
+    * ``"auto"`` (default) — ``process`` when every distinct request has
+      a spec, the batch is at least ``process_batch_min``, and the budget
+      reaches ``process_min_states``; otherwise serial — at this repo's
+      repro-scale budgets a pool costs more than the searches themselves.
+    """
+
+    mode: str = "auto"
+    max_workers: Optional[int] = None
+    process_batch_min: int = 4
+    process_min_states: int = 1_000_000
+
+    def resolve(
+        self, distinct: int, budget: SearchBudget, all_have_specs: bool
+    ) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if (
+            all_have_specs
+            and distinct >= self.process_batch_min
+            and budget.max_states is not None
+            and budget.max_states >= self.process_min_states
+        ):
+            return "process"
+        return "serial"
+
+
+@dataclasses.dataclass
+class QueryRequest:
+    """One entry of a :meth:`QueryEngine.run_queries` batch.
+
+    ``spec``, when given, is a picklable object with a ``build()`` method
+    returning an equivalent :class:`RosaQuery`; it is what travels to
+    process-pool workers (queries themselves hold goal closures, which do
+    not pickle).  ``budget`` overrides the engine default for this query.
+    """
+
+    query: RosaQuery
+    budget: Optional[SearchBudget] = None
+    spec: Optional[Any] = None
+
+
+def _run_spec_in_worker(spec, budget: SearchBudget) -> CachedOutcome:
+    """Process-pool entry point: rebuild the query, search, return the essence."""
+    report = check(spec.build(), budget, tracer=NULL_TRACER)
+    return CachedOutcome.from_report(report)
+
+
+class QueryEngine:
+    """Cache-aware, batch-scheduling front end to :func:`repro.rosa.query.check`.
+
+    One engine holds one :class:`QueryCache`; every pipeline stage that
+    shares the engine shares the memoized verdicts, so phases (and whole
+    table regenerations) that repeat a (privileges, uids, gids, surface)
+    combination pay for its search exactly once.
+    """
+
+    def __init__(
+        self,
+        budget: SearchBudget = DEFAULT_BUDGET,
+        cache: Optional[QueryCache] = None,
+        parallel: Optional[ParallelPolicy] = None,
+        telemetry=None,
+    ) -> None:
+        from repro.telemetry import Telemetry
+
+        self.budget = budget
+        #: ``None`` disables caching entirely (every check searches).
+        self.cache = cache
+        self.parallel = parallel or ParallelPolicy()
+        self.telemetry = telemetry or Telemetry.disabled()
+
+    # -- single queries --------------------------------------------------------
+
+    def check(
+        self,
+        query: RosaQuery,
+        budget: Optional[SearchBudget] = None,
+        track_states: bool = False,
+    ) -> RosaReport:
+        """Cache-aware ``check``: a hit skips the search entirely.
+
+        ``track_states`` bypasses the cache (witness configurations are
+        not memoized) and always searches.
+        """
+        budget = budget or self.budget
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        if track_states or self.cache is None:
+            return check(query, budget, track_states=track_states, tracer=tracer)
+        key = query_cache_key(query, budget)
+        entry = self.cache.get(key)
+        if entry is not None:
+            metrics.counter("rosa.cache.hits").inc()
+            return self._served_from_cache(query, entry, tracer)
+        metrics.counter("rosa.cache.misses").inc()
+        report = check(query, budget, tracer=tracer)
+        self.cache.put(key, CachedOutcome.from_report(report), report)
+        return report
+
+    def _served_from_cache(self, query: RosaQuery, entry: _CacheEntry, tracer):
+        with tracer.span("rosa.query", query=query.name, cached=True) as span:
+            if entry.report is not None:
+                report = dataclasses.replace(
+                    entry.report, query=query, from_cache=True
+                )
+            else:
+                report = entry.outcome.to_report(query)
+            span.set_attribute("verdict", report.verdict.value)
+        return report
+
+    # -- batches ---------------------------------------------------------------
+
+    def run_queries(
+        self, requests: Sequence[Union[QueryRequest, RosaQuery]]
+    ) -> List[RosaReport]:
+        """Answer a batch of queries; returns reports in request order.
+
+        The batch is deduplicated by canonical key first (duplicates get
+        the same search's answer re-attached to their own query), cache
+        hits are served without searching, and the remaining distinct
+        searches run under the engine's :class:`ParallelPolicy`.
+        """
+        entries = [
+            request if isinstance(request, QueryRequest) else QueryRequest(request)
+            for request in requests
+        ]
+        metrics = self.telemetry.metrics
+        tracer = self.telemetry.tracer
+        if entries:
+            metrics.counter("rosa.batch.queries").inc(len(entries))
+
+        keys = [
+            query_cache_key(request.query, request.budget or self.budget)
+            for request in entries
+        ]
+        reports: List[Optional[RosaReport]] = [None] * len(entries)
+
+        # 1. Serve cache hits and collect the distinct misses, preserving
+        #    first-occurrence order for deterministic scheduling.
+        distinct: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, (request, key) in enumerate(zip(entries, keys)):
+            if self.cache is not None:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    metrics.counter("rosa.cache.hits").inc()
+                    reports[index] = self._served_from_cache(
+                        request.query, entry, tracer
+                    )
+                    continue
+                metrics.counter("rosa.cache.misses").inc()
+            distinct.setdefault(key, []).append(index)
+        if distinct:
+            metrics.counter("rosa.batch.unique").inc(len(distinct))
+
+        # 2. Run each distinct search once.
+        if distinct:
+            leaders = [indices[0] for indices in distinct.values()]
+            budget_for = lambda index: entries[index].budget or self.budget
+            all_have_specs = all(
+                entries[index].spec is not None for index in leaders
+            )
+            widest = max(
+                (budget_for(index).max_states or 0 for index in leaders), default=0
+            )
+            mode = self.parallel.resolve(
+                len(leaders),
+                dataclasses.replace(self.budget, max_states=widest or None)
+                if widest
+                else self.budget,
+                all_have_specs,
+            )
+            if mode == "serial" or len(leaders) == 1:
+                leader_reports = [
+                    check(entries[index].query, budget_for(index), tracer=tracer)
+                    for index in leaders
+                ]
+            else:
+                leader_reports = self._run_parallel(mode, entries, leaders, budget_for)
+            for key_indices, report in zip(distinct.values(), leader_reports):
+                if self.cache is not None:
+                    self.cache.put(
+                        keys[key_indices[0]], CachedOutcome.from_report(report), report
+                    )
+                for position, index in enumerate(key_indices):
+                    if position == 0:
+                        reports[index] = report
+                    else:
+                        # A deduped sibling: same answer, its own query.
+                        metrics.counter("rosa.batch.dedup_hits").inc()
+                        reports[index] = dataclasses.replace(
+                            report, query=entries[index].query
+                        )
+        if self.cache is not None and self.cache.path is not None:
+            self.cache.save()
+        return [report for report in reports if report is not None]
+
+    def _run_parallel(self, mode, entries, leaders, budget_for) -> List[RosaReport]:
+        """Fan distinct searches over an executor; returns leader-ordered reports."""
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        workers = self.parallel.max_workers or min(
+            len(leaders), os.cpu_count() or 1
+        )
+        metrics.gauge("rosa.pool.workers").set_max(workers)
+        if mode == "process":
+            unbuildable = [
+                index for index in leaders if entries[index].spec is None
+            ]
+            if unbuildable:
+                raise ValueError(
+                    "process-pool execution needs a picklable spec on every "
+                    f"request; {len(unbuildable)} request(s) have none"
+                )
+            executor_cls = concurrent.futures.ProcessPoolExecutor
+            submit_args = [
+                (_run_spec_in_worker, entries[index].spec, budget_for(index))
+                for index in leaders
+            ]
+        elif mode == "thread":
+            executor_cls = concurrent.futures.ThreadPoolExecutor
+            submit_args = [
+                (
+                    lambda query, budget: check(query, budget, tracer=NULL_TRACER),
+                    entries[index].query,
+                    budget_for(index),
+                )
+                for index in leaders
+            ]
+        else:  # pragma: no cover - modes are validated upstream
+            raise ValueError(f"unknown parallel mode {mode!r}")
+        with executor_cls(max_workers=workers) as executor:
+            futures = [executor.submit(fn, *args) for fn, *args in submit_args]
+            results = [future.result() for future in futures]
+        reports = []
+        for index, result in zip(leaders, results):
+            query = entries[index].query
+            if isinstance(result, CachedOutcome):
+                report = dataclasses.replace(
+                    result.to_report(query), from_cache=False
+                )
+            else:
+                report = result
+            # Workers search without the tracer; record the span here so
+            # batched runs stay observable (verdict + cost attributes).
+            with tracer.span(
+                "rosa.query", query=query.name, parallel=mode
+            ) as span:
+                span.set_attribute("verdict", report.verdict.value)
+                span.set_attribute("states_seen", report.states_seen)
+                span.set_attribute("states_explored", report.states_explored)
+                span.set_attribute("peak_frontier", report.stats.peak_frontier)
+            reports.append(report)
+        return reports
+
+    # -- maintenance -----------------------------------------------------------
+
+    def save_cache(self) -> bool:
+        """Persist the cache now (no-op without a cache path)."""
+        return self.cache.save() if self.cache is not None else False
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Hit/miss counters for reports and benchmarks."""
+        if self.cache is None:
+            return {"enabled": False, "hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0}
+        return {
+            "enabled": True,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": self.cache.hit_rate,
+            "entries": len(self.cache),
+        }

@@ -20,7 +20,7 @@ import dataclasses
 import enum
 import logging
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Hashable, List, Optional
 
 from repro.rewriting import (
     Configuration,
@@ -69,6 +69,10 @@ class RosaQuery:
     description: str = ""
     #: Optionally restrict the rule set (defaults to the full UNIX module).
     system: Optional[ObjectSystem] = None
+    #: Stable identity of ``goal`` for result caching.  Builders that know
+    #: what the goal means (e.g. attacks) set this; when ``None`` the query
+    #: engine derives an identity from the goal closure's structure.
+    goal_key: Optional[Hashable] = None
 
 
 @dataclasses.dataclass
@@ -89,6 +93,9 @@ class RosaReport:
     witness_states: List[Configuration] = dataclasses.field(default_factory=list)
     #: Search cost accounting (peak frontier, dedup hits, progress samples).
     stats: SearchStats = dataclasses.field(default_factory=SearchStats)
+    #: True when the query engine served this report from its result cache
+    #: instead of searching (see :mod:`repro.rosa.engine`).
+    from_cache: bool = False
 
     @property
     def vulnerable(self) -> bool:

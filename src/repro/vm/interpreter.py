@@ -58,6 +58,9 @@ from repro.vm.frame import Frame, GlobalSlot, StackSlot
 #: (functions may legitimately return ``None``).
 _CONTINUE = object()
 
+#: Sentinel for the operand fast path (frame values may legitimately be None).
+_MISSING = object()
+
 
 class ProgramExit(Exception):
     """The program called ``exit()`` (or was killed by a signal)."""
@@ -115,6 +118,20 @@ class Interpreter:
         self.children: List["Interpreter"] = []
         self._in_signal_handler = False
         self._call_depth = 0
+        self._dispatch: Dict[type, Callable] = {
+            Alloca: self._step_alloca,
+            Load: self._step_load,
+            Store: self._step_store,
+            BinOp: self._step_binop,
+            ICmp: self._step_icmp,
+            Select: self._step_select,
+            Phi: self._step_phi,
+            Call: self._step_call,
+            Branch: self._step_branch,
+            Jump: self._step_jump,
+            Ret: self._step_ret,
+            Unreachable: self._step_unreachable,
+        }
 
     # -- public API -------------------------------------------------------------
 
@@ -170,6 +187,12 @@ class Interpreter:
         return fn(self, args)
 
     def _run_frame(self, frame: Frame):
+        # The dispatch table maps concrete instruction types to bound
+        # handlers; ``type(instruction)`` is exact here because the IR
+        # instruction set is closed, and one dict lookup replaces the
+        # isinstance ladder on every retired instruction.
+        dispatch = self._dispatch
+        max_instructions = self.max_instructions
         while True:
             block = frame.block
             if block is None:
@@ -179,11 +202,23 @@ class Interpreter:
                     f"@{frame.function.name}:%{block.name}: block without terminator"
                 )
             instruction = block.instructions[frame.index]
-            outcome = self._step(frame, instruction)
+            self.executed_instructions += 1
+            if self.executed_instructions > max_instructions:
+                raise VMError("instruction budget exhausted (runaway program?)")
+            handler = dispatch.get(type(instruction))
+            if handler is None:  # pragma: no cover - the instruction set is closed
+                raise VMError(f"unknown instruction {instruction.opcode}")
+            outcome = handler(frame, instruction)
             if outcome is not _CONTINUE:
                 return outcome
 
     def _operand(self, frame: Frame, value: Value):
+        # SSA temporaries vastly outnumber constants on the hot path, so
+        # probe the frame's value map first and fall back to the literal
+        # kinds only on a miss.
+        resolved = frame.values.get(value, _MISSING)
+        if resolved is not _MISSING:
+            return resolved
         if isinstance(value, ConstantInt):
             return value.value
         if isinstance(value, ConstantString):
@@ -194,12 +229,9 @@ class Interpreter:
             return self.globals[value]
         if isinstance(value, UndefValue):
             return 0
-        try:
-            return frame.values[value]
-        except KeyError:
-            raise VMError(
-                f"@{frame.function.name}: use of undefined value {value.short()}"
-            ) from None
+        raise VMError(
+            f"@{frame.function.name}: use of undefined value {value.short()}"
+        )
 
     def _retire(self, instruction: Instruction) -> None:
         self.executed_instructions += 1
@@ -207,69 +239,105 @@ class Interpreter:
             raise VMError("instruction budget exhausted (runaway program?)")
 
     def _step(self, frame: Frame, instruction: Instruction):
+        """Retire and execute one instruction (the non-looping entry point).
+
+        ``_run_frame`` inlines the retire bookkeeping and dispatch for
+        speed; this method keeps the original single-step API for tests
+        and embedders.
+        """
         self._retire(instruction)
-
-        if isinstance(instruction, Alloca):
-            frame.set(instruction, StackSlot(instruction.name))
-        elif isinstance(instruction, Load):
-            slot = self._operand(frame, instruction.pointer)
-            if not isinstance(slot, StackSlot):
-                raise VMError(f"load through non-pointer {slot!r}")
-            frame.set(instruction, slot.value if slot.value is not None else 0)
-        elif isinstance(instruction, Store):
-            slot = self._operand(frame, instruction.pointer)
-            if not isinstance(slot, StackSlot):
-                raise VMError(f"store through non-pointer {slot!r}")
-            slot.value = self._operand(frame, instruction.value)
-        elif isinstance(instruction, BinOp):
-            lhs = self._operand(frame, instruction.operands[0])
-            rhs = self._operand(frame, instruction.operands[1])
-            try:
-                raw = BINARY_OPS[instruction.op](lhs, rhs)
-            except ZeroDivisionError:
-                raise VMError(f"{instruction.op} by zero") from None
-            frame.set(instruction, instruction.type.wrap(raw))
-        elif isinstance(instruction, ICmp):
-            lhs = self._operand(frame, instruction.operands[0])
-            rhs = self._operand(frame, instruction.operands[1])
-            frame.set(instruction, int(ICMP_PREDICATES[instruction.predicate](lhs, rhs)))
-        elif isinstance(instruction, Select):
-            cond, if_true, if_false = (
-                self._operand(frame, operand) for operand in instruction.operands
-            )
-            frame.set(instruction, if_true if cond else if_false)
-        elif isinstance(instruction, Phi):
-            incoming = instruction.incoming.get(frame.prev_block)
-            if incoming is None:
-                raise VMError(
-                    f"phi has no incoming for predecessor "
-                    f"%{frame.prev_block.name if frame.prev_block else '?'}"
-                )
-            frame.set(instruction, self._operand(frame, incoming))
-        elif isinstance(instruction, Call):
-            result = self._execute_call(frame, instruction)
-            frame.set(instruction, result)
-            self._dispatch_pending_signals()
-        elif isinstance(instruction, Branch):
-            cond = self._operand(frame, instruction.operands[0])
-            self._enter_block(frame, instruction.if_true if cond else instruction.if_false)
-            return _CONTINUE
-        elif isinstance(instruction, Jump):
-            self._enter_block(frame, instruction.target)
-            return _CONTINUE
-        elif isinstance(instruction, Ret):
-            if instruction.value is not None:
-                return self._operand(frame, instruction.value)
-            return None
-        elif isinstance(instruction, Unreachable):
-            raise VMError(
-                f"@{frame.function.name}:%{frame.block.name}: reached unreachable"
-            )
-        else:  # pragma: no cover - the instruction set is closed
+        handler = self._dispatch.get(type(instruction))
+        if handler is None:  # pragma: no cover - the instruction set is closed
             raise VMError(f"unknown instruction {instruction.opcode}")
+        return handler(frame, instruction)
 
+    # -- per-opcode handlers ------------------------------------------------------
+
+    def _step_alloca(self, frame: Frame, instruction):
+        frame.values[instruction] = StackSlot(instruction.name)
         frame.index += 1
         return _CONTINUE
+
+    def _step_load(self, frame: Frame, instruction):
+        slot = self._operand(frame, instruction.pointer)
+        if not isinstance(slot, StackSlot):
+            raise VMError(f"load through non-pointer {slot!r}")
+        frame.values[instruction] = slot.value if slot.value is not None else 0
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_store(self, frame: Frame, instruction):
+        slot = self._operand(frame, instruction.pointer)
+        if not isinstance(slot, StackSlot):
+            raise VMError(f"store through non-pointer {slot!r}")
+        slot.value = self._operand(frame, instruction.value)
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_binop(self, frame: Frame, instruction):
+        operands = instruction.operands
+        lhs = self._operand(frame, operands[0])
+        rhs = self._operand(frame, operands[1])
+        try:
+            raw = BINARY_OPS[instruction.op](lhs, rhs)
+        except ZeroDivisionError:
+            raise VMError(f"{instruction.op} by zero") from None
+        frame.values[instruction] = instruction.type.wrap(raw)
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_icmp(self, frame: Frame, instruction):
+        operands = instruction.operands
+        lhs = self._operand(frame, operands[0])
+        rhs = self._operand(frame, operands[1])
+        frame.values[instruction] = int(ICMP_PREDICATES[instruction.predicate](lhs, rhs))
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_select(self, frame: Frame, instruction):
+        cond, if_true, if_false = (
+            self._operand(frame, operand) for operand in instruction.operands
+        )
+        frame.values[instruction] = if_true if cond else if_false
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_phi(self, frame: Frame, instruction):
+        incoming = instruction.incoming.get(frame.prev_block)
+        if incoming is None:
+            raise VMError(
+                f"phi has no incoming for predecessor "
+                f"%{frame.prev_block.name if frame.prev_block else '?'}"
+            )
+        frame.values[instruction] = self._operand(frame, incoming)
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_call(self, frame: Frame, instruction):
+        result = self._execute_call(frame, instruction)
+        frame.values[instruction] = result
+        self._dispatch_pending_signals()
+        frame.index += 1
+        return _CONTINUE
+
+    def _step_branch(self, frame: Frame, instruction):
+        cond = self._operand(frame, instruction.operands[0])
+        self._enter_block(frame, instruction.if_true if cond else instruction.if_false)
+        return _CONTINUE
+
+    def _step_jump(self, frame: Frame, instruction):
+        self._enter_block(frame, instruction.target)
+        return _CONTINUE
+
+    def _step_ret(self, frame: Frame, instruction):
+        if instruction.value is not None:
+            return self._operand(frame, instruction.value)
+        return None
+
+    def _step_unreachable(self, frame: Frame, instruction):
+        raise VMError(
+            f"@{frame.function.name}:%{frame.block.name}: reached unreachable"
+        )
 
     def _enter_block(self, frame: Frame, target) -> None:
         frame.prev_block = frame.block

@@ -1,0 +1,367 @@
+"""The ROSA query engine: caching, canonical keys, batch scheduling, parity.
+
+The engine must never change an answer: the acceptance bar is that every
+verdict, witness and exposure fraction is bit-identical with the engine
+on versus off, while repeated questions stop costing a search.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.caps import CapabilitySet
+from repro.core import PrivAnalyzer
+from repro.core.attacks import ALL_ATTACKS, AttackQuerySpec
+from repro.core.multiprocess import DEFAULT_MULTIPROCESS_BUDGET
+from repro.programs import spec_by_name
+from repro.rewriting import Configuration, ObjectSystem, SearchBudget
+from repro.rosa import (
+    ParallelPolicy,
+    QueryCache,
+    QueryEngine,
+    QueryRequest,
+    RosaQuery,
+    check,
+    goals,
+    model,
+    query_cache_key,
+    syscalls,
+    unix_rules,
+)
+from repro.telemetry import Telemetry
+
+BUDGET = SearchBudget(max_states=50_000, max_seconds=30.0)
+
+
+def shadow_query(name="read-shadow", perms=0o640, goal=None):
+    config = Configuration(
+        [
+            model.process_for_user(1, uid=1000, gid=1000),
+            model.file_obj(3, name="/etc/shadow", owner=0, group=42, perms=perms),
+            model.user(4, 1000),
+            model.user(5, 0),
+            syscalls.sys_open(1, 3, "r", ["CapDacReadSearch"]),
+        ]
+    )
+    return RosaQuery(name, config, goal or goals.file_opened_for_read(3))
+
+
+def attack_requests(privs, uids, gids, surface, repeat=1):
+    return [
+        QueryRequest(
+            attack.build_query(privs, uids, gids, surface, repeat=repeat),
+            spec=attack.query_spec(privs, uids, gids, surface, repeat=repeat),
+        )
+        for attack in ALL_ATTACKS
+    ]
+
+
+class TestCanonicalKeys:
+    def test_same_query_content_same_key(self):
+        assert query_cache_key(shadow_query("a"), BUDGET) == query_cache_key(
+            shadow_query("b"), BUDGET
+        )
+
+    def test_key_ignores_element_order(self):
+        base = shadow_query()
+        shuffled = RosaQuery(
+            "shuffled", Configuration(reversed(list(base.initial))), base.goal
+        )
+        assert query_cache_key(base, BUDGET) == query_cache_key(shuffled, BUDGET)
+
+    def test_key_differs_across_budgets(self):
+        query = shadow_query()
+        tighter = dataclasses.replace(BUDGET, max_states=10)
+        assert query_cache_key(query, BUDGET) != query_cache_key(query, tighter)
+
+    def test_key_differs_across_goals(self):
+        read = shadow_query(goal=goals.file_opened_for_read(3))
+        write = shadow_query(goal=goals.file_opened_for_write(3))
+        assert query_cache_key(read, BUDGET) != query_cache_key(write, BUDGET)
+
+    def test_key_differs_across_goal_arguments(self):
+        this_file = shadow_query(goal=goals.file_opened_for_read(3))
+        other_file = shadow_query(goal=goals.file_opened_for_read(4))
+        assert query_cache_key(this_file, BUDGET) != query_cache_key(
+            other_file, BUDGET
+        )
+
+    def test_key_differs_across_configurations(self):
+        assert query_cache_key(shadow_query(perms=0o640), BUDGET) != query_cache_key(
+            shadow_query(perms=0o600), BUDGET
+        )
+
+    def test_goal_key_overrides_introspection(self):
+        explicit = dataclasses.replace(shadow_query(), goal_key=("attack", 1))
+        other = dataclasses.replace(shadow_query(), goal_key=("attack", 2))
+        assert query_cache_key(explicit, BUDGET) != query_cache_key(other, BUDGET)
+
+    def test_attack_queries_carry_goal_keys(self):
+        privs = CapabilitySet.of("CAP_DAC_READ_SEARCH")
+        query = ALL_ATTACKS[0].build_query(
+            privs, (1000, 1000, 1000), (1000, 1000, 1000), frozenset({"open"})
+        )
+        assert query.goal_key == ("attack", 1)
+
+
+class TestQueryCache:
+    def test_hit_returns_identical_verdict_and_witness(self):
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+        first = engine.check(shadow_query("first"))
+        second = engine.check(shadow_query("second"))
+        assert not first.from_cache and second.from_cache
+        assert second.verdict == first.verdict
+        assert second.witness == first.witness
+        assert second.states_explored == first.states_explored
+        assert second.stats.peak_frontier == first.stats.peak_frontier
+        # The served report belongs to the asking query, not the cached one.
+        assert second.query.name == "second"
+
+    def test_in_memory_hit_keeps_compromised_state(self):
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+        first = engine.check(shadow_query())
+        second = engine.check(shadow_query())
+        assert second.compromised_state == first.compromised_state
+
+    def test_no_cache_always_searches(self):
+        engine = QueryEngine(budget=BUDGET, cache=None)
+        assert not engine.check(shadow_query()).from_cache
+        assert not engine.check(shadow_query()).from_cache
+
+    def test_track_states_bypasses_cache(self):
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+        engine.check(shadow_query())
+        report = engine.check(shadow_query(), track_states=True)
+        assert not report.from_cache
+        assert report.witness_states  # the whole point of bypassing
+
+    def test_lru_eviction(self):
+        cache = QueryCache(capacity=2)
+        engine = QueryEngine(budget=BUDGET, cache=cache)
+        engine.check(shadow_query(perms=0o640))
+        engine.check(shadow_query(perms=0o600))
+        engine.check(shadow_query(perms=0o644))
+        assert len(cache) == 2
+        assert not engine.check(shadow_query(perms=0o640)).from_cache
+
+    def test_hit_rate(self):
+        cache = QueryCache()
+        engine = QueryEngine(budget=BUDGET, cache=cache)
+        engine.check(shadow_query())
+        engine.check(shadow_query())
+        engine.check(shadow_query())
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_disk_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        warm = QueryEngine(budget=BUDGET, cache=QueryCache(path=path))
+        original = warm.check(shadow_query())
+        warm.save_cache()
+
+        cold = QueryEngine(budget=BUDGET, cache=QueryCache(path=path))
+        served = cold.check(shadow_query())
+        assert served.from_cache
+        assert served.verdict == original.verdict
+        assert served.witness == original.witness
+        # Disk entries are slim: no live configuration graph.
+        assert served.compromised_state is None
+
+    def test_version_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 999, "entries": {"x": {}}}))
+        assert len(QueryCache(path=str(path))) == 0
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("not json{")
+        assert len(QueryCache(path=str(path))) == 0
+
+
+class TestRunQueries:
+    PRIVS = CapabilitySet.of("CAP_DAC_READ_SEARCH", "CAP_SETUID", "CAP_KILL")
+    SURFACE = frozenset({"open", "setuid", "kill", "socket", "bind"})
+    IDS = ((1000, 0, 0), (1000, 1000, 1000))
+
+    def serial_reports(self, requests):
+        return [check(request.query, BUDGET) for request in requests]
+
+    def test_batch_matches_serial_check(self):
+        requests = attack_requests(self.PRIVS, *self.IDS, self.SURFACE)
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+        batch = engine.run_queries(requests)
+        for batched, serial in zip(batch, self.serial_reports(requests)):
+            assert batched.verdict == serial.verdict
+            assert batched.witness == serial.witness
+
+    def test_batch_dedupes_identical_queries(self):
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+        reports = engine.run_queries(
+            [shadow_query("a"), shadow_query("b"), shadow_query("c")]
+        )
+        assert [report.query.name for report in reports] == ["a", "b", "c"]
+        assert len({report.verdict for report in reports}) == 1
+        assert engine.cache.misses == 3 and len(engine.cache) == 1
+
+    def test_thread_pool_matches_serial(self):
+        requests = attack_requests(self.PRIVS, *self.IDS, self.SURFACE)
+        engine = QueryEngine(
+            budget=BUDGET, cache=None, parallel=ParallelPolicy(mode="thread")
+        )
+        for threaded, serial in zip(
+            engine.run_queries(requests), self.serial_reports(requests)
+        ):
+            assert threaded.verdict == serial.verdict
+            assert threaded.witness == serial.witness
+
+    def test_process_pool_matches_serial(self):
+        requests = attack_requests(self.PRIVS, *self.IDS, self.SURFACE)
+        engine = QueryEngine(
+            budget=BUDGET,
+            cache=None,
+            parallel=ParallelPolicy(mode="process", max_workers=2),
+        )
+        for pooled, serial in zip(
+            engine.run_queries(requests), self.serial_reports(requests)
+        ):
+            assert pooled.verdict == serial.verdict
+            assert pooled.witness == serial.witness
+
+    def test_process_pool_requires_specs(self):
+        engine = QueryEngine(
+            budget=BUDGET, cache=None, parallel=ParallelPolicy(mode="process")
+        )
+        with pytest.raises(ValueError, match="picklable spec"):
+            engine.run_queries([shadow_query("a"), shadow_query(perms=0o600)])
+
+    def test_auto_mode_stays_serial_at_repro_budgets(self):
+        policy = ParallelPolicy()
+        assert policy.resolve(8, BUDGET, all_have_specs=True) == "serial"
+        paper_scale = SearchBudget(max_states=5_000_000)
+        assert policy.resolve(8, paper_scale, all_have_specs=True) == "process"
+        assert policy.resolve(8, paper_scale, all_have_specs=False) == "serial"
+
+    def test_empty_batch(self):
+        assert QueryEngine(budget=BUDGET).run_queries([]) == []
+
+    def test_cache_metrics_emitted(self):
+        telemetry = Telemetry.enabled()
+        engine = QueryEngine(budget=BUDGET, cache=QueryCache(), telemetry=telemetry)
+        engine.run_queries([shadow_query("a")])
+        engine.run_queries([shadow_query("b")])
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["rosa.cache.misses"]["value"] == 1
+        assert metrics["rosa.cache.hits"]["value"] == 1
+        assert metrics["rosa.batch.queries"]["value"] == 2
+
+
+class TestAttackQuerySpec:
+    def test_spec_pickles_and_rebuilds_identically(self):
+        import pickle
+
+        privs = CapabilitySet.of("CAP_DAC_READ_SEARCH", "CAP_SETUID")
+        spec = ALL_ATTACKS[0].query_spec(
+            privs, (1000, 0, 0), (1000, 1000, 1000), frozenset({"open", "setuid"})
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert isinstance(clone, AttackQuerySpec)
+        built, rebuilt = spec.build(), clone.build()
+        assert built.initial.key == rebuilt.initial.key
+        assert built.goal_key == rebuilt.goal_key
+        assert query_cache_key(built, BUDGET) == query_cache_key(rebuilt, BUDGET)
+
+
+def random_configuration(rng: random.Random) -> Configuration:
+    """A small random mix of objects and pending syscall messages."""
+    caps = rng.sample(
+        ["CapDacReadSearch", "CapSetuid", "CapKill", "CapNetBindService"],
+        k=rng.randint(0, 3),
+    )
+    elements = [
+        model.process_for_user(1, uid=rng.choice([0, 1000]), gid=1000),
+        model.file_obj(3, name="/etc/shadow", owner=0, group=42,
+                       perms=rng.choice([0o600, 0o640, 0o644])),
+        model.user(4, 1000),
+        model.user(5, 0),
+    ]
+    message_pool = [
+        syscalls.sys_open(1, 3, "r", caps),
+        syscalls.sys_setuid(1, 0, caps),
+        syscalls.sys_kill(1, 1, model.SIGKILL, caps),
+        syscalls.sys_chmod(1, 3, 0o777, caps),
+        syscalls.sys_socket(1, caps),
+    ]
+    elements.extend(rng.sample(message_pool, k=rng.randint(0, len(message_pool))))
+    return Configuration(elements)
+
+
+class TestRuleIndexing:
+    def test_indexed_successors_match_unindexed_on_random_configurations(self):
+        indexed = ObjectSystem("UNIX", unix_rules(), indexed=True)
+        brute = ObjectSystem("UNIX", unix_rules(), indexed=False)
+        rng = random.Random(1789)
+        for _ in range(50):
+            config = random_configuration(rng)
+            fast = [(label, nxt.key) for label, nxt in indexed.successors(config)]
+            slow = [(label, nxt.key) for label, nxt in brute.successors(config)]
+            assert fast == slow
+
+    def test_indexed_verdicts_match_unindexed(self):
+        base = shadow_query()
+        plain = check(base, BUDGET)
+        brute = check(
+            dataclasses.replace(
+                base, system=ObjectSystem("UNIX", unix_rules(), indexed=False)
+            ),
+            BUDGET,
+        )
+        assert plain.verdict == brute.verdict
+        assert plain.witness == brute.witness
+        assert plain.states_seen == brute.states_seen
+
+
+class TestVerdictParity:
+    """The acceptance bar: engine on vs off is bit-identical end to end."""
+
+    @pytest.mark.parametrize("program", ["passwd", "thttpd"])
+    def test_pipeline_parity_engine_on_vs_off(self, program):
+        # Fresh specs per run: workload env lists are consumed by the VM.
+        with_engine = PrivAnalyzer().analyze(spec_by_name(program))
+        without_cache = PrivAnalyzer(use_query_cache=False).analyze(
+            spec_by_name(program)
+        )
+        assert len(with_engine.phases) == len(without_cache.phases)
+        for cached, plain in zip(with_engine.phases, without_cache.phases):
+            assert cached.phase.name == plain.phase.name
+            assert sorted(cached.verdicts) == sorted(plain.verdicts)
+            for attack_id in cached.verdicts:
+                lhs = cached.verdicts[attack_id]
+                rhs = plain.verdicts[attack_id]
+                assert lhs.verdict == rhs.verdict
+                assert lhs.witness == rhs.witness
+        for attack in ALL_ATTACKS:
+            assert with_engine.vulnerability_window(
+                attack.attack_id
+            ) == without_cache.vulnerability_window(attack.attack_id)
+        assert (
+            with_engine.invulnerable_window() == without_cache.invulnerable_window()
+        )
+
+    def test_privsep_exposure_parity(self):
+        from repro.core.multiprocess import analyze_multiprocess
+
+        cached = analyze_multiprocess(spec_by_name("sshdPrivsep"))
+        plain = analyze_multiprocess(spec_by_name("sshdPrivsep"))
+        plain.engine = QueryEngine(cache=None)
+        budget = dataclasses.replace(DEFAULT_MULTIPROCESS_BUDGET, max_states=50_000)
+        assert cached.exposure_table(budget) == plain.exposure_table(budget)
+
+    def test_pipeline_reuses_verdicts_across_phases(self):
+        analyzer = PrivAnalyzer()
+        analyzer.analyze(spec_by_name("passwd"))
+        stats = analyzer.engine.cache_stats()
+        # passwd issues 20 phase×attack queries but only 17 are distinct.
+        assert stats["misses"] == 17
+        assert stats["hits"] == 3
