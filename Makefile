@@ -1,6 +1,7 @@
-.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke clean
+.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke ledger-smoke clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
+LEDGER_SMOKE_DIR := /tmp/privanalyzer-ledger-smoke
 
 install:
 	pip install -e . --no-build-isolation
@@ -38,6 +39,19 @@ trace-smoke:
 	missing = {'compile', 'autopriv.transform', 'chronopriv-run', 'rosa.query'} - names; \
 	assert not missing, f'spans missing: {missing}'; \
 	print(f'trace-smoke ok: {len(lines)} spans, stages {sorted(names)}')"
+
+# Run-ledger smoke test: two identical analyze runs must diff clean
+# (exit 0).  The wide perf tolerance keeps CI timing noise out of the
+# gate; verdicts, exposure and syscall surfaces are compared exactly.
+ledger-smoke:
+	rm -rf $(LEDGER_SMOKE_DIR)
+	PYTHONPATH=src python -m repro.cli analyze passwd \
+		--ledger $(LEDGER_SMOKE_DIR)/run1 > /dev/null
+	PYTHONPATH=src python -m repro.cli analyze passwd \
+		--ledger $(LEDGER_SMOKE_DIR)/run2 > /dev/null
+	PYTHONPATH=src python -m repro.cli diff \
+		$(LEDGER_SMOKE_DIR)/run1 $(LEDGER_SMOKE_DIR)/run2 \
+		--perf-tolerance 3.0
 
 examples:
 	@for script in examples/*.py; do \

@@ -11,17 +11,25 @@ Subcommands:
 * ``table3`` / ``table5`` — regenerate the paper's headline tables.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace`` records
-per-stage spans (``--trace-out`` writes them as JSONL), ``--profile``
-prints a per-stage timing table to stderr, ``--audit-out`` dumps the
-simulated kernel's syscall audit trail, and ``--verbose``/``--quiet``
-control stderr logging.
+per-stage spans (``--trace-out`` writes them as JSONL, ``--perfetto-out``
+as Chrome trace-event JSON), ``--profile`` prints a per-stage timing
+table to stderr, ``--metrics-out``/``--prometheus-out`` export the
+metrics registry, ``--audit-out`` dumps the simulated kernel's syscall
+audit trail, ``--progress`` renders live ROSA search progress, and
+``--verbose``/``--quiet`` control stderr logging.  ``--ledger DIR``
+captures the whole run as a versioned artifact directory that
+``privanalyzer diff OLD NEW`` compares structurally (verdict flips,
+exposure drift, per-stage slow-downs, syscall-surface changes), exiting
+non-zero on regression.
 
 Examples::
 
     privanalyzer analyze passwd
     privanalyzer analyze passwd --trace --trace-out trace.jsonl --profile
+    privanalyzer analyze passwd --ledger out/run1
+    privanalyzer diff out/run1 out/run2
     privanalyzer analyze agent.privc --caps CapSetuid,CapDacReadSearch
-    privanalyzer rosa examples/queries/figure2.rosa
+    privanalyzer rosa examples/queries/figure2.rosa --progress
     privanalyzer table5 --format markdown
 """
 
@@ -40,9 +48,13 @@ from repro.programs import PROGRAM_MODULES, spec_by_name
 from repro.programs.common import ProgramSpec
 from repro.telemetry import (
     Telemetry,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
     render_profile,
+    render_progress,
     render_span_tree,
     spans_to_jsonl,
+    trace_event_json,
 )
 
 
@@ -63,9 +75,32 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         help="print a per-stage timing table to stderr (implies --trace)",
     )
     group.add_argument(
+        "--perfetto-out", metavar="PATH", default=None,
+        help="write the trace as Chrome trace-event / Perfetto JSON to PATH "
+        "(implies --trace; open it in ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics-registry snapshot as JSONL to PATH",
+    )
+    group.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="write the metrics registry in Prometheus text exposition "
+        "format to PATH",
+    )
+    group.add_argument(
         "--audit-out", metavar="PATH", default=None,
         help="record every simulated-kernel syscall and write the audit "
         "trail as JSONL to PATH",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="render live ROSA search progress (states/s, depth, budget "
+        "used) to stderr while long searches run",
+    )
+    group.add_argument(
+        "--progress-interval", type=int, default=None, metavar="N",
+        help="expansions between two progress samples (default 1024)",
     )
 
 
@@ -147,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(analyze)
     _add_engine_flags(analyze)
+    _add_ledger_flag(analyze)
 
     hints = sub.add_parser("hints", help="refactoring guidance (paper §VII-D/E)")
     hints.add_argument("program")
@@ -164,6 +200,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="narrate the witness step by step when vulnerable",
     )
     _add_observability_flags(rosa)
+    _add_ledger_flag(rosa)
+
+    diff = sub.add_parser(
+        "diff",
+        help="structurally compare two run ledgers; exit 1 on regression",
+    )
+    diff.add_argument("old", help="baseline ledger directory (from --ledger)")
+    diff.add_argument("new", help="candidate ledger directory")
+    diff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRACTION",
+        help="allowed exposure-fraction drift, 0-1 scale (default: exact)",
+    )
+    diff.add_argument(
+        "--perf-tolerance", type=float, default=1.0, metavar="RATIO",
+        help="allowed per-stage relative slow-down (1.0 = may take twice "
+        "as long; default 1.0)",
+    )
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings as a text report or a JSON document",
+    )
 
     for table in ("table3", "table5"):
         table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
@@ -176,17 +233,60 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_ledger_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="capture this run as a versioned artifact directory (manifest, "
+        "spans, metrics, audit trail, exposure table, verdicts) for "
+        "`privanalyzer diff`",
+    )
+
+
 def _telemetry_from_args(args) -> Optional[Telemetry]:
     """Build the telemetry bundle the flags ask for, or ``None``."""
+    want_ledger = getattr(args, "ledger", None) is not None
     want_trace = bool(
         getattr(args, "trace", False)
         or getattr(args, "trace_out", None)
         or getattr(args, "profile", False)
+        or getattr(args, "perfetto_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "prometheus_out", None)
+        or want_ledger
     )
-    want_audit = getattr(args, "audit_out", None) is not None
+    want_audit = getattr(args, "audit_out", None) is not None or want_ledger
     if not want_trace and not want_audit:
         return None
     return Telemetry.enabled(audit=want_audit)
+
+
+def _progress_from_args(args):
+    """The stderr progress callback ``--progress`` asks for, or ``None``."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def emit(sample) -> None:
+        print(render_progress(sample, label="rosa"), file=sys.stderr)
+
+    return emit
+
+
+def _progress_interval_from_args(args) -> int:
+    from repro.rewriting import PROGRESS_INTERVAL
+
+    interval = getattr(args, "progress_interval", None)
+    return interval if interval and interval > 0 else PROGRESS_INTERVAL
+
+
+def _manifest_args(args) -> dict:
+    """The parsed CLI arguments, JSON-safe, for the ledger manifest."""
+    safe = {}
+    for key, value in sorted(vars(args).items()):
+        if value is None or isinstance(value, (bool, int, float, str)):
+            safe[key] = value
+        elif isinstance(value, list):
+            safe[key] = [str(item) for item in value]
+    return safe
 
 
 def _export_telemetry(args, telemetry: Optional[Telemetry]) -> None:
@@ -201,6 +301,19 @@ def _export_telemetry(args, telemetry: Optional[Telemetry]) -> None:
         print(render_span_tree(telemetry.tracer), file=sys.stderr)
     if getattr(args, "profile", False):
         print(render_profile(telemetry.tracer), file=sys.stderr)
+    perfetto_out = getattr(args, "perfetto_out", None)
+    if perfetto_out:
+        _write_or_die(
+            perfetto_out,
+            trace_event_json(telemetry.tracer, telemetry.metrics) + "\n",
+        )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        jsonl = metrics_to_jsonl(telemetry.metrics)
+        _write_or_die(metrics_out, jsonl + "\n" if jsonl else "")
+    prometheus_out = getattr(args, "prometheus_out", None)
+    if prometheus_out:
+        _write_or_die(prometheus_out, metrics_to_prometheus(telemetry.metrics))
     audit_out = getattr(args, "audit_out", None)
     if audit_out and telemetry.audit is not None:
         jsonl = telemetry.audit.to_jsonl()
@@ -265,13 +378,41 @@ def _cmd_list(args, out) -> int:
     return 0
 
 
+def _capture_ledger(args, telemetry: Optional[Telemetry], capture) -> None:
+    """Write the run ledger ``--ledger`` asked for (``capture(directory)``)."""
+    directory = getattr(args, "ledger", None)
+    if not directory:
+        return
+    if telemetry is None:  # pragma: no cover - --ledger implies telemetry
+        raise SystemExit("privanalyzer: --ledger needs telemetry enabled")
+    try:
+        capture(directory)
+    except OSError as error:
+        raise SystemExit(
+            f"privanalyzer: cannot write ledger {directory}: {error.strerror}"
+        )
+    print(f"run ledger written to {directory}", file=sys.stderr)
+
+
 def _cmd_analyze(args, out, telemetry: Optional[Telemetry] = None) -> int:
+    from repro.core import ledger as ledger_mod
+
     spec = _resolve_spec(args)
     analyzer = PrivAnalyzer(
         indirect_targets_filter=args.callgraph, optimize=args.optimize,
-        telemetry=telemetry, **_engine_kwargs(args),
+        telemetry=telemetry, progress=_progress_from_args(args),
+        progress_interval=getattr(args, "progress_interval", None),
+        **_engine_kwargs(args),
     )
     analysis = analyzer.analyze(spec)
+    _capture_ledger(
+        args, telemetry,
+        lambda directory: ledger_mod.capture_analysis(
+            directory, analysis, telemetry,
+            cache_stats=analyzer.engine.cache_stats(),
+            cli_args=_manifest_args(args),
+        ),
+    )
     if args.format == "table":
         print(analysis.render_table(), file=out)
         print(file=out)
@@ -306,6 +447,7 @@ def _cmd_hints(args, out) -> int:
 
 
 def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
+    from repro.core import ledger as ledger_mod
     from repro.rewriting import SearchBudget
     from repro.rosa import check, explain_witness
     from repro.rosa.dsl import parse_query
@@ -315,7 +457,17 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
     query = parse_query(text, name=Path(args.file).stem)
     budget = SearchBudget(max_states=args.max_states, max_seconds=args.max_seconds)
     tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
-    report = check(query, budget, track_states=args.explain, tracer=tracer)
+    report = check(
+        query, budget, track_states=args.explain, tracer=tracer,
+        progress=_progress_from_args(args),
+        progress_interval=_progress_interval_from_args(args),
+    )
+    _capture_ledger(
+        args, telemetry,
+        lambda directory: ledger_mod.capture_rosa(
+            directory, report, telemetry, cli_args=_manifest_args(args)
+        ),
+    )
     print(report.summary(), file=out)
     # ✗ and ⊙ verdicts come with their cost: an unreachable/undecided
     # answer that took the whole budget reads very differently from one
@@ -326,10 +478,33 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
     return 0 if not report.vulnerable else 1
 
 
+def _cmd_diff(args, out) -> int:
+    from repro.core import ledger as ledger_mod
+
+    ledgers = []
+    for directory in (args.old, args.new):
+        try:
+            ledgers.append(ledger_mod.RunLedger.load(directory))
+        except FileNotFoundError as error:
+            raise SystemExit(f"privanalyzer: {error}")
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"privanalyzer: unreadable ledger {directory}: {error}")
+    diff = ledger_mod.diff_ledgers(
+        ledgers[0], ledgers[1],
+        tolerance=args.tolerance, perf_tolerance=args.perf_tolerance,
+    )
+    print(diff.to_json() if args.format == "json" else diff.render(), file=out)
+    return diff.exit_code
+
+
 def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
     # One analyzer for the whole table: its query cache carries verdicts
     # across programs that share (privileges, uids, gids, surface) tuples.
-    analyzer = PrivAnalyzer(telemetry=telemetry, **_engine_kwargs(args))
+    analyzer = PrivAnalyzer(
+        telemetry=telemetry, progress=_progress_from_args(args),
+        progress_interval=getattr(args, "progress_interval", None),
+        **_engine_kwargs(args),
+    )
     analyses = [analyzer.analyze(spec_by_name(name)) for name in names]
     if args.format == "markdown":
         for analysis in analyses:
@@ -360,6 +535,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_hints(args, out)
         if args.command == "rosa":
             return _cmd_rosa(args, out, telemetry)
+        if args.command == "diff":
+            return _cmd_diff(args, out)
         if args.command == "table3":
             return _cmd_table(
                 args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry

@@ -19,6 +19,8 @@ from repro.core.attacks import (
 from repro.core.extract import INTRINSIC_TO_ROSA, syscalls_used
 from repro.core.pipeline import PhaseAnalysis, PrivAnalyzer, ProgramAnalysis
 from repro.core import blame, multiprocess, report
+from repro.core import ledger
+from repro.core.ledger import LedgerDiff, RunLedger, diff_ledgers
 from repro.core.multiprocess import (
     DEFAULT_MULTIPROCESS_BUDGET,
     MultiProcessAnalysis,
@@ -33,14 +35,18 @@ __all__ = [
     "DEFAULT_MULTIPROCESS_BUDGET",
     "INTRINSIC_TO_ROSA",
     "KILL_SSHD",
+    "LedgerDiff",
     "PhaseAnalysis",
     "PrivAnalyzer",
     "ProgramAnalysis",
     "READ_DEV_MEM",
     "WRITE_DEV_MEM",
     "MultiProcessAnalysis",
+    "RunLedger",
     "analyze_multiprocess",
     "blame",
+    "diff_ledgers",
+    "ledger",
     "multiprocess",
     "report",
     "syscalls_used",

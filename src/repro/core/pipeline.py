@@ -143,6 +143,8 @@ class PrivAnalyzer:
         use_query_cache: bool = True,
         query_cache_path: Optional[str] = None,
         parallel: Optional[ParallelPolicy] = None,
+        progress=None,
+        progress_interval: Optional[int] = None,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -160,11 +162,16 @@ class PrivAnalyzer:
             cache = (
                 QueryCache(path=query_cache_path) if use_query_cache else None
             )
+            engine_kwargs = {} if progress_interval is None else {
+                "progress_interval": progress_interval
+            }
             engine = QueryEngine(
                 budget=self.budget,
                 cache=cache,
                 parallel=parallel,
                 telemetry=self.telemetry,
+                progress=progress,
+                **engine_kwargs,
             )
         self.engine = engine
 

@@ -41,6 +41,7 @@ from repro.rewriting.objects import (
     ObjectSystem,
 )
 from repro.rewriting.search import (
+    MAX_RETAINED_SAMPLES,
     PROGRESS_INTERVAL,
     ProgressSample,
     SearchBudget,
@@ -56,6 +57,7 @@ __all__ = [
     "Compound",
     "Configuration",
     "Equation",
+    "MAX_RETAINED_SAMPLES",
     "MessageRule",
     "Msg",
     "NormalizationError",

@@ -28,6 +28,12 @@ State = TypeVar("State")
 #: How many expansions between two progress samples, by default.
 PROGRESS_INTERVAL = 1024
 
+#: Cap on the samples *retained* on ``SearchResult.stats.samples``.  A
+#: paper-scale search (5-hour budgets, §VIII) emits millions of samples
+#: at a fixed interval; retention decimates so memory stays bounded
+#: while the live ``progress`` callback still sees every sample.
+MAX_RETAINED_SAMPLES = 512
+
 
 @dataclasses.dataclass(frozen=True)
 class ProgressSample:
@@ -138,6 +144,7 @@ def breadth_first_search(
     track_states: bool = False,
     progress: Optional[Callable[[ProgressSample], None]] = None,
     progress_interval: int = PROGRESS_INTERVAL,
+    max_samples: int = MAX_RETAINED_SAMPLES,
     clock: Callable[[], float] = time.monotonic,
 ) -> SearchResult[State]:
     """Search breadth-first from ``initial`` for a state satisfying ``goal``.
@@ -154,7 +161,11 @@ def breadth_first_search(
 
     ``progress`` is called with a :class:`ProgressSample` every
     ``progress_interval`` expansions; ``clock`` makes all timing (budget
-    enforcement, elapsed, sample rates) deterministic in tests.
+    enforcement, elapsed, sample rates) deterministic in tests.  The
+    callback sees every sample, but at most ``max_samples`` are retained
+    on ``result.stats.samples``: past the cap the interior of the series
+    is decimated (every other sample dropped), always keeping the first
+    and the most recent reading.
     """
     start = clock()
     peak_frontier = 0
@@ -204,6 +215,9 @@ def breadth_first_search(
             budget_used=min(budget_used, 1.0),
         )
         samples.append(reading)
+        if len(samples) > max_samples:
+            # Decimate the interior: endpoints survive, density halves.
+            del samples[1:-1:2]
         progress(reading)
 
     explored = 0

@@ -38,7 +38,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.rewriting import SearchBudget, SearchStats
+from repro.rewriting import PROGRESS_INTERVAL, SearchBudget, SearchStats
 from repro.rosa.query import (
     DEFAULT_BUDGET,
     RosaQuery,
@@ -395,6 +395,8 @@ class QueryEngine:
         cache: Optional[QueryCache] = None,
         parallel: Optional[ParallelPolicy] = None,
         telemetry=None,
+        progress=None,
+        progress_interval: int = PROGRESS_INTERVAL,
     ) -> None:
         from repro.telemetry import Telemetry
 
@@ -403,6 +405,12 @@ class QueryEngine:
         self.cache = cache
         self.parallel = parallel or ParallelPolicy()
         self.telemetry = telemetry or Telemetry.disabled()
+        #: Live-search observability: every serially executed search
+        #: forwards periodic :class:`~repro.rewriting.ProgressSample`
+        #: readings here (pool workers search unobserved — samples do
+        #: not cross process boundaries).  Cache hits emit none.
+        self.progress = progress
+        self.progress_interval = progress_interval
 
     # -- single queries --------------------------------------------------------
 
@@ -421,16 +429,29 @@ class QueryEngine:
         tracer = self.telemetry.tracer
         metrics = self.telemetry.metrics
         if track_states or self.cache is None:
-            return check(query, budget, track_states=track_states, tracer=tracer)
+            return self._checked(query, budget, track_states=track_states)
         key = query_cache_key(query, budget)
         entry = self.cache.get(key)
         if entry is not None:
             metrics.counter("rosa.cache.hits").inc()
             return self._served_from_cache(query, entry, tracer)
         metrics.counter("rosa.cache.misses").inc()
-        report = check(query, budget, tracer=tracer)
+        report = self._checked(query, budget)
         self.cache.put(key, CachedOutcome.from_report(report), report)
         return report
+
+    def _checked(
+        self, query: RosaQuery, budget: SearchBudget, track_states: bool = False
+    ) -> RosaReport:
+        """One live search with the engine's tracer and progress wiring."""
+        return check(
+            query,
+            budget,
+            track_states=track_states,
+            tracer=self.telemetry.tracer,
+            progress=self.progress,
+            progress_interval=self.progress_interval,
+        )
 
     def _served_from_cache(self, query: RosaQuery, entry: _CacheEntry, tracer):
         with tracer.span("rosa.query", query=query.name, cached=True) as span:
@@ -506,7 +527,7 @@ class QueryEngine:
             )
             if mode == "serial" or len(leaders) == 1:
                 leader_reports = [
-                    check(entries[index].query, budget_for(index), tracer=tracer)
+                    self._checked(entries[index].query, budget_for(index))
                     for index in leaders
                 ]
             else:

@@ -27,12 +27,15 @@ from repro.telemetry.export import (
     metrics_to_jsonl,
     render_metrics,
     render_profile,
+    render_progress,
     render_span_tree,
     span_to_dict,
     spans_from_jsonl,
     spans_to_jsonl,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.prometheus import metrics_to_prometheus, prometheus_name
+from repro.telemetry.trace_event import spans_to_trace_events, trace_event_json
 from repro.telemetry.tracing import NULL_TRACER, Span, Tracer
 
 
@@ -57,10 +60,15 @@ class Telemetry:
         audit_capacity: int = 4096,
     ) -> "Telemetry":
         """A fully live bundle; ``audit=True`` adds the syscall recorder."""
+        metrics = MetricsRegistry()
         return cls(
             tracer=Tracer(clock=clock),
-            metrics=MetricsRegistry(),
-            audit=SyscallAuditTrail(capacity=audit_capacity, clock=clock) if audit else None,
+            metrics=metrics,
+            audit=SyscallAuditTrail(
+                capacity=audit_capacity, clock=clock, metrics=metrics
+            )
+            if audit
+            else None,
         )
 
     @classmethod
@@ -84,10 +92,15 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "metrics_to_jsonl",
+    "metrics_to_prometheus",
+    "prometheus_name",
     "render_metrics",
     "render_profile",
+    "render_progress",
     "render_span_tree",
     "span_to_dict",
     "spans_from_jsonl",
     "spans_to_jsonl",
+    "spans_to_trace_events",
+    "trace_event_json",
 ]

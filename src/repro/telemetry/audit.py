@@ -22,6 +22,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.telemetry.clock import Clock, MONOTONIC
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def sanitize(value: Any) -> Any:
@@ -74,13 +75,24 @@ class AuditRecord:
 class SyscallAuditTrail:
     """Bounded recorder: the newest ``capacity`` syscalls, oldest evicted."""
 
-    def __init__(self, capacity: int = 4096, clock: Clock = MONOTONIC) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Clock = MONOTONIC,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("audit capacity must be positive")
         self.capacity = capacity
         self.clock = clock
         self._ring: Deque[AuditRecord] = deque(maxlen=capacity)
         self.total = 0
+        # With a registry attached, ring evictions surface as the
+        # ``kernel.audit.dropped`` gauge, so a silently truncated trail
+        # is visible in every metrics snapshot, not just on the trail.
+        self._dropped_gauge = (
+            metrics.gauge("kernel.audit.dropped") if metrics is not None else None
+        )
 
     def record(
         self,
@@ -111,6 +123,8 @@ class SyscallAuditTrail:
             caps_permitted=caps_permitted,
         )
         self._ring.append(entry)
+        if self._dropped_gauge is not None:
+            self._dropped_gauge.set(self.total - len(self._ring))
         return entry
 
     # -- reading ----------------------------------------------------------------

@@ -121,6 +121,21 @@ def render_profile(tracer: Tracer) -> str:
     return "\n".join(lines)
 
 
+def render_progress(sample, label: str = "search") -> str:
+    """One :class:`~repro.rewriting.ProgressSample` as a live status line.
+
+    Duck-typed (no import of the rewriting layer): anything with the
+    sample's fields renders.  This is what ``--progress`` writes to
+    stderr while a long ROSA search runs.
+    """
+    return (
+        f"{label}: {sample.states_explored:,} explored | "
+        f"{sample.states_seen:,} seen | frontier {sample.frontier:,} | "
+        f"depth {sample.depth} | {sample.states_per_second:,.0f} states/s | "
+        f"budget {sample.budget_used:.0%}"
+    )
+
+
 def metrics_to_jsonl(metrics: MetricsRegistry) -> str:
     """Every instrument as one JSON line: ``{"name": ..., "type": ..., ...}``."""
     lines = []

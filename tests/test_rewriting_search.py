@@ -6,7 +6,12 @@ the Maude-tutorial vending machine.
 
 import pytest
 
-from repro.rewriting import SearchBudget, SearchOutcome, breadth_first_search
+from repro.rewriting import (
+    MAX_RETAINED_SAMPLES,
+    SearchBudget,
+    SearchOutcome,
+    breadth_first_search,
+)
 
 
 def line_successors(bound):
@@ -191,3 +196,42 @@ class TestWitnessMinimality:
         report = check(RosaQuery("min", config, goals.file_opened_for_read(3)))
         assert report.vulnerable
         assert len(report.witness) == 2  # chmod (CapFowner) + open suffices
+
+
+class TestSampleRetention:
+    """The live callback sees every sample; the result keeps a bounded,
+    decimated series (endpoints always survive)."""
+
+    def search_with_samples(self, states, **kwargs):
+        live = []
+        result = breadth_first_search(
+            0,
+            line_successors(states),
+            lambda s: False,
+            progress=live.append,
+            progress_interval=1,
+            **kwargs,
+        )
+        return live, result.stats.samples
+
+    def test_retained_samples_stay_under_the_default_cap(self):
+        live, retained = self.search_with_samples(2 * MAX_RETAINED_SAMPLES)
+        assert len(live) == 2 * MAX_RETAINED_SAMPLES + 1
+        assert len(retained) <= MAX_RETAINED_SAMPLES
+        # Endpoints survive decimation: the very first reading and the
+        # very last one the callback saw.
+        assert retained[0] == live[0]
+        assert retained[-1] == live[-1]
+        # The series stays in emission order.
+        explored = [s.states_explored for s in retained]
+        assert explored == sorted(explored)
+
+    def test_custom_cap(self):
+        live, retained = self.search_with_samples(200, max_samples=16)
+        assert len(live) == 201
+        assert len(retained) <= 16
+        assert retained[-1] == live[-1]
+
+    def test_no_callback_retains_nothing(self):
+        result = breadth_first_search(0, line_successors(50), lambda s: False)
+        assert result.stats.samples == []

@@ -149,3 +149,48 @@ class TestScriptedProgramAudit:
         assert names[0] == "prctl_lockdown"
         # passwd's shadow update opens and closes /etc/shadow.
         assert "open" in names and "close" in names
+
+
+class TestDroppedGauge:
+    """Ring evictions surface as the ``kernel.audit.dropped`` gauge."""
+
+    def test_gauge_tracks_ring_evictions(self):
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        kernel = build_kernel()
+        trail = kernel.enable_audit(
+            SyscallAuditTrail(capacity=4, metrics=metrics)
+        )
+        process = kernel.spawn(0, 0)
+        for _ in range(3):
+            kernel.sys_getuid(process.pid)
+        assert metrics.gauge("kernel.audit.dropped").value == 0
+        for _ in range(7):
+            kernel.sys_getuid(process.pid)
+        assert trail.dropped == 6
+        assert metrics.gauge("kernel.audit.dropped").value == 6
+        assert metrics.snapshot()["kernel.audit.dropped"] == {
+            "type": "gauge",
+            "value": 6,
+        }
+
+    def test_without_registry_nothing_is_exported(self):
+        kernel = build_kernel()
+        trail = kernel.enable_audit(SyscallAuditTrail(capacity=2))
+        process = kernel.spawn(0, 0)
+        for _ in range(5):
+            kernel.sys_getuid(process.pid)
+        assert trail.dropped == 3  # the trail still counts
+
+    def test_enabled_telemetry_wires_the_gauge(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.enabled(audit=True)
+        assert telemetry.audit is not None
+        kernel = build_kernel()
+        kernel.enable_audit(telemetry.audit)
+        process = kernel.spawn(0, 0)
+        kernel.sys_getuid(process.pid)
+        # No evictions yet, but the gauge exists and reads zero.
+        assert telemetry.metrics.gauge("kernel.audit.dropped").value == 0
