@@ -1,7 +1,9 @@
-.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke ledger-smoke clean
+.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke ledger-smoke fuzz-smoke fuzz clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 LEDGER_SMOKE_DIR := /tmp/privanalyzer-ledger-smoke
+FUZZ_SEED ?= 0
+FUZZ_RUNS ?= 300
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +54,20 @@ ledger-smoke:
 	PYTHONPATH=src python -m repro.cli diff \
 		$(LEDGER_SMOKE_DIR)/run1 $(LEDGER_SMOKE_DIR)/run2 \
 		--perf-tolerance 3.0
+
+# Conformance fuzz smoke (CI gate, ~30s): a fixed-seed campaign over the
+# four differential oracle families plus the marker-gated pytest suite.
+# See docs/TESTING.md.
+fuzz-smoke:
+	PYTHONPATH=src python -m repro.cli fuzz --seed 0 --runs 25
+	PYTHONPATH=src python -m pytest tests/ -m fuzz -q
+
+# Nightly-scale campaign (not a CI gate): every oracle family including
+# the metamorphic properties, at a real run count.  Override with
+# FUZZ_SEED / FUZZ_RUNS, e.g. `make fuzz FUZZ_SEED=$$(date +%s)`.
+fuzz:
+	PYTHONPATH=src python -m repro.cli fuzz \
+		--seed $(FUZZ_SEED) --runs $(FUZZ_RUNS) --oracle all
 
 examples:
 	@for script in examples/*.py; do \

@@ -8,6 +8,8 @@ Subcommands:
   Markdown/JSON/CSV with ``--format``);
 * ``hints <program>`` — refactoring guidance modelled on §VII-D/E;
 * ``rosa <file>`` — check a Maude-style query file (Figure 2/4 syntax);
+* ``fuzz`` — run the conformance testkit's seeded differential/metamorphic
+  campaign; failures shrink to replayable repro files (docs/TESTING.md);
 * ``table3`` / ``table5`` — regenerate the paper's headline tables.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace`` records
@@ -220,6 +222,46 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="findings as a text report or a JSON document",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run the conformance testkit's seeded fuzz campaign "
+        "(see docs/TESTING.md)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; each (family, run) derives its own generator "
+        "from it (default 0)",
+    )
+    fuzz.add_argument(
+        "--runs", type=int, default=100,
+        help="cases per oracle family (default 100)",
+    )
+    fuzz.add_argument(
+        "--max-size", type=int, default=20, metavar="N",
+        help="generated-case size budget: statements per program, "
+        "queries per batch (default 20)",
+    )
+    fuzz.add_argument(
+        "--oracle", action="append", default=[], metavar="FAMILY",
+        help="oracle family to run (repeatable; default: the differential "
+        "families cache, pools, vm, ledger; 'all' adds the metamorphic "
+        "properties)",
+    )
+    fuzz.add_argument(
+        "--artifacts", metavar="DIR", default="artifacts/fuzz",
+        help="directory for shrunk repro files (default artifacts/fuzz)",
+    )
+    fuzz.add_argument(
+        "--inject", metavar="FAULT", default=None,
+        help="install a named artificial bug for the whole campaign, to "
+        "demonstrate the oracles catch it (see repro.testkit.faults)",
+    )
+    fuzz.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-run one repro file instead of a campaign; exits 1 while "
+        "the failure still reproduces",
     )
 
     for table in ("table3", "table5"):
@@ -497,6 +539,71 @@ def _cmd_diff(args, out) -> int:
     return diff.exit_code
 
 
+def _cmd_fuzz(args, out) -> int:
+    from repro.testkit.faults import FAULTS
+    from repro.testkit.fuzz import replay_repro, run_campaign
+    from repro.testkit.oracles import ALL_FAMILIES, DEFAULT_FAMILIES
+
+    if args.inject is not None and args.inject not in FAULTS:
+        raise SystemExit(
+            f"privanalyzer: unknown fault {args.inject!r} "
+            f"(known: {', '.join(sorted(FAULTS))})"
+        )
+    if args.replay is not None:
+        try:
+            result = replay_repro(args.replay)
+        except FileNotFoundError:
+            raise SystemExit(f"privanalyzer: no such repro file: {args.replay}")
+        except ValueError as error:
+            raise SystemExit(f"privanalyzer: {error}")
+        if result.failed:
+            print(f"replay: still failing — {result.details}", file=out)
+            return 1
+        print("replay: the failure no longer reproduces", file=out)
+        return 0
+
+    families = list(dict.fromkeys(args.oracle)) or list(DEFAULT_FAMILIES)
+    if "all" in families:
+        families = list(ALL_FAMILIES)
+    unknown = [name for name in families if name not in ALL_FAMILIES]
+    if unknown:
+        raise SystemExit(
+            f"privanalyzer: unknown oracle famil"
+            f"{'y' if len(unknown) == 1 else 'ies'} {', '.join(unknown)} "
+            f"(known: {', '.join(ALL_FAMILIES)})"
+        )
+    if args.runs <= 0:
+        raise SystemExit("privanalyzer: --runs must be positive")
+    result = run_campaign(
+        seed=args.seed,
+        runs=args.runs,
+        max_size=args.max_size,
+        families=families,
+        artifacts_dir=args.artifacts,
+        inject=args.inject,
+        log=lambda message: print(message, file=out),
+    )
+    executed = result.executed
+    print(
+        f"fuzz: {executed} case(s) across {len(families)} famil"
+        f"{'y' if len(families) == 1 else 'ies'}, seed {args.seed}: "
+        + (
+            "all passed"
+            if result.passed
+            else f"{len(result.failures)} failure(s)"
+        )
+        + (f" ({result.skipped} skipped)" if result.skipped else ""),
+        file=out,
+    )
+    for failure in result.failures:
+        print(
+            f"  {failure.family} run {failure.run}: "
+            f"replay with `privanalyzer fuzz --replay {failure.repro_path}`",
+            file=out,
+        )
+    return 0 if result.passed else 1
+
+
 def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
     # One analyzer for the whole table: its query cache carries verdicts
     # across programs that share (privileges, uids, gids, surface) tuples.
@@ -537,6 +644,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_rosa(args, out, telemetry)
         if args.command == "diff":
             return _cmd_diff(args, out)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args, out)
         if args.command == "table3":
             return _cmd_table(
                 args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry

@@ -242,7 +242,38 @@ class RunLedger:
         manifest_path = root / MANIFEST_FILE
         if not manifest_path.exists():
             raise FileNotFoundError(f"{root} is not a run ledger (no {MANIFEST_FILE})")
-        manifest = json.loads(manifest_path.read_text())
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as error:
+            raise ValueError(f"corrupt {MANIFEST_FILE}: {error}") from error
+        if not isinstance(manifest, dict):
+            raise ValueError(
+                f"corrupt {MANIFEST_FILE}: expected a JSON object, got "
+                f"{type(manifest).__name__}"
+            )
+        schema = manifest.get("schema")
+        if not isinstance(schema, int) or isinstance(schema, bool) or schema < 1:
+            raise ValueError(
+                f"{MANIFEST_FILE} has invalid schema version {schema!r} "
+                f"(this tool writes version {LEDGER_SCHEMA_VERSION})"
+            )
+        if schema > LEDGER_SCHEMA_VERSION:
+            raise ValueError(
+                f"ledger schema version {schema} is newer than this tool "
+                f"understands (max {LEDGER_SCHEMA_VERSION}) — upgrade the "
+                f"tool or recapture the run"
+            )
+        listed = manifest.get("files", [])
+        if not isinstance(listed, list):
+            raise ValueError(f"{MANIFEST_FILE} 'files' must be a list, got {listed!r}")
+        missing = sorted(
+            str(name) for name in listed if not (root / str(name)).exists()
+        )
+        if missing:
+            raise ValueError(
+                f"ledger is missing artifact file(s) the manifest lists: "
+                f"{', '.join(missing)} — recapture the run with --ledger"
+            )
 
         def optional_json(name: str):
             path = root / name

@@ -24,7 +24,7 @@ from repro.programs.common import ProgramSpec
 from repro.rewriting import SearchBudget
 from repro.rosa.engine import QueryCache, QueryEngine, QueryRequest
 from repro.rosa.query import Verdict
-from repro.vm import Interpreter
+from repro.vm import interpreter_class
 
 #: The privsep study's search budget: one place to tighten it uniformly
 #: across ``combined_exposure`` and ``exposure_table`` callers.
@@ -113,7 +113,7 @@ def analyze_multiprocess(spec: ProgramSpec) -> MultiProcessAnalysis:
 
     kernel = build_kernel(refactored_ownership=spec.refactored_fs)
     process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
-    vm = Interpreter(
+    vm = interpreter_class()(
         module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin)
     )
     vm.env.update(

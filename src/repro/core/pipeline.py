@@ -36,7 +36,7 @@ from repro.rewriting import SearchBudget
 from repro.rosa.engine import ParallelPolicy, QueryCache, QueryEngine, QueryRequest
 from repro.rosa.query import RosaReport, Verdict
 from repro.telemetry import Telemetry
-from repro.vm import Interpreter
+from repro.vm import interpreter_class
 
 logger = logging.getLogger("repro.pipeline")
 
@@ -218,7 +218,7 @@ class PrivAnalyzer:
             if self.telemetry.audit is not None:
                 kernel.enable_audit(self.telemetry.audit)
             process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
-            vm = Interpreter(
+            vm = interpreter_class()(
                 module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin),
                 metrics=self.telemetry.metrics,
             )

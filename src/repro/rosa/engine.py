@@ -397,6 +397,7 @@ class QueryEngine:
         telemetry=None,
         progress=None,
         progress_interval: int = PROGRESS_INTERVAL,
+        checker=None,
     ) -> None:
         from repro.telemetry import Telemetry
 
@@ -405,6 +406,12 @@ class QueryEngine:
         self.cache = cache
         self.parallel = parallel or ParallelPolicy()
         self.telemetry = telemetry or Telemetry.disabled()
+        #: The search implementation behind every serial check; defaults
+        #: to :func:`repro.rosa.query.check`.  The conformance testkit
+        #: swaps in instrumented or reference checkers here to prove the
+        #: cache and the pools never change an answer (process-pool
+        #: workers always run the stock checker — closures do not pickle).
+        self.checker = checker or check
         #: Live-search observability: every serially executed search
         #: forwards periodic :class:`~repro.rewriting.ProgressSample`
         #: readings here (pool workers search unobserved — samples do
@@ -444,7 +451,7 @@ class QueryEngine:
         self, query: RosaQuery, budget: SearchBudget, track_states: bool = False
     ) -> RosaReport:
         """One live search with the engine's tracer and progress wiring."""
-        return check(
+        return self.checker(
             query,
             budget,
             track_states=track_states,
@@ -586,7 +593,23 @@ class QueryEngine:
             raise ValueError(f"unknown parallel mode {mode!r}")
         with executor_cls(max_workers=workers) as executor:
             futures = [executor.submit(fn, *args) for fn, *args in submit_args]
-            results = [future.result() for future in futures]
+            try:
+                results = [future.result() for future in futures]
+            except concurrent.futures.process.BrokenProcessPool as error:
+                # A worker died (OOM kill, segfault-equivalent, SIGKILL).
+                # The executor has already torn the pool down; surface a
+                # diagnostic naming the batch instead of the bare broken-
+                # pool error, so the caller knows which searches were in
+                # flight and how to retry them.
+                names = ", ".join(
+                    entries[index].query.name or "?" for index in leaders
+                )
+                raise RuntimeError(
+                    f"ROSA process-pool worker crashed while answering "
+                    f"{len(leaders)} quer{'y' if len(leaders) == 1 else 'ies'} "
+                    f"({names}); no results were lost silently — rerun with "
+                    f"--jobs 1 (serial) to isolate the failing search"
+                ) from error
         reports = []
         for index, result in zip(leaders, results):
             query = entries[index].query

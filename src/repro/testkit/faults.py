@@ -1,0 +1,134 @@
+"""Artificial bug injection.
+
+An oracle that has never caught a bug proves nothing: maybe the code is
+correct, maybe the oracle compares the wrong things.  Each named fault
+here plants a realistic bug in one production component; the test suite
+(and ``privanalyzer fuzz --inject``) then demonstrates that the matching
+oracle family catches it, shrinks the triggering case, and replays it.
+
+Faults are installed with the :func:`install_fault` context manager and
+always fully undone on exit, even on error — the patched objects are
+module/class attributes, never copies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import signal
+from typing import Callable, Dict
+
+#: Registered fault names → installer.  An installer patches production
+#: code and returns a zero-argument undo callable.
+FAULTS: Dict[str, Callable[[], Callable[[], None]]] = {}
+
+
+def fault(name: str):
+    """Register a fault installer under ``name``."""
+
+    def register(installer: Callable[[], Callable[[], None]]):
+        FAULTS[name] = installer
+        return installer
+
+    return register
+
+
+@contextlib.contextmanager
+def install_fault(name: str):
+    """Install the named fault for the duration of the ``with`` block."""
+    if name not in FAULTS:
+        raise ValueError(
+            f"unknown fault {name!r}; known: {', '.join(sorted(FAULTS))}"
+        )
+    undo = FAULTS[name]()
+    try:
+        yield
+    finally:
+        undo()
+
+
+@fault("vm-mul-truncate")
+def _vm_mul_truncate() -> Callable[[], None]:
+    """The dispatch-table VM silently truncates large ``mul`` results.
+
+    Models a narrowing bug in one opcode handler.  Patched at class
+    level *before* interpreter construction, so every new stock
+    ``Interpreter`` binds the buggy handler into its dispatch table; the
+    reference interpreter never consults the handler and stays correct —
+    exactly the disagreement the ``vm`` oracle exists to catch.
+    """
+    from repro.vm.interpreter import _CONTINUE, Interpreter
+
+    original = Interpreter._step_binop
+
+    def buggy_step_binop(self, frame, instruction):
+        if instruction.op == "mul":
+            lhs = self._operand(frame, instruction.operands[0])
+            rhs = self._operand(frame, instruction.operands[1])
+            raw = lhs * rhs
+            if abs(raw) >= 64:
+                raw &= 63
+            frame.values[instruction] = instruction.type.wrap(raw)
+            frame.index += 1
+            return _CONTINUE
+        return original(self, frame, instruction)
+
+    Interpreter._step_binop = buggy_step_binop
+
+    def undo() -> None:
+        Interpreter._step_binop = original
+
+    return undo
+
+
+@fault("cache-verdict-flip")
+def _cache_verdict_flip() -> Callable[[], None]:
+    """The query cache flips every verdict it serves.
+
+    Models a corrupted or mis-keyed cache entry.  Cache-off runs search
+    live and stay correct, so the ``cache`` oracle's on-vs-off comparison
+    catches the first served hit.
+    """
+    from repro.rosa.engine import QueryCache, _CacheEntry
+    from repro.rosa.query import Verdict
+
+    original = QueryCache.get
+    flipped = {
+        Verdict.VULNERABLE.value: Verdict.INVULNERABLE.value,
+        Verdict.INVULNERABLE.value: Verdict.VULNERABLE.value,
+    }
+
+    def buggy_get(self, key):
+        entry = original(self, key)
+        if entry is None:
+            return None
+        outcome = dataclasses.replace(
+            entry.outcome,
+            verdict=flipped.get(entry.outcome.verdict, entry.outcome.verdict),
+        )
+        return _CacheEntry(outcome=outcome, report=None)
+
+    QueryCache.get = buggy_get
+
+    def undo() -> None:
+        QueryCache.get = original
+
+    return undo
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashingSpec:
+    """A picklable query spec whose ``build()`` kills its process.
+
+    Stands in for a worker lost to the OOM killer or a native crash.
+    Submitting it through the engine's process pool must surface the
+    engine's broken-pool diagnostic, not a hang or a bare
+    ``BrokenProcessPool`` — see ``tests/test_worker_crash.py``.
+    """
+
+    label: str = "crash"
+
+    def build(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable: SIGKILL is immediate")

@@ -1,0 +1,194 @@
+"""The fuzz campaign driver behind ``privanalyzer fuzz``.
+
+A campaign runs ``runs`` cases per oracle family, each drawn from a
+per-run :class:`random.Random` seeded with ``"{seed}:{family}:{run}"``
+— so any single run is reproducible without replaying the whole
+campaign, and adding runs never perturbs earlier ones.  A failing case
+is greedily shrunk (re-running the oracle under the same fault
+injection, if any) and written to a **repro file** under
+``artifacts/fuzz/`` that replays in one command::
+
+    privanalyzer fuzz --replay artifacts/fuzz/vm-seed0-run7.json
+
+Repro files carry everything replay needs: the family, the (shrunk)
+case, the injected fault name, and the original seed coordinates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import random
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.testkit.faults import install_fault
+from repro.testkit.oracles import DEFAULT_FAMILIES, OracleResult, family
+from repro.testkit.shrink import case_size, greedy_shrink
+
+#: Bump when the repro file format changes.
+REPRO_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class FailureRecord:
+    """One failing case, after shrinking."""
+
+    family: str
+    seed: int
+    run: int
+    details: str
+    repro_path: Optional[str]
+    original_size: int
+    shrunk_size: int
+    shrink_attempts: int
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything one campaign did."""
+
+    seed: int
+    runs: int
+    families: Sequence[str]
+    executed: int = 0
+    skipped: int = 0
+    failures: List[FailureRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def _run_guarded(family_name: str, case: Dict[str, Any], inject: Optional[str]):
+    """One oracle invocation; crashes count as failures, with the traceback."""
+    oracle = family(family_name)
+    guard = install_fault(inject) if inject else contextlib.nullcontext()
+    try:
+        with guard:
+            return oracle.run(case)
+    except Exception as error:  # noqa: BLE001 - any crash is a finding
+        return OracleResult(
+            family=family_name,
+            ok=False,
+            details=f"oracle crashed: {type(error).__name__}: {error}",
+        )
+
+
+def run_campaign(
+    seed: int,
+    runs: int,
+    max_size: int = 20,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    artifacts_dir: Union[str, Path, None] = "artifacts/fuzz",
+    inject: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+    max_shrink_attempts: int = 200,
+) -> CampaignResult:
+    """Run one seeded campaign; shrink and record every failure."""
+    emit = log or (lambda message: None)
+    result = CampaignResult(seed=seed, runs=runs, families=tuple(families))
+    for family_name in families:
+        oracle = family(family_name)  # fail fast on unknown names
+        failures_before = len(result.failures)
+        for run in range(runs):
+            rng = random.Random(f"{seed}:{family_name}:{run}")
+            case = oracle.generate(rng, max_size)
+            outcome = _run_guarded(family_name, case, inject)
+            result.executed += 1
+            if outcome.skipped:
+                result.skipped += 1
+                continue
+            if outcome.ok:
+                continue
+            emit(f"{family_name}: run {run} FAILED — shrinking…")
+            shrunk, attempts = greedy_shrink(
+                case,
+                lambda candidate: _run_guarded(
+                    family_name, candidate, inject
+                ).failed,
+                oracle.shrink_candidates,
+                max_attempts=max_shrink_attempts,
+            )
+            final = _run_guarded(family_name, shrunk, inject)
+            record = FailureRecord(
+                family=family_name,
+                seed=seed,
+                run=run,
+                details=final.details or outcome.details,
+                repro_path=None,
+                original_size=case_size(case),
+                shrunk_size=case_size(shrunk),
+                shrink_attempts=attempts,
+            )
+            if artifacts_dir is not None:
+                record.repro_path = str(
+                    write_repro(artifacts_dir, record, shrunk, inject)
+                )
+                emit(
+                    f"{family_name}: shrunk {record.original_size} -> "
+                    f"{record.shrunk_size} nodes ({attempts} attempts); "
+                    f"repro: {record.repro_path}"
+                )
+            result.failures.append(record)
+        found = len(result.failures) - failures_before
+        emit(
+            f"{family_name}: {runs} runs, "
+            + ("all passed" if not found else f"{found} failure(s)")
+        )
+    return result
+
+
+# -- repro files --------------------------------------------------------------
+
+
+def write_repro(
+    artifacts_dir: Union[str, Path],
+    record: FailureRecord,
+    case: Dict[str, Any],
+    inject: Optional[str],
+) -> Path:
+    """Write one replayable repro file; returns its path."""
+    root = Path(artifacts_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{record.family}-seed{record.seed}-run{record.run}.json"
+    payload = {
+        "schema": REPRO_SCHEMA_VERSION,
+        "kind": "privanalyzer-fuzz-repro",
+        "family": record.family,
+        "seed": record.seed,
+        "run": record.run,
+        "inject": inject,
+        "details": record.details,
+        "original_size": record.original_size,
+        "shrunk_size": record.shrunk_size,
+        "case": case,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate one repro file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except ValueError as error:
+        raise ValueError(f"corrupt repro file {path}: {error}") from error
+    if not isinstance(data, dict) or data.get("kind") != "privanalyzer-fuzz-repro":
+        raise ValueError(f"{path} is not a privanalyzer fuzz repro file")
+    if data.get("schema") != REPRO_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has repro schema {data.get('schema')!r}, "
+            f"this tool reads version {REPRO_SCHEMA_VERSION}"
+        )
+    for field in ("family", "case"):
+        if field not in data:
+            raise ValueError(f"{path} is missing the {field!r} field")
+    return data
+
+
+def replay_repro(path: Union[str, Path]) -> OracleResult:
+    """Re-run one repro file's case (re-installing its injected fault)."""
+    data = load_repro(path)
+    return _run_guarded(data["family"], data["case"], data.get("inject"))

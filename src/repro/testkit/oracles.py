@@ -1,0 +1,565 @@
+"""The differential oracles and metamorphic properties.
+
+Each **oracle family** bundles three functions under a name:
+
+* ``generate(rng, max_size)`` — draw one JSON case from the seeded
+  generators;
+* ``run(case)`` — build the live inputs, execute the paired
+  implementations (or the base/mutant pair for metamorphic properties),
+  and return an :class:`OracleResult`;
+* ``shrink_candidates(case)`` — propose structurally smaller variants
+  for the greedy shrinker.
+
+Differential families (the default campaign):
+
+* ``cache`` — query-cache **on vs off** (plus a second cache-served
+  pass) must agree search for search;
+* ``pools`` — **serial vs thread vs process** batch execution must
+  agree search for search;
+* ``vm`` — the **dispatch-table VM vs the straight-line reference**
+  evaluator must agree on exit code, stdout, instruction count and the
+  entire final kernel state;
+* ``ledger`` — a run ledger **written, read back and diffed against
+  itself** must be clean.
+
+Metamorphic families (opt-in via ``--oracle``; slower, run whole
+pipelines or searches per case):
+
+* ``priv-remove`` — inserting ``priv_remove`` of a *dead* (not
+  permitted) privilege never flips any attack's vulnerability and never
+  grows any exposure window beyond the inserted instructions;
+* ``monotone`` — removing a capability from the attacker's granted set
+  never turns an invulnerable configuration vulnerable;
+* ``rule-order`` — permuting the rule list preserves the reachable
+  state set whenever the search exhausts within budget.
+
+Comparisons use :func:`report_fingerprint`, which deliberately excludes
+``elapsed`` (wall-clock), ``from_cache`` (provenance, not answer) and
+``compromised_state`` (process-pool workers return the picklable essence
+without the witness configuration; its absence is documented behaviour,
+not a disagreement).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import tempfile
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.testkit import generators, shrink
+
+Case = Dict[str, Any]
+
+
+@dataclasses.dataclass
+class OracleResult:
+    """One oracle invocation's outcome."""
+
+    family: str
+    ok: bool
+    #: True when the property did not apply (e.g. the search timed out,
+    #: so reachable sets are incomparable).  Skips are not failures.
+    skipped: bool = False
+    details: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok and not self.skipped
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleFamily:
+    name: str
+    description: str
+    generate: Callable[[random.Random, int], Case]
+    run: Callable[[Case], OracleResult]
+    shrink_candidates: Callable[[Case], Iterable[Case]]
+
+
+_REGISTRY: Dict[str, OracleFamily] = {}
+
+
+def _register(family: OracleFamily) -> OracleFamily:
+    _REGISTRY[family.name] = family
+    return family
+
+
+def family(name: str) -> OracleFamily:
+    """Look up an oracle family by name."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown oracle family {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[name]
+
+
+def report_fingerprint(report) -> Tuple:
+    """The comparable essence of one :class:`RosaReport`."""
+    return (
+        report.verdict.value,
+        tuple(report.witness),
+        report.states_explored,
+        report.states_seen,
+        report.stats.peak_frontier,
+        report.stats.dedup_hits,
+        report.stats.max_depth,
+    )
+
+
+def _mismatch(family_name: str, label_a: str, a, label_b: str, b) -> OracleResult:
+    return OracleResult(
+        family=family_name,
+        ok=False,
+        details=f"{label_a} != {label_b}:\n  {label_a}: {a!r}\n  {label_b}: {b!r}",
+    )
+
+
+# -- cache: on vs off ---------------------------------------------------------
+
+
+def _run_cache(case: Case) -> OracleResult:
+    from repro.rosa.engine import ParallelPolicy, QueryCache, QueryEngine
+
+    serial = ParallelPolicy(mode="serial")
+    off = QueryEngine(cache=None, parallel=serial)
+    on = QueryEngine(cache=QueryCache(), parallel=serial)
+
+    reports_off = off.run_queries(generators.build_batch_requests(case))
+    first = on.run_queries(generators.build_batch_requests(case))
+    served = on.run_queries(generators.build_batch_requests(case))
+    if on.cache.hits == 0:
+        return OracleResult(
+            "cache", ok=False, details="second pass produced no cache hits"
+        )
+    for index, (a, b, c) in enumerate(zip(reports_off, first, served)):
+        fa, fb, fc = (report_fingerprint(r) for r in (a, b, c))
+        if fa != fb:
+            return _mismatch("cache", f"off[{index}]", fa, f"on-first[{index}]", fb)
+        if fa != fc:
+            return _mismatch("cache", f"off[{index}]", fa, f"on-cached[{index}]", fc)
+    return OracleResult("cache", ok=True)
+
+
+def _shrink_batch(case: Case) -> Iterable[Case]:
+    yield from shrink.shrunk_lists(case, "queries")
+    for index, query_case in enumerate(case.get("queries", [])):
+        for key in ("caps", "surface"):
+            for variant_query in shrink.shrunk_lists(query_case, key):
+                variant = dict(case)
+                queries = list(case["queries"])
+                queries[index] = variant_query
+                variant["queries"] = queries
+                yield variant
+
+
+_register(
+    OracleFamily(
+        name="cache",
+        description="query cache on vs off (plus a cache-served pass)",
+        generate=generators.gen_batch_case,
+        run=_run_cache,
+        shrink_candidates=_shrink_batch,
+    )
+)
+
+
+# -- pools: serial vs thread vs process ---------------------------------------
+
+
+def _run_pools(case: Case) -> OracleResult:
+    from repro.rosa.engine import ParallelPolicy, QueryEngine
+
+    sides = {}
+    for mode in ("serial", "thread", "process"):
+        engine = QueryEngine(cache=None, parallel=ParallelPolicy(mode=mode))
+        reports = engine.run_queries(generators.build_batch_requests(case))
+        sides[mode] = [report_fingerprint(report) for report in reports]
+    for mode in ("thread", "process"):
+        for index, (a, b) in enumerate(zip(sides["serial"], sides[mode])):
+            if a != b:
+                return _mismatch(
+                    "pools", f"serial[{index}]", a, f"{mode}[{index}]", b
+                )
+    return OracleResult("pools", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="pools",
+        description="serial vs thread vs process batch execution",
+        generate=generators.gen_batch_case,
+        run=_run_pools,
+        shrink_candidates=_shrink_batch,
+    )
+)
+
+
+# -- vm: dispatch table vs straight-line reference ----------------------------
+
+
+def _fs_listing(fs) -> Tuple:
+    def walk(ino: int, path: str, acc: List) -> None:
+        node = fs.inode(ino)
+        acc.append((path or "/", node.kind, node.owner, node.group, node.mode,
+                    node.content))
+        if node.entries:
+            for name in sorted(node.entries):
+                walk(node.entries[name], f"{path}/{name}", acc)
+
+    listing: List = []
+    walk(fs.root_ino, "", listing)
+    return tuple(listing)
+
+
+def kernel_fingerprint(kernel) -> Tuple:
+    """The comparable essence of one simulated machine's final state."""
+    processes = tuple(
+        (
+            pid,
+            proc.state,
+            (proc.creds.ruid, proc.creds.euid, proc.creds.suid),
+            (proc.creds.rgid, proc.creds.egid, proc.creds.sgid),
+            tuple(sorted(proc.creds.supplementary)),
+            proc.caps.effective.describe(),
+            proc.caps.permitted.describe(),
+            tuple(sorted(proc.fds)),
+            proc.exit_signal,
+        )
+        for pid, proc in sorted(kernel.processes.items())
+    )
+    return (
+        processes,
+        tuple(sorted(kernel.bound_ports.items())),
+        tuple(kernel.devmem_reads),
+        tuple(kernel.devmem_writes),
+        _fs_listing(kernel.fs),
+    )
+
+
+def _execute_program(case: Case, interpreter_cls) -> Tuple:
+    from repro.caps import CapabilitySet
+    from repro.frontend import compile_source
+    from repro.oskernel.setup import build_kernel
+    from repro.vm.interpreter import VMError
+
+    module = compile_source(generators.render_program(case), "fuzzcase")
+    kernel = build_kernel()
+    process = kernel.spawn(
+        int(case["uid"]), int(case["gid"]),
+        permitted=CapabilitySet(case["permitted"]),
+    )
+    vm = interpreter_cls(module, kernel, process)
+    try:
+        exit_code: Any = vm.run()
+    except VMError as error:
+        exit_code = ("vmerror", str(error))
+    return (
+        exit_code,
+        tuple(vm.stdout),
+        vm.executed_instructions,
+        kernel_fingerprint(kernel),
+    )
+
+
+_VM_SIDE_LABELS = ("exit", "stdout", "instructions", "kernel")
+
+
+def _run_vm(case: Case) -> OracleResult:
+    from repro.testkit.reference import ReferenceInterpreter
+    from repro.vm.interpreter import Interpreter
+
+    production = _execute_program(case, Interpreter)
+    reference = _execute_program(case, ReferenceInterpreter)
+    for label, a, b in zip(_VM_SIDE_LABELS, production, reference):
+        if a != b:
+            return _mismatch("vm", f"vm.{label}", a, f"reference.{label}", b)
+    return OracleResult("vm", ok=True)
+
+
+def _flatten_compounds(body: List) -> Iterable[List]:
+    """Variants replacing one if/loop with its (flattened) sub-statements."""
+    for index, stmt in enumerate(body):
+        if stmt[0] == "loop":
+            yield body[:index] + list(stmt[2]) + body[index + 1 :]
+        elif stmt[0] == "if":
+            yield body[:index] + list(stmt[2]) + list(stmt[3]) + body[index + 1 :]
+
+
+def _shrink_program(case: Case) -> Iterable[Case]:
+    body = case.get("body", [])
+    for smaller in shrink.drop_chunks(list(body)):
+        variant = dict(case)
+        variant["body"] = smaller
+        yield variant
+    for flattened in _flatten_compounds(list(body)):
+        variant = dict(case)
+        variant["body"] = flattened
+        yield variant
+    yield from shrink.shrunk_lists(case, "permitted")
+
+
+_register(
+    OracleFamily(
+        name="vm",
+        description="dispatch-table VM vs straight-line reference evaluator",
+        generate=generators.gen_program_case,
+        run=_run_vm,
+        shrink_candidates=_shrink_program,
+    )
+)
+
+
+# -- ledger: write -> read -> self-diff ---------------------------------------
+
+
+def _run_ledger(case: Case) -> OracleResult:
+    from repro.core.ledger import RunLedger, capture_rosa, diff_ledgers
+    from repro.rosa.engine import QueryEngine
+    from repro.telemetry import Telemetry
+
+    request = generators.build_query_request(case)
+    telemetry = Telemetry.enabled(audit=True)
+    engine = QueryEngine(cache=None, telemetry=telemetry)
+    report = engine.check(request.query, request.budget)
+    with tempfile.TemporaryDirectory(prefix="fuzz-ledger-") as root:
+        first = capture_rosa(f"{root}/a", report, telemetry, timestamp=0.0)
+        capture_rosa(f"{root}/b", report, telemetry, timestamp=0.0)
+        second = RunLedger.load(f"{root}/b")
+        diff = diff_ledgers(first, second)
+        if not diff.clean:
+            return OracleResult(
+                "ledger", ok=False,
+                details="self-diff not clean:\n" + diff.render(),
+            )
+        if first.manifest != second.manifest:
+            return _mismatch(
+                "ledger", "manifest-a", first.manifest, "manifest-b", second.manifest
+            )
+    return OracleResult("ledger", ok=True)
+
+
+def _shrink_query(case: Case) -> Iterable[Case]:
+    for key in ("caps", "surface"):
+        yield from shrink.shrunk_lists(case, key)
+    if case.get("repeat", 1) != 1:
+        variant = dict(case)
+        variant["repeat"] = 1
+        yield variant
+
+
+_register(
+    OracleFamily(
+        name="ledger",
+        description="run ledger write -> read -> self-diff must be clean",
+        generate=generators.gen_query_case,
+        run=_run_ledger,
+        shrink_candidates=_shrink_query,
+    )
+)
+
+
+# -- priv-remove: dead-privilege insertion is inert ---------------------------
+
+
+def _analyze_case(case: Case, name: str):
+    from repro.core.pipeline import PrivAnalyzer
+    from repro.rewriting import SearchBudget
+
+    analyzer = PrivAnalyzer(budget=SearchBudget(max_states=20_000, max_seconds=10.0))
+    return analyzer.analyze(generators.build_program_spec(case, name=name))
+
+
+def _vulnerable_instructions(analysis, attack_id: int) -> int:
+    return sum(
+        phase.phase.instruction_count
+        for phase in analysis.phases
+        if phase.vulnerable_to(attack_id)
+    )
+
+
+def _run_priv_remove(case: Case) -> OracleResult:
+    from repro.core.attacks import ALL_ATTACKS
+
+    dead = [
+        cap for cap in generators.CAP_POOL if cap not in case.get("permitted", [])
+    ]
+    if not dead:
+        return OracleResult("priv-remove", ok=True, skipped=True,
+                            details="no dead capability available")
+    mutant = dict(case)
+    mutant["body"] = [["priv", "remove", dead[0]]] + list(case.get("body", []))
+
+    base = _analyze_case(case, "fuzz-base")
+    variant = _analyze_case(mutant, "fuzz-mutant")
+    delta = variant.chrono.total - base.chrono.total
+    if delta < 0:
+        return _mismatch(
+            "priv-remove", "base.total", base.chrono.total,
+            "mutant.total", variant.chrono.total,
+        )
+    for attack in ALL_ATTACKS:
+        before = _vulnerable_instructions(base, attack.attack_id)
+        after = _vulnerable_instructions(variant, attack.attack_id)
+        if (before > 0) != (after > 0):
+            return _mismatch(
+                "priv-remove",
+                f"attack{attack.attack_id}.vulnerable(base)", before > 0,
+                f"attack{attack.attack_id}.vulnerable(mutant)", after > 0,
+            )
+        if after > before + delta:
+            return _mismatch(
+                "priv-remove",
+                f"attack{attack.attack_id}.window(base)+delta", before + delta,
+                f"attack{attack.attack_id}.window(mutant)", after,
+            )
+    return OracleResult("priv-remove", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="priv-remove",
+        description="inserting priv_remove of a dead privilege is inert",
+        generate=generators.gen_program_case,
+        run=_run_priv_remove,
+        shrink_candidates=_shrink_program,
+    )
+)
+
+
+# -- monotone: fewer attacker privileges never increase exposure --------------
+
+
+def _gen_monotone_case(rng: random.Random, max_size: int = 20) -> Case:
+    case = generators.gen_query_case(rng, max_size)
+    if not case["caps"]:
+        # The property shrinks the granted set; an empty set would skip.
+        case["caps"] = [rng.choice(generators.CAP_POOL)]
+    return case
+
+
+def _run_monotone(case: Case) -> OracleResult:
+    from repro.rosa.query import Verdict, check
+
+    if not case.get("caps"):
+        return OracleResult("monotone", ok=True, skipped=True,
+                            details="empty capability set has nothing to shrink")
+    base_request = generators.build_query_request(case)
+    base = check(base_request.query, base_request.budget)
+    if base.verdict is Verdict.TIMEOUT:
+        return OracleResult("monotone", ok=True, skipped=True,
+                            details="base search exceeded budget")
+    for removed in case["caps"]:
+        smaller_case = dict(case)
+        smaller_case["caps"] = [cap for cap in case["caps"] if cap != removed]
+        request = generators.build_query_request(smaller_case)
+        smaller = check(request.query, request.budget)
+        if smaller.verdict is Verdict.TIMEOUT:
+            continue
+        if (
+            smaller.verdict is Verdict.VULNERABLE
+            and base.verdict is not Verdict.VULNERABLE
+        ):
+            return _mismatch(
+                "monotone",
+                f"verdict(without {removed})", smaller.verdict.value,
+                "verdict(full set)", base.verdict.value,
+            )
+    return OracleResult("monotone", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="monotone",
+        description="shrinking the granted capability set never adds exposure",
+        generate=_gen_monotone_case,
+        run=_run_monotone,
+        shrink_candidates=_shrink_query,
+    )
+)
+
+
+# -- rule-order: permuting rules preserves the reachable set ------------------
+
+
+def _reachable_keys(system, initial, max_states: int) -> Optional[set]:
+    """Exhaustive reachable-key collection; None when truncated.
+
+    Only *exhausted* explorations are comparable: under a budget, two
+    rule orders legitimately truncate at different frontiers.
+    """
+    seen = {initial.key}
+    frontier = [initial]
+    while frontier:
+        config = frontier.pop()
+        for _label, successor in system.successors(config):
+            key = successor.key
+            if key not in seen:
+                if len(seen) >= max_states:
+                    return None
+                seen.add(key)
+                frontier.append(successor)
+    return seen
+
+
+def _gen_rule_order_case(rng: random.Random, max_size: int = 20) -> Case:
+    case = generators.gen_config_case(rng, max_size)
+    case["perm_seed"] = rng.randrange(1 << 30)
+    return case
+
+
+def _run_rule_order(case: Case) -> OracleResult:
+    from repro.rewriting import ObjectSystem
+    from repro.rosa.rules import unix_rules
+
+    initial = generators.build_configuration(case)
+    max_states = int(case.get("max_states", 30_000))
+    rules = list(unix_rules())
+    base = _reachable_keys(ObjectSystem("UNIX", rules), initial, max_states)
+    if base is None:
+        return OracleResult("rule-order", ok=True, skipped=True,
+                            details="exploration truncated by budget")
+    permuted_rules = list(rules)
+    random.Random(case.get("perm_seed", 0)).shuffle(permuted_rules)
+    permuted = _reachable_keys(
+        ObjectSystem("UNIX-permuted", permuted_rules), initial, max_states
+    )
+    if permuted is None:
+        return OracleResult("rule-order", ok=True, skipped=True,
+                            details="permuted exploration truncated by budget")
+    if base != permuted:
+        only_base = len(base - permuted)
+        only_permuted = len(permuted - base)
+        return OracleResult(
+            "rule-order", ok=False,
+            details=(
+                f"reachable sets differ: {len(base)} vs {len(permuted)} states "
+                f"({only_base} only in rule order A, {only_permuted} only in B)"
+            ),
+        )
+    return OracleResult("rule-order", ok=True)
+
+
+def _shrink_config(case: Case) -> Iterable[Case]:
+    for key in ("messages", "files", "dirs", "users", "groups", "ports", "caps"):
+        yield from shrink.shrunk_lists(case, key)
+
+
+_register(
+    OracleFamily(
+        name="rule-order",
+        description="rule permutation preserves the reachable state set",
+        generate=_gen_rule_order_case,
+        run=_run_rule_order,
+        shrink_candidates=_shrink_config,
+    )
+)
+
+
+#: Family names, in registration order.
+ALL_FAMILIES: Tuple[str, ...] = tuple(_REGISTRY)
+
+#: The fast differential families ``privanalyzer fuzz`` runs by default;
+#: the metamorphic properties run whole pipelines or reachability
+#: explorations per case and are opt-in via ``--oracle``.
+DEFAULT_FAMILIES: Tuple[str, ...] = ("cache", "pools", "vm", "ledger")

@@ -1,0 +1,98 @@
+"""The greedy case shrinker.
+
+Classic delta-debugging, specialised to the testkit's JSON cases: each
+oracle family exposes a ``shrink_candidates(case)`` function proposing
+strictly-smaller variants of a failing case (drop a statement, drop a
+query, empty a capability set…), and :func:`greedy_shrink` repeatedly
+takes the first variant that still fails until no proposal does.
+
+The shrinker is deliberately simple — first-fit greedy, no backtracking
+— because generated cases are small (tens of nodes) and the oracles are
+the expensive part.  ``max_attempts`` bounds total oracle invocations so
+a pathological case cannot stall a campaign.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+
+def case_size(case: Any) -> int:
+    """A structural size measure: total nodes in the JSON tree.
+
+    Only used to order candidates and to report shrink progress; any
+    monotone measure works.
+    """
+    if isinstance(case, dict):
+        return 1 + sum(case_size(value) for value in case.values())
+    if isinstance(case, (list, tuple)):
+        return 1 + sum(case_size(value) for value in case)
+    return 1
+
+
+def greedy_shrink(
+    case: Dict[str, Any],
+    still_fails: Callable[[Dict[str, Any]], bool],
+    candidates: Callable[[Dict[str, Any]], Iterable[Dict[str, Any]]],
+    max_attempts: int = 400,
+) -> Tuple[Dict[str, Any], int]:
+    """Shrink ``case`` while ``still_fails`` holds.
+
+    ``candidates`` proposes smaller variants (need not guarantee they
+    fail); ``still_fails`` re-runs the oracle.  Returns the smallest
+    failing case found and the number of oracle invocations spent.
+    Oracle exceptions count as "still fails": a candidate that crashes
+    the oracle outright reproduces the problem too.
+    """
+    current = copy.deepcopy(case)
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        proposals = sorted(candidates(current), key=case_size)
+        for proposal in proposals:
+            if attempts >= max_attempts:
+                break
+            if case_size(proposal) >= case_size(current):
+                continue
+            attempts += 1
+            try:
+                failing = still_fails(proposal)
+            except Exception:
+                failing = True
+            if failing:
+                current = copy.deepcopy(proposal)
+                improved = True
+                break
+    return current, attempts
+
+
+# -- generic candidate builders ------------------------------------------------
+
+
+def drop_one(items: list) -> Iterable[list]:
+    """Every list obtained by removing one element (longest-prefix first)."""
+    for index in reversed(range(len(items))):
+        yield items[:index] + items[index + 1 :]
+
+
+def drop_chunks(items: list) -> Iterable[list]:
+    """Halves first (fast progress on big lists), then single drops."""
+    length = len(items)
+    if length > 3:
+        half = length // 2
+        yield items[:half]
+        yield items[half:]
+    yield from drop_one(items)
+
+
+def shrunk_lists(case: Dict[str, Any], key: str) -> Iterable[Dict[str, Any]]:
+    """Variants of ``case`` with ``case[key]`` shrunk one step."""
+    items = case.get(key) or []
+    if not isinstance(items, list) or not items:
+        return
+    for smaller in drop_chunks(items):
+        variant = copy.deepcopy(case)
+        variant[key] = copy.deepcopy(smaller)
+        yield variant

@@ -6,7 +6,13 @@ provides exact per-instruction accounting and the intrinsic surface
 """
 
 from repro.vm.frame import Frame, GlobalSlot, StackSlot
-from repro.vm.interpreter import Interpreter, ProgramExit, VMError
+from repro.vm.interpreter import (
+    Interpreter,
+    ProgramExit,
+    VMError,
+    interpreter_class,
+    set_interpreter_class,
+)
 from repro.vm.intrinsics import default_intrinsics
 
 __all__ = [
@@ -17,4 +23,6 @@ __all__ = [
     "StackSlot",
     "VMError",
     "default_intrinsics",
+    "interpreter_class",
+    "set_interpreter_class",
 ]

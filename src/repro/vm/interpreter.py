@@ -62,6 +62,32 @@ _CONTINUE = object()
 _MISSING = object()
 
 
+#: The interpreter class the pipeline instantiates; ``None`` means the
+#: stock dispatch-table :class:`Interpreter`.  See :func:`interpreter_class`.
+_INTERPRETER_CLASS: Optional[type] = None
+
+
+def interpreter_class() -> type:
+    """The class the pipeline uses to execute programs.
+
+    Defaults to :class:`Interpreter` (the dispatch-table VM).  The
+    conformance testkit swaps in its straight-line reference interpreter
+    with :func:`set_interpreter_class` to run whole differential
+    pipelines; embedders can install instrumented subclasses the same way.
+    """
+    return _INTERPRETER_CLASS or Interpreter
+
+
+def set_interpreter_class(cls: Optional[type]) -> Optional[type]:
+    """Install ``cls`` as the pipeline's interpreter; returns the previous
+    override (``None`` when the stock interpreter was active).  Pass
+    ``None`` to restore the default."""
+    global _INTERPRETER_CLASS
+    previous = _INTERPRETER_CLASS
+    _INTERPRETER_CLASS = cls
+    return previous
+
+
 class ProgramExit(Exception):
     """The program called ``exit()`` (or was killed by a signal)."""
 

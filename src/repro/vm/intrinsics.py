@@ -290,13 +290,15 @@ def _spawn_wait(vm, args):
     recorder.
     """
     from repro.ir import FunctionRef
-    from repro.vm.interpreter import Interpreter, ProgramExit
+    from repro.vm.interpreter import ProgramExit
 
     handler, arg = args[0], args[1] if len(args) > 1 else 0
     if not isinstance(handler, FunctionRef):
         return -EINVAL
     child_process = vm.kernel.sys_fork(vm.process.pid)
-    child_vm = Interpreter(vm.module, vm.kernel, child_process, argv=vm.argv)
+    # fork(2) clones the parent's execution engine: a reference or
+    # instrumented interpreter subclass spawns children of its own kind.
+    child_vm = type(vm)(vm.module, vm.kernel, child_process, argv=vm.argv)
     child_vm.env = vm.env  # share the workload queues
     # fork(2) copies the address space: globals carry their current
     # values into the child, then diverge.

@@ -1,0 +1,120 @@
+"""``privanalyzer diff`` negative paths: damaged ledgers must produce a
+clear one-line error (SystemExit), never a traceback."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    MANIFEST_FILE,
+    RunLedger,
+    capture_rosa,
+)
+from repro.rosa.engine import QueryEngine
+from repro.telemetry import Telemetry
+from repro.testkit import generators
+
+
+@pytest.fixture()
+def ledger_pair(tmp_path):
+    """Two healthy, identical ledgers (self-diff clean)."""
+    import random
+
+    case = generators.gen_query_case(random.Random("diff-negative"), 10)
+    request = generators.build_query_request(case)
+    telemetry = Telemetry.enabled(audit=True)
+    report = QueryEngine(cache=None, telemetry=telemetry).check(
+        request.query, request.budget
+    )
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    capture_rosa(old, report, telemetry, timestamp=0.0)
+    capture_rosa(new, report, telemetry, timestamp=0.0)
+    return old, new
+
+
+def manifest_of(root) -> dict:
+    return json.loads((root / MANIFEST_FILE).read_text())
+
+
+def rewrite_manifest(root, data) -> None:
+    (root / MANIFEST_FILE).write_text(json.dumps(data))
+
+
+class TestHealthyBaseline:
+    def test_self_diff_is_clean(self, ledger_pair, capsys):
+        old, new = ledger_pair
+        assert main(["diff", str(old), str(new)]) == 0
+        assert "ledgers match" in capsys.readouterr().out
+
+
+class TestCorruptManifest:
+    def test_manifest_not_json(self, ledger_pair):
+        old, new = ledger_pair
+        (new / MANIFEST_FILE).write_text("{definitely not json")
+        with pytest.raises(SystemExit) as failure:
+            main(["diff", str(old), str(new)])
+        message = str(failure.value)
+        assert "privanalyzer:" in message
+        assert "corrupt" in message
+
+    def test_manifest_not_an_object(self, ledger_pair):
+        old, new = ledger_pair
+        (new / MANIFEST_FILE).write_text(json.dumps(["a", "list"]))
+        with pytest.raises(SystemExit, match="corrupt"):
+            main(["diff", str(old), str(new)])
+
+
+class TestSchemaVersion:
+    def test_missing_schema_version(self, ledger_pair):
+        old, new = ledger_pair
+        manifest = manifest_of(new)
+        del manifest["schema"]
+        rewrite_manifest(new, manifest)
+        with pytest.raises(SystemExit, match="schema version"):
+            main(["diff", str(old), str(new)])
+
+    def test_non_integer_schema_version(self, ledger_pair):
+        old, new = ledger_pair
+        manifest = manifest_of(new)
+        manifest["schema"] = "one"
+        rewrite_manifest(new, manifest)
+        with pytest.raises(SystemExit, match="schema version"):
+            main(["diff", str(old), str(new)])
+
+    def test_newer_schema_version_is_rejected_with_guidance(self, ledger_pair):
+        old, new = ledger_pair
+        manifest = manifest_of(new)
+        manifest["schema"] = LEDGER_SCHEMA_VERSION + 1
+        rewrite_manifest(new, manifest)
+        with pytest.raises(SystemExit) as failure:
+            main(["diff", str(old), str(new)])
+        assert "newer than this tool" in str(failure.value)
+
+
+class TestMissingArtifacts:
+    def test_missing_listed_file(self, ledger_pair):
+        old, new = ledger_pair
+        listed = manifest_of(new)["files"]
+        assert listed, "capture should list artifact files"
+        (new / listed[0]).unlink()
+        with pytest.raises(SystemExit) as failure:
+            main(["diff", str(old), str(new)])
+        message = str(failure.value)
+        assert "missing artifact" in message
+        assert listed[0] in message
+
+    def test_nonexistent_directory(self, ledger_pair, tmp_path):
+        old, _new = ledger_pair
+        with pytest.raises(SystemExit, match="not a run ledger"):
+            main(["diff", str(old), str(tmp_path / "nowhere")])
+
+
+class TestLoaderDirectly:
+    def test_load_errors_are_value_errors_not_tracebacks(self, ledger_pair):
+        _old, new = ledger_pair
+        (new / MANIFEST_FILE).write_text("[1,")
+        with pytest.raises(ValueError):
+            RunLedger.load(new)

@@ -1,5 +1,6 @@
 """The run ledger: capture, load, structural diff, and the CLI gate."""
 
+import dataclasses
 import io
 import json
 
@@ -200,12 +201,24 @@ class TestDiff:
         )
 
     def test_schema_mismatch_refuses_comparison(self, captured):
+        # ``load`` rejects schemas newer than the tool outright, so the
+        # mismatched ledger is built directly: diff must still refuse
+        # the comparison whenever the versions differ.
         old, new = captured
-        alien = reload_with(
-            new, "manifest.json", lambda data: data.__setitem__("schema", 99)
+        alien = dataclasses.replace(
+            new, manifest={**new.manifest, "schema": 99}
         )
         diff = diff_ledgers(old, alien)
         assert [f.kind for f in diff.regressions] == ["manifest"]
+
+    def test_newer_schema_refused_at_load(self, captured):
+        _old, new = captured
+        with pytest.raises(ValueError, match="newer than this tool"):
+            reload_with(
+                new,
+                "manifest.json",
+                lambda data: data.__setitem__("schema", 99),
+            )
 
     def test_program_mismatch_is_a_regression(self, captured):
         old, new = captured
