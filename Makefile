@@ -56,7 +56,8 @@ ledger-smoke:
 		--perf-tolerance 3.0
 
 # Conformance fuzz smoke (CI gate, ~30s): a fixed-seed campaign over the
-# four differential oracle families plus the marker-gated pytest suite.
+# five differential oracle families (including reduction-parity) plus the
+# marker-gated pytest suite.
 # See docs/TESTING.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro.cli fuzz --seed 0 --runs 25

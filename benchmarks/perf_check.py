@@ -1,4 +1,5 @@
-"""``make perf-check``: the query cache must never cost wall-clock.
+"""``make perf-check``: the query cache must never cost wall-clock,
+and state-space reduction must never cost states or flip a verdict.
 
 Runs the full passwd pipeline with a cold engine and then with a warm
 one (same analyzer, cache primed by the first run) and asserts the warm
@@ -7,6 +8,13 @@ is a few milliseconds of a VM-dominated pipeline and the two runs are
 near-identical by construction.  Also asserts the cache actually engaged
 (passwd's 20 phase×attack queries hit 17 distinct keys, so the second
 run must be answered entirely from cache).
+
+Then gates the symmetry + partial-order reduction: every passwd and
+thttpd (repeat 2) phase×attack query is searched with reduction off and
+on, and the gate fails if any verdict or witness-existence differs, if
+any exhaustive reduced search saw more states than its raw twin, or if
+the thttpd batch — the search-dominated workload — did not see strictly
+fewer states in aggregate.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core import PrivAnalyzer  # noqa: E402
 from repro.programs import spec_by_name  # noqa: E402
+from repro.rosa.query import Verdict, check  # noqa: E402
+
+from perf_snapshot import BUDGET, phase_queries  # noqa: E402
 
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
 #: Allowed warm/cold ratio: >1.0 absorbs scheduler noise on a pipeline
@@ -63,8 +74,60 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    if check_reduction() != 0:
+        return 1
     print("perf-check ok")
     return 0
+
+
+def check_reduction() -> int:
+    """Reduced and raw searches must agree; reduction must not cost states."""
+    failures = 0
+    for program, repeat, require_strict in (("passwd", 1, False), ("thttpd", 2, True)):
+        raw_states = reduced_states = 0
+        for query, _spec in phase_queries(program, repeat=repeat):
+            raw = check(query, BUDGET, reduction=False)
+            reduced = check(query, BUDGET, reduction=True)
+            if raw.verdict is not reduced.verdict:
+                print(
+                    f"perf-check FAILED: {query.name} verdict flips under "
+                    f"reduction ({raw.verdict.value} -> {reduced.verdict.value})",
+                    file=sys.stderr,
+                )
+                failures += 1
+            elif bool(raw.witness) != bool(reduced.witness):
+                print(
+                    f"perf-check FAILED: {query.name} witness existence differs "
+                    "under reduction",
+                    file=sys.stderr,
+                )
+                failures += 1
+            # Exhaustive searches explore their whole (reduced) space, so
+            # the quotient can never be larger; found-verdict searches stop
+            # early and are excluded from the inequality.
+            if raw.verdict is Verdict.INVULNERABLE:
+                raw_states += raw.states_seen
+                reduced_states += reduced.states_seen
+                if reduced.states_seen > raw.states_seen:
+                    print(
+                        f"perf-check FAILED: {query.name} reduced search saw "
+                        f"{reduced.states_seen} states vs {raw.states_seen} raw",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+        marker = "<" if reduced_states < raw_states else "="
+        print(
+            f"perf-check: {program} (repeat {repeat}) reduction "
+            f"{reduced_states} {marker} {raw_states} states (exhaustive queries)"
+        )
+        if require_strict and reduced_states >= raw_states:
+            print(
+                f"perf-check FAILED: {program} reduced search must explore "
+                f"strictly fewer states ({reduced_states} vs {raw_states})",
+                file=sys.stderr,
+            )
+            failures += 1
+    return failures
 
 
 if __name__ == "__main__":

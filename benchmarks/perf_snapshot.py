@@ -80,11 +80,12 @@ def phase_queries(program: str, repeat: int = 1) -> List[Tuple]:
 
 
 def rosa_baseline(pairs) -> Dict:
-    """Pre-engine behaviour: serial checks, no cache, rule indexing off."""
+    """Pre-engine behaviour: serial checks, no cache, rule indexing off,
+    no state-space reduction."""
     brute = ObjectSystem("UNIX", unix_rules(), indexed=False)
     states = 0
     for query, _ in pairs:
-        report = check(dataclasses.replace(query, system=brute), BUDGET)
+        report = check(dataclasses.replace(query, system=brute), BUDGET, reduction=False)
         states += report.states_explored
     return {"queries": len(pairs), "states_explored": states, "cache_hit_rate": 0.0}
 
@@ -93,9 +94,13 @@ def rosa_engine(pairs, engine: QueryEngine) -> Dict:
     reports = engine.run_queries(
         [QueryRequest(query, budget=BUDGET, spec=spec) for query, spec in pairs]
     )
+    live = [r for r in reports if not r.from_cache]
     return {
         "queries": len(pairs),
-        "states_explored": sum(r.states_explored for r in reports if not r.from_cache),
+        "states_explored": sum(r.states_explored for r in live),
+        "states_seen": sum(r.states_seen for r in live),
+        "symmetry_hits": sum(r.stats.symmetry_hits for r in live),
+        "por_pruned": sum(r.stats.por_pruned for r in live),
         "cache_hit_rate": engine.cache.hit_rate if engine.cache else 0.0,
     }
 
@@ -107,9 +112,17 @@ def main() -> None:
     passwd_pairs = phase_queries("passwd")
     entries["passwd_rosa_baseline"] = best_of(lambda: rosa_baseline(passwd_pairs))
     entries["passwd_rosa_engine_cold"] = best_of(
+        lambda: rosa_engine(
+            passwd_pairs,
+            QueryEngine(budget=BUDGET, cache=QueryCache(), reduction=False),
+        )
+    )
+    # The same cold batch with symmetry + partial-order reduction on (the
+    # engine default): states_seen must never exceed the unreduced entry.
+    entries["passwd_rosa_engine_cold_reduced"] = best_of(
         lambda: rosa_engine(passwd_pairs, QueryEngine(budget=BUDGET, cache=QueryCache()))
     )
-    warm_engine = QueryEngine(budget=BUDGET, cache=QueryCache())
+    warm_engine = QueryEngine(budget=BUDGET, cache=QueryCache(), reduction=False)
     rosa_engine(passwd_pairs, warm_engine)  # prime
     entries["passwd_rosa_engine_warm"] = best_of(
         lambda: rosa_engine(passwd_pairs, warm_engine)
@@ -153,9 +166,15 @@ def main() -> None:
         lambda: rosa_baseline(thttpd_pairs)
     )
     entries["thttpd_rosa_repeat2_engine"] = best_of(
+        lambda: rosa_engine(
+            thttpd_pairs,
+            QueryEngine(budget=BUDGET, cache=QueryCache(), reduction=False),
+        )
+    )
+    entries["thttpd_rosa_repeat2_engine_reduced"] = best_of(
         lambda: rosa_engine(thttpd_pairs, QueryEngine(budget=BUDGET, cache=QueryCache()))
     )
-    thttpd_warm = QueryEngine(budget=BUDGET, cache=QueryCache())
+    thttpd_warm = QueryEngine(budget=BUDGET, cache=QueryCache(), reduction=False)
     rosa_engine(thttpd_pairs, thttpd_warm)  # prime
     entries["thttpd_rosa_repeat2_engine_warm"] = best_of(
         lambda: rosa_engine(thttpd_pairs, thttpd_warm)
@@ -222,6 +241,10 @@ def main() -> None:
             "wall_seconds"
         ]
         / entries["thttpd_pipeline_repeat3_warm"]["wall_seconds"],
+        "thttpd_rosa_reduced_vs_baseline": entries["thttpd_rosa_repeat2_baseline"][
+            "wall_seconds"
+        ]
+        / entries["thttpd_rosa_repeat2_engine_reduced"]["wall_seconds"],
     }
     snapshot = {
         "schema": 1,

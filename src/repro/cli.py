@@ -122,6 +122,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="run distinct ROSA searches on a pool of N worker processes "
         "(default: serial, which is fastest at repro-scale budgets)",
     )
+    group.add_argument(
+        "--no-reduction", action="store_true",
+        help="disable symmetry + partial-order state-space reduction; "
+        "searches explore the raw state space (verdicts are identical)",
+    )
 
 
 def _engine_kwargs(args) -> dict:
@@ -131,6 +136,7 @@ def _engine_kwargs(args) -> dict:
     kwargs: dict = {
         "use_query_cache": not getattr(args, "no_query_cache", False),
         "query_cache_path": getattr(args, "query_cache", None),
+        "reduction": not getattr(args, "no_reduction", False),
     }
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
@@ -200,6 +206,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rosa.add_argument(
         "--explain", action="store_true",
         help="narrate the witness step by step when vulnerable",
+    )
+    rosa.add_argument(
+        "--no-reduction", action="store_true",
+        help="search the raw state space without symmetry/partial-order "
+        "reduction (verdicts are identical; states explored may grow)",
     )
     _add_observability_flags(rosa)
     _add_ledger_flag(rosa)
@@ -503,6 +514,7 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
         query, budget, track_states=args.explain, tracer=tracer,
         progress=_progress_from_args(args),
         progress_interval=_progress_interval_from_args(args),
+        reduction=not args.no_reduction,
     )
     _capture_ledger(
         args, telemetry,

@@ -104,6 +104,8 @@ def _report_record(
         "states_seen": report.states_seen,
         "peak_frontier": report.stats.peak_frontier,
         "max_depth": report.stats.max_depth,
+        "symmetry_hits": report.stats.symmetry_hits,
+        "por_pruned": report.stats.por_pruned,
         "elapsed": report.elapsed,
         "from_cache": report.from_cache,
     }
@@ -414,6 +416,20 @@ def _diff_verdicts(old: RunLedger, new: RunLedger, findings: List[DiffFinding]) 
                     f"{' -> '.join(after['witness']) or '(none)'}",
                 )
             )
+        else:
+            # Reduction-stat drift (e.g. one side ran --no-reduction, or
+            # the reduction got stronger/weaker) is worth surfacing but
+            # is never a regression: verdict and witness already matched.
+            for stat in ("symmetry_hits", "por_pruned"):
+                was, now = before.get(stat, 0), after.get(stat, 0)
+                if was != now:
+                    findings.append(
+                        DiffFinding(
+                            "info", "verdict",
+                            f"{label}: {stat} {was} -> {now} "
+                            "(state-space reduction drift)",
+                        )
+                    )
 
 
 def _diff_exposure(

@@ -145,6 +145,7 @@ class PrivAnalyzer:
         parallel: Optional[ParallelPolicy] = None,
         progress=None,
         progress_interval: Optional[int] = None,
+        reduction: bool = True,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -171,6 +172,7 @@ class PrivAnalyzer:
                 parallel=parallel,
                 telemetry=self.telemetry,
                 progress=progress,
+                reduction=reduction,
                 **engine_kwargs,
             )
         self.engine = engine

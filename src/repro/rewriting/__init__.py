@@ -40,6 +40,15 @@ from repro.rewriting.objects import (
     ObjectRule,
     ObjectSystem,
 )
+from repro.rewriting.reduction import (
+    Footprint,
+    ReductionStats,
+    TIE_CAP,
+    canonical_key,
+    footprint,
+    typed_fset,
+    typed_id,
+)
 from repro.rewriting.search import (
     MAX_RETAINED_SAMPLES,
     PROGRESS_INTERVAL,
@@ -57,6 +66,7 @@ __all__ = [
     "Compound",
     "Configuration",
     "Equation",
+    "Footprint",
     "MAX_RETAINED_SAMPLES",
     "MessageRule",
     "Msg",
@@ -66,20 +76,26 @@ __all__ = [
     "ObjectSystem",
     "PROGRESS_INTERVAL",
     "ProgressSample",
+    "ReductionStats",
     "RewriteSystem",
     "SearchBudget",
     "SearchOutcome",
     "SearchResult",
     "SearchStats",
     "Substitution",
+    "TIE_CAP",
     "Term",
     "TermRule",
     "Var",
     "breadth_first_search",
+    "canonical_key",
+    "footprint",
     "match",
     "matched_substitution",
     "search_terms",
     "normalize",
+    "typed_fset",
+    "typed_id",
     "op",
     "replace_at",
     "rewrite_once",

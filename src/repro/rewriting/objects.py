@@ -21,6 +21,25 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    """Bijective 64-bit mixer (splitmix64 finalizer) over an element hash.
+
+    Configuration hashes are *multiset homomorphic*: the hash of a
+    configuration is the wrapped sum of ``_mix(hash(element))`` over its
+    element occurrences, so :meth:`Configuration.add` / ``remove`` /
+    ``update_object`` maintain the hash with O(1) arithmetic instead of
+    rehashing the whole object graph.  Plain summation of raw hashes
+    would cancel catastrophically (e.g. small-int hashes); the mixer
+    spreads each element over the full 64 bits first.
+    """
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
 
 def _canonical_value(value) -> Hashable:
     """A deterministic, hashable key for an attribute value."""
@@ -135,7 +154,7 @@ class Configuration:
     time.
     """
 
-    __slots__ = ("_counts", "_key", "_hash", "_by_oid", "_msg_names")
+    __slots__ = ("_counts", "_ihash", "_key", "_by_oid", "_msg_names")
 
     def __init__(self, elements: Iterable = ()) -> None:
         counts: Dict = {}
@@ -145,21 +164,28 @@ class Configuration:
             counts[element] = counts.get(element, 0) + 1
         self._init_from_counts(counts)
 
-    def _init_from_counts(self, counts: Dict) -> None:
+    def _init_from_counts(self, counts: Dict, ihash: Optional[int] = None) -> None:
         self._counts = counts
-        self._key = tuple(sorted(((elem.key, count) for elem, count in counts.items())))
-        # The hash and the lookup indexes are computed lazily: most
-        # configurations a search constructs are immediately rejected by
-        # the visited set and never enumerated again.
-        self._hash: Optional[int] = None
+        if ihash is None:
+            ihash = 0
+            for element, count in counts.items():
+                ihash = (ihash + count * _mix(element._hash)) & _MASK64
+        self._ihash = ihash
+        # The canonical key and the lookup indexes are computed lazily:
+        # most configurations a search constructs are immediately rejected
+        # by the visited set (via the incremental hash plus a count-map
+        # comparison) and never enumerated again.
+        self._key: Optional[Tuple] = None
         self._by_oid: Optional[Dict[int, Obj]] = None
         self._msg_names: Optional[frozenset] = None
 
     @classmethod
-    def _from_counts(cls, counts: Dict) -> "Configuration":
+    def _from_counts(
+        cls, counts: Dict, ihash: Optional[int] = None
+    ) -> "Configuration":
         """Internal fast constructor from an already-validated count map."""
         config = cls.__new__(cls)
-        config._init_from_counts(counts)
+        config._init_from_counts(counts, ihash)
         return config
 
     def __reduce__(self):
@@ -169,19 +195,27 @@ class Configuration:
 
     @property
     def key(self) -> Hashable:
-        """Canonical hashable key: equal keys mean AC-equal configurations."""
-        return self._key
+        """Canonical hashable key: equal keys mean AC-equal configurations.
+
+        Built on first access — searches that dedup on the configuration
+        itself (incremental hash + count-map equality) never pay for it.
+        """
+        key = self._key
+        if key is None:
+            key = self._key = tuple(
+                sorted((elem.key, count) for elem, count in self._counts.items())
+            )
+        return key
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Configuration) and other._key == self._key
+        if self is other:
+            return True
+        return isinstance(other, Configuration) and other._counts == self._counts
 
     def __hash__(self) -> int:
-        # Cached: the BFS dedup set probes each configuration's hash many
-        # times, and the canonical key is a deep tuple.
-        value = self._hash
-        if value is None:
-            value = self._hash = hash(self._key)
-        return value
+        # The incrementally maintained multiset hash: O(1) here, updated
+        # per functional edit instead of rehashed from the object graph.
+        return self._ihash
 
     # -- iteration -------------------------------------------------------------
 
@@ -238,11 +272,13 @@ class Configuration:
     def add(self, *elements) -> "Configuration":
         """Return a configuration with ``elements`` added."""
         counts = dict(self._counts)
+        ihash = self._ihash
         for element in elements:
             if not isinstance(element, (Obj, Msg)):
                 raise TypeError(f"configuration element must be Obj or Msg: {element!r}")
             counts[element] = counts.get(element, 0) + 1
-        return Configuration._from_counts(counts)
+            ihash = (ihash + _mix(element._hash)) & _MASK64
+        return Configuration._from_counts(counts, ihash)
 
     def remove(self, element) -> "Configuration":
         """Return a configuration with one occurrence of ``element`` removed.
@@ -257,7 +293,8 @@ class Configuration:
             del counts[element]
         else:
             counts[element] = count - 1
-        return Configuration._from_counts(counts)
+        ihash = (self._ihash - _mix(element._hash)) & _MASK64
+        return Configuration._from_counts(counts, ihash)
 
     def update_object(self, new_obj: Obj) -> "Configuration":
         """Replace the object whose oid matches ``new_obj.oid``.
@@ -276,7 +313,8 @@ class Configuration:
         else:  # pragma: no cover - object oids are unique in practice
             counts[old] = count - 1
         counts[new_obj] = counts.get(new_obj, 0) + 1
-        return Configuration._from_counts(counts)
+        ihash = (self._ihash - _mix(old._hash) + _mix(new_obj._hash)) & _MASK64
+        return Configuration._from_counts(counts, ihash)
 
     def consume(self, message: Msg, *updates: Obj) -> "Configuration":
         """Remove one occurrence of ``message`` and apply object updates.

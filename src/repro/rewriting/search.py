@@ -70,6 +70,13 @@ class SearchStats:
     dedup_hits: int = 0
     #: Deepest state expanded (rewrite-path length).
     max_depth: int = 0
+    #: Successor states merged because their symmetry-canonical key was
+    #: already visited under a different raw configuration (only with a
+    #: reduction layer installed; see :mod:`repro.rewriting.reduction`).
+    symmetry_hits: int = 0
+    #: Pending messages deferred at ample states by partial-order
+    #: reduction (only with a reduction layer installed).
+    por_pruned: int = 0
     #: Periodic readings, oldest first (only with a progress callback).
     samples: List[ProgressSample] = dataclasses.field(default_factory=list)
 
@@ -200,17 +207,30 @@ def breadth_first_search(
 
     def sample(depth: int, frontier_size: int) -> None:
         elapsed = clock() - start
+        # budget_used must never divide by zero: a None limit means
+        # unlimited (contributes 0.0), a zero limit means the budget is
+        # already fully consumed (contributes 1.0), and with both limits
+        # unlimited the fraction is simply 0.0.
         budget_used = 0.0
-        if budget.max_states is not None and budget.max_states > 0:
-            budget_used = len(visited) / budget.max_states
-        if budget.max_seconds is not None and budget.max_seconds > 0:
-            budget_used = max(budget_used, elapsed / budget.max_seconds)
+        if budget.max_states is not None:
+            if budget.max_states > 0:
+                budget_used = len(visited) / budget.max_states
+            else:
+                budget_used = 1.0
+        if budget.max_seconds is not None:
+            if budget.max_seconds > 0:
+                budget_used = max(budget_used, elapsed / budget.max_seconds)
+            else:
+                budget_used = 1.0
         reading = ProgressSample(
             states_explored=explored,
             states_seen=len(visited),
             frontier=frontier_size,
             depth=depth,
             elapsed=elapsed,
+            # A monotonic clock can still report zero elapsed time (coarse
+            # clocks, injected test clocks): report a rate of 0.0 rather
+            # than dividing by zero.
             states_per_second=explored / elapsed if elapsed > 0 else 0.0,
             budget_used=min(budget_used, 1.0),
         )

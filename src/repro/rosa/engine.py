@@ -53,7 +53,9 @@ logger = logging.getLogger("repro.rosa.engine")
 
 #: Bump when the cache entry format or the key derivation changes;
 #: persisted caches with another version are discarded, not misread.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: the reduction flag joined the key material and cached
+#: outcomes grew the reduction counters.
+CACHE_SCHEMA_VERSION = 2
 
 
 # -- canonical query keys -----------------------------------------------------
@@ -102,14 +104,20 @@ def budget_identity(budget: SearchBudget) -> Tuple:
 _DEFAULT_SIGNATURE = None
 
 
-def query_cache_key(query: RosaQuery, budget: SearchBudget = DEFAULT_BUDGET) -> str:
+def query_cache_key(
+    query: RosaQuery,
+    budget: SearchBudget = DEFAULT_BUDGET,
+    reduction: bool = True,
+) -> str:
     """The canonical content-hash key of one (query, budget) pair.
 
     Derived from the initial configuration's canonical (AC-equality) key,
-    the goal identity, the rule-system signature and the budget — every
-    input that determines the search's verdict.  The hash is stable
-    across processes and interpreter runs (no ``hash()`` involvement), so
-    it keys the on-disk cache too.
+    the goal identity, the rule-system signature, the budget and the
+    reduction flag — every input that determines the search's verdict
+    *and its cost counters* (reduction never changes the verdict, but
+    sharing entries across the flag would report the wrong state counts).
+    The hash is stable across processes and interpreter runs (no
+    ``hash()`` involvement), so it keys the on-disk cache too.
     """
     if query.system is not None:
         signature = query.system.signature
@@ -125,6 +133,7 @@ def query_cache_key(query: RosaQuery, budget: SearchBudget = DEFAULT_BUDGET) -> 
         query.goal_key if query.goal_key is not None else goal_identity(query.goal),
         signature,
         budget_identity(budget),
+        bool(reduction),
     )
     return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()
 
@@ -151,6 +160,8 @@ class CachedOutcome:
     peak_frontier: int
     dedup_hits: int
     max_depth: int
+    symmetry_hits: int = 0
+    por_pruned: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -166,6 +177,8 @@ class CachedOutcome:
             peak_frontier=int(data.get("peak_frontier", 0)),
             dedup_hits=int(data.get("dedup_hits", 0)),
             max_depth=int(data.get("max_depth", 0)),
+            symmetry_hits=int(data.get("symmetry_hits", 0)),
+            por_pruned=int(data.get("por_pruned", 0)),
         )
 
     @classmethod
@@ -179,6 +192,8 @@ class CachedOutcome:
             peak_frontier=report.stats.peak_frontier,
             dedup_hits=report.stats.dedup_hits,
             max_depth=report.stats.max_depth,
+            symmetry_hits=report.stats.symmetry_hits,
+            por_pruned=report.stats.por_pruned,
         )
 
     def to_report(self, query: RosaQuery) -> RosaReport:
@@ -195,6 +210,8 @@ class CachedOutcome:
                 peak_frontier=self.peak_frontier,
                 dedup_hits=self.dedup_hits,
                 max_depth=self.max_depth,
+                symmetry_hits=self.symmetry_hits,
+                por_pruned=self.por_pruned,
             ),
             from_cache=True,
         )
@@ -374,9 +391,11 @@ class QueryRequest:
     spec: Optional[Any] = None
 
 
-def _run_spec_in_worker(spec, budget: SearchBudget) -> CachedOutcome:
+def _run_spec_in_worker(
+    spec, budget: SearchBudget, reduction: bool = True
+) -> CachedOutcome:
     """Process-pool entry point: rebuild the query, search, return the essence."""
-    report = check(spec.build(), budget, tracer=NULL_TRACER)
+    report = check(spec.build(), budget, tracer=NULL_TRACER, reduction=reduction)
     return CachedOutcome.from_report(report)
 
 
@@ -398,10 +417,15 @@ class QueryEngine:
         progress=None,
         progress_interval: int = PROGRESS_INTERVAL,
         checker=None,
+        reduction: bool = True,
     ) -> None:
         from repro.telemetry import Telemetry
 
         self.budget = budget
+        #: Symmetry + partial-order state-space reduction for every
+        #: search this engine runs (see :mod:`repro.rosa.independence`).
+        #: Verdict-preserving; disable for baselines and differential runs.
+        self.reduction = reduction
         #: ``None`` disables caching entirely (every check searches).
         self.cache = cache
         self.parallel = parallel or ParallelPolicy()
@@ -437,7 +461,7 @@ class QueryEngine:
         metrics = self.telemetry.metrics
         if track_states or self.cache is None:
             return self._checked(query, budget, track_states=track_states)
-        key = query_cache_key(query, budget)
+        key = query_cache_key(query, budget, reduction=self.reduction)
         entry = self.cache.get(key)
         if entry is not None:
             metrics.counter("rosa.cache.hits").inc()
@@ -451,14 +475,23 @@ class QueryEngine:
         self, query: RosaQuery, budget: SearchBudget, track_states: bool = False
     ) -> RosaReport:
         """One live search with the engine's tracer and progress wiring."""
-        return self.checker(
+        report = self.checker(
             query,
             budget,
             track_states=track_states,
             tracer=self.telemetry.tracer,
             progress=self.progress,
             progress_interval=self.progress_interval,
+            reduction=self.reduction,
         )
+        metrics = self.telemetry.metrics
+        if report.stats.symmetry_hits:
+            metrics.counter("rosa.reduction.symmetry_hits").inc(
+                report.stats.symmetry_hits
+            )
+        if report.stats.por_pruned:
+            metrics.counter("rosa.reduction.por_pruned").inc(report.stats.por_pruned)
+        return report
 
     def _served_from_cache(self, query: RosaQuery, entry: _CacheEntry, tracer):
         with tracer.span("rosa.query", query=query.name, cached=True) as span:
@@ -493,7 +526,9 @@ class QueryEngine:
             metrics.counter("rosa.batch.queries").inc(len(entries))
 
         keys = [
-            query_cache_key(request.query, request.budget or self.budget)
+            query_cache_key(
+                request.query, request.budget or self.budget, reduction=self.reduction
+            )
             for request in entries
         ]
         reports: List[Optional[RosaReport]] = [None] * len(entries)
@@ -576,14 +611,21 @@ class QueryEngine:
                 )
             executor_cls = concurrent.futures.ProcessPoolExecutor
             submit_args = [
-                (_run_spec_in_worker, entries[index].spec, budget_for(index))
+                (
+                    _run_spec_in_worker,
+                    entries[index].spec,
+                    budget_for(index),
+                    self.reduction,
+                )
                 for index in leaders
             ]
         elif mode == "thread":
             executor_cls = concurrent.futures.ThreadPoolExecutor
             submit_args = [
                 (
-                    lambda query, budget: check(query, budget, tracer=NULL_TRACER),
+                    lambda query, budget: check(
+                        query, budget, tracer=NULL_TRACER, reduction=self.reduction
+                    ),
                     entries[index].query,
                     budget_for(index),
                 )

@@ -34,6 +34,7 @@ from repro.rewriting import (
     breadth_first_search,
 )
 from repro.rosa.goals import Goal
+from repro.rosa.independence import build_reducer
 from repro.rosa.rules import unix_rules
 from repro.telemetry.tracing import NULL_TRACER, Tracer
 
@@ -130,6 +131,7 @@ def check(
     progress: Optional[Callable[[ProgressSample], None]] = None,
     progress_interval: int = PROGRESS_INTERVAL,
     clock: Callable[[], float] = time.monotonic,
+    reduction: bool = True,
 ) -> RosaReport:
     """Run one bounded model-checking query and classify the outcome.
 
@@ -139,20 +141,44 @@ def check(
     receives periodic :class:`~repro.rewriting.ProgressSample` readings
     so long-running searches (the paper's 5-hour budgets) are observable
     while they run.
+
+    ``reduction`` enables symmetry + partial-order state-space reduction
+    (:mod:`repro.rosa.independence`) when the query is eligible — the
+    goal declares a footprint and the system is the stock UNIX module.
+    Reduction preserves the verdict and witness existence; pass
+    ``reduction=False`` to search the raw state space (baselines,
+    differential testing).
     """
     system = query.system or unix_system()
+    reducer = (
+        build_reducer(query.initial, query.goal, system, budget)
+        if reduction
+        else None
+    )
+    if reducer is not None:
+        successors = reducer.successors
+        canonical = reducer.canonical
+    else:
+        successors = system.successors
+        # Configurations hash incrementally (see rewriting.objects), so
+        # the state itself is its visited-set key — no full-key
+        # materialisation per successor.
+        canonical = lambda config: config  # noqa: E731
     with tracer.span("rosa.query", query=query.name) as span:
         result: SearchResult = breadth_first_search(
             query.initial,
-            system.successors,
+            successors,
             query.goal,
             budget=budget,
-            canonical=lambda config: config.key,
+            canonical=canonical,
             track_states=track_states,
             progress=progress,
             progress_interval=progress_interval,
             clock=clock,
         )
+        if reducer is not None:
+            result.stats.symmetry_hits = reducer.stats.symmetry_hits
+            result.stats.por_pruned = reducer.stats.por_pruned
         if result.outcome is SearchOutcome.FOUND:
             verdict = Verdict.VULNERABLE
         elif result.outcome is SearchOutcome.EXHAUSTED:
@@ -163,6 +189,10 @@ def check(
         span.set_attribute("states_seen", result.states_seen)
         span.set_attribute("states_explored", result.states_explored)
         span.set_attribute("peak_frontier", result.stats.peak_frontier)
+        span.set_attribute("reduction", reducer is not None)
+        if reducer is not None:
+            span.set_attribute("symmetry_hits", reducer.stats.symmetry_hits)
+            span.set_attribute("por_pruned", reducer.stats.por_pruned)
     logger.debug(
         "query %s: %s (%d states, %.1f ms)",
         query.name, verdict.value, result.states_seen, result.elapsed * 1000,

@@ -235,3 +235,112 @@ class TestSampleRetention:
     def test_no_callback_retains_nothing(self):
         result = breadth_first_search(0, line_successors(50), lambda s: False)
         assert result.stats.samples == []
+
+
+class TestDeepStateSpaceStats:
+    """SearchStats accounting on a deep (depth >= 50) synthetic space."""
+
+    def test_line_walk_depth_and_dedup(self):
+        # 0..60 with +1/-1 moves: every expansion past state 0 re-offers
+        # its predecessor, so dedup fires once per non-initial state.
+        result = breadth_first_search(0, line_successors(60), lambda s: False)
+        assert result.outcome is SearchOutcome.EXHAUSTED
+        assert result.states_seen == 61
+        assert result.stats.max_depth == 60
+        assert result.stats.dedup_hits == 60
+        assert result.stats.peak_frontier == 1
+
+    def test_branching_walk_peak_frontier(self):
+        # +1/+2 moves over 0..80: the frontier holds two depths at once
+        # and the +2 shortcut halves the BFS depth of the far end.
+        def successors(state):
+            for step in (1, 2):
+                if state + step <= 80:
+                    yield f"+{step}", state + step
+
+        result = breadth_first_search(0, successors, lambda s: False)
+        assert result.outcome is SearchOutcome.EXHAUSTED
+        assert result.states_seen == 81
+        assert result.stats.max_depth == 40
+        assert result.stats.peak_frontier >= 2
+        # Every state except 1 and 80's unreachable +2 twin is offered
+        # twice (via +1 and via +2): once enqueued, once deduped.
+        assert result.stats.dedup_hits == 79
+
+
+class TestProgressSampleDivisionSafety:
+    """budget_used / states_per_second must survive degenerate budgets
+    and coarse clocks without dividing by zero."""
+
+    def frozen_clock(self):
+        return lambda: 0.0
+
+    def test_zero_elapsed_reports_zero_rate(self):
+        samples = []
+        breadth_first_search(
+            0,
+            line_successors(20),
+            lambda s: False,
+            progress=samples.append,
+            progress_interval=1,
+            clock=self.frozen_clock(),
+        )
+        assert samples
+        assert all(s.states_per_second == 0.0 for s in samples)
+        assert all(s.elapsed == 0.0 for s in samples)
+
+    def test_zero_state_limit_reads_as_fully_consumed(self):
+        samples = []
+        result = breadth_first_search(
+            0,
+            line_successors(20),
+            lambda s: False,
+            budget=SearchBudget(max_states=0),
+            progress=samples.append,
+            progress_interval=1,
+            clock=self.frozen_clock(),
+        )
+        assert result.outcome is SearchOutcome.BUDGET_EXCEEDED
+        assert samples
+        assert all(s.budget_used == 1.0 for s in samples)
+
+    def test_zero_time_limit_reads_as_fully_consumed(self):
+        samples = []
+        breadth_first_search(
+            0,
+            line_successors(5),
+            lambda s: False,
+            budget=SearchBudget(max_seconds=0.0),
+            progress=samples.append,
+            progress_interval=1,
+            clock=self.frozen_clock(),
+        )
+        assert samples
+        assert all(s.budget_used == 1.0 for s in samples)
+
+    def test_unlimited_budget_reads_as_zero(self):
+        samples = []
+        breadth_first_search(
+            0,
+            line_successors(5),
+            lambda s: False,
+            budget=SearchBudget(max_states=None),
+            progress=samples.append,
+            progress_interval=1,
+            clock=self.frozen_clock(),
+        )
+        assert samples
+        assert all(s.budget_used == 0.0 for s in samples)
+
+    def test_budget_used_is_capped_at_one(self):
+        samples = []
+        breadth_first_search(
+            0,
+            line_successors(50),
+            lambda s: False,
+            budget=SearchBudget(max_states=3),
+            progress=samples.append,
+            progress_interval=1,
+        )
+        assert samples
+        assert all(0.0 <= s.budget_used <= 1.0 for s in samples)

@@ -41,8 +41,14 @@ class TestFamiliesPassOnCorrectCode:
         assert result.passed, [f.details for f in result.failures]
         assert result.executed == 4
 
-    def test_default_families_are_the_differential_four(self):
-        assert DEFAULT_FAMILIES == ("cache", "pools", "vm", "ledger")
+    def test_default_families_are_the_differential_five(self):
+        assert DEFAULT_FAMILIES == (
+            "cache",
+            "pools",
+            "vm",
+            "ledger",
+            "reduction-parity",
+        )
         for name in DEFAULT_FAMILIES:
             assert name in ALL_FAMILIES
 
