@@ -1,7 +1,8 @@
-.PHONY: install test bench bench-json perf-check examples reproduce trace-smoke ledger-smoke fuzz-smoke fuzz clean
+.PHONY: install test bench bench-json perf-check perf-history examples reproduce trace-smoke ledger-smoke profile-smoke fuzz-smoke fuzz clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 LEDGER_SMOKE_DIR := /tmp/privanalyzer-ledger-smoke
+PROFILE_SMOKE_DIR := /tmp/privanalyzer-profile-smoke
 FUZZ_SEED ?= 0
 FUZZ_RUNS ?= 300
 
@@ -23,6 +24,11 @@ bench-json:
 # one and that the query cache actually served hits.
 perf-check:
 	python benchmarks/perf_check.py
+
+# Fold the current BENCH_rosa.json into BENCH_history.jsonl (SHA-stamped)
+# and print the wall-clock trajectory table.
+perf-history:
+	python benchmarks/perf_history.py append
 
 # Regenerate every paper table and figure with the printed series visible.
 reproduce:
@@ -54,6 +60,27 @@ ledger-smoke:
 	PYTHONPATH=src python -m repro.cli diff \
 		$(LEDGER_SMOKE_DIR)/run1 $(LEDGER_SMOKE_DIR)/run2 \
 		--perf-tolerance 3.0
+
+# Hot-path profiler smoke test: a profiled analyze run must emit a
+# non-empty collapsed-stack file (flamegraph.pl grammar) and a JSON
+# report whose rosa.search root attributes >= 95% of its wall time to
+# named frames (see docs/PERFORMANCE.md).
+profile-smoke:
+	rm -rf $(PROFILE_SMOKE_DIR)
+	PYTHONPATH=src python -m repro.cli profile passwd \
+		--out $(PROFILE_SMOKE_DIR) > /dev/null
+	PYTHONPATH=src python -c "\
+	import json, re; \
+	lines = [line for line in open('$(PROFILE_SMOKE_DIR)/profile.collapsed') if line.strip()]; \
+	assert lines, 'collapsed profile is empty'; \
+	assert all(re.fullmatch(r'[^ ]+(;[^ ]+)* \d+', line.strip()) for line in lines), 'bad collapsed-stack line'; \
+	report = json.load(open('$(PROFILE_SMOKE_DIR)/profile.json')); \
+	assert report['schema'] == 1, report['schema']; \
+	search = report['roots']['rosa.search']; \
+	assert search['attributed_fraction'] >= 0.95, search; \
+	assert report['roots']['vm']['attributed_fraction'] >= 0.95, report['roots']['vm']; \
+	print(f'profile-smoke ok: {len(lines)} stacks, rosa.search ' \
+	      f'{search[\"attributed_fraction\"]:.1%} attributed')"
 
 # Conformance fuzz smoke (CI gate, ~30s): a fixed-seed campaign over the
 # five differential oracle families (including reduction-parity) plus the

@@ -15,13 +15,21 @@ on, and the gate fails if any verdict or witness-existence differs, if
 any exhaustive reduced search saw more states than its raw twin, or if
 the thttpd batch — the search-dominated workload — did not see strictly
 fewer states in aggregate.
+
+Finally prints a per-entry delta table against the committed
+``BENCH_rosa.json`` baseline (current vs recorded wall-clock).  Ratios
+are informational — the baseline may come from another machine — but a
+baseline entry that is missing entirely means the snapshot is stale and
+fails the check with a clear message and a nonzero exit.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
+from typing import Dict
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -32,6 +40,7 @@ from repro.rosa.query import Verdict, check  # noqa: E402
 from perf_snapshot import BUDGET, phase_queries  # noqa: E402
 
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_rosa.json")
 #: Allowed warm/cold ratio: >1.0 absorbs scheduler noise on a pipeline
 #: whose cacheable stage is only a few percent of wall-clock.
 TOLERANCE = float(os.environ.get("PERF_CHECK_TOLERANCE", "1.15"))
@@ -76,7 +85,69 @@ def main() -> int:
         return 1
     if check_reduction() != 0:
         return 1
+    if baseline_deltas(
+        {"passwd_pipeline_cold": cold, "passwd_pipeline_warm": warm}
+    ) != 0:
+        return 1
     print("perf-check ok")
+    return 0
+
+
+def baseline_deltas(
+    measured: Dict[str, float], baseline_path: str = BASELINE_PATH
+) -> int:
+    """Current-vs-committed-baseline wall-clock, one table row per entry.
+
+    The ratio column is informational (the committed snapshot may come
+    from different hardware); what gates is *presence*: a measured entry
+    with no baseline in ``BENCH_rosa.json`` means the snapshot is stale.
+    """
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"perf-check FAILED: no baseline snapshot at "
+            f"{os.path.abspath(baseline_path)} — run `make bench-json` and "
+            f"commit BENCH_rosa.json",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as error:
+        print(
+            f"perf-check FAILED: unreadable baseline "
+            f"{os.path.abspath(baseline_path)}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    entries = snapshot.get("entries", {})
+    sha = str(snapshot.get("meta", {}).get("git_sha", "?"))
+    print(f"perf-check: deltas vs committed BENCH_rosa.json (commit {sha[:12]})")
+    header = f"  {'entry':<26} {'baseline ms':>12} {'current ms':>12} {'ratio':>8}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    missing = []
+    for name in sorted(measured):
+        entry = entries.get(name)
+        if not isinstance(entry, dict) or "wall_seconds" not in entry:
+            missing.append(name)
+            continue
+        base = float(entry["wall_seconds"])
+        current = measured[name]
+        ratio = current / base if base else float("inf")
+        print(
+            f"  {name:<26} {base * 1000:>12.1f} {current * 1000:>12.1f} "
+            f"{ratio:>7.2f}x"
+        )
+    if missing:
+        plural = "y" if len(missing) == 1 else "ies"
+        print(
+            f"perf-check FAILED: baseline entr{plural} missing from "
+            f"BENCH_rosa.json: {', '.join(missing)} — regenerate the snapshot "
+            f"with `make bench-json`",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -28,9 +28,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -47,6 +49,39 @@ from repro.rosa.rules import unix_rules  # noqa: E402
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_rosa.json")
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
 BUDGET = SearchBudget(max_states=200_000, max_seconds=60.0)
+
+
+def git_sha(repo_root: Optional[str] = None) -> str:
+    """The checked-out commit, or ``"unknown"`` outside a git checkout."""
+    root = repo_root or os.path.join(os.path.dirname(__file__), "..")
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def snapshot_meta(timestamp: float) -> Dict:
+    """Provenance for one snapshot: commit, injected timestamp, host.
+
+    ``timestamp`` is passed in by the caller (the ``__main__`` block
+    stamps ``time.time()``; tests pass a constant) so the measurement
+    code itself stays clock-free and replayable.
+    """
+    return {
+        "git_sha": git_sha(),
+        "timestamp_unix": timestamp,
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
 
 
 def best_of(fn: Callable[[], Dict], repeats: int = REPEATS) -> Dict:
@@ -105,7 +140,7 @@ def rosa_engine(pairs, engine: QueryEngine) -> Dict:
     }
 
 
-def main() -> None:
+def main(timestamp: Optional[float] = None) -> None:
     entries: Dict[str, Dict] = {}
 
     print("measuring passwd ROSA stage ...", file=sys.stderr)
@@ -250,6 +285,7 @@ def main() -> None:
         "schema": 1,
         "budget": {"max_states": BUDGET.max_states, "max_seconds": BUDGET.max_seconds},
         "repeats": REPEATS,
+        "meta": snapshot_meta(time.time() if timestamp is None else timestamp),
         "entries": entries,
         "speedups": speedups,
     }

@@ -10,6 +10,9 @@ Subcommands:
 * ``rosa <file>`` — check a Maude-style query file (Figure 2/4 syntax);
 * ``fuzz`` — run the conformance testkit's seeded differential/metamorphic
   campaign; failures shrink to replayable repro files (docs/TESTING.md);
+* ``profile`` — run a program or query under the hot-path profiler and
+  print per-rule / per-reduction-phase / per-opcode cost attribution
+  (``--out DIR`` writes flamegraph + JSON artifacts);
 * ``table3`` / ``table5`` — regenerate the paper's headline tables.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace`` records
@@ -18,7 +21,11 @@ as Chrome trace-event JSON), ``--profile`` prints a per-stage timing
 table to stderr, ``--metrics-out``/``--prometheus-out`` export the
 metrics registry, ``--audit-out`` dumps the simulated kernel's syscall
 audit trail, ``--progress`` renders live ROSA search progress, and
-``--verbose``/``--quiet`` control stderr logging.  ``--ledger DIR``
+``--verbose``/``--quiet`` control stderr logging.  ``--profile-out DIR``
+attaches the hot-path profiler (per rewrite rule, reduction phase, VM
+opcode, engine worker — see docs/PERFORMANCE.md) and writes
+``DIR/profile.collapsed`` (flamegraph.pl format) plus
+``DIR/profile.json``.  ``--ledger DIR``
 captures the whole run as a versioned artifact directory that
 ``privanalyzer diff OLD NEW`` compares structurally (verdict flips,
 exposure drift, per-stage slow-downs, syscall-surface changes), exiting
@@ -103,6 +110,11 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--progress-interval", type=int, default=None, metavar="N",
         help="expansions between two progress samples (default 1024)",
+    )
+    group.add_argument(
+        "--profile-out", metavar="DIR", default=None,
+        help="attach the hot-path profiler and write DIR/profile.collapsed "
+        "(flamegraph.pl format) and DIR/profile.json",
     )
 
 
@@ -275,6 +287,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "the failure still reproduces",
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="run a program or query under the hot-path profiler "
+        "(per rule, reduction phase, VM opcode; see docs/PERFORMANCE.md)",
+    )
+    profile.add_argument(
+        "target", help="built-in program name or path to a .rosa query file"
+    )
+    profile.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also write DIR/profile.collapsed (flamegraph.pl format) and "
+        "DIR/profile.json",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="attacker syscall-message repeat for program targets — the "
+        "bench's repeatN workloads (default 1)",
+    )
+    profile.add_argument("--max-states", type=int, default=200_000)
+    profile.add_argument("--max-seconds", type=float, default=60.0)
+    profile.add_argument(
+        "--no-reduction", action="store_true",
+        help="profile the raw search without symmetry/partial-order reduction",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=30, metavar="N",
+        help="rows in the printed cost table (default 30)",
+    )
+
     for table in ("table3", "table5"):
         table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
         table_parser.add_argument(
@@ -329,6 +370,38 @@ def _progress_interval_from_args(args) -> int:
 
     interval = getattr(args, "progress_interval", None)
     return interval if interval and interval > 0 else PROGRESS_INTERVAL
+
+
+def _profiler_from_args(args):
+    """A live :class:`~repro.telemetry.Profiler` when ``--profile-out`` asks."""
+    if getattr(args, "profile_out", None) is None:
+        return None
+    from repro.telemetry import Profiler
+
+    return Profiler()
+
+
+def _export_profile(args, profiler) -> None:
+    """Write the profile artifacts ``--profile-out`` asked for."""
+    directory = getattr(args, "profile_out", None)
+    if directory is None or profiler is None:
+        return
+    _write_profile_artifacts(directory, profiler)
+    print(f"profile written to {directory}", file=sys.stderr)
+
+
+def _write_profile_artifacts(directory, profiler) -> None:
+    """``profile.collapsed`` + ``profile.json`` under ``directory``."""
+    target = Path(directory)
+    try:
+        target.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise SystemExit(
+            f"privanalyzer: cannot create {directory}: {error.strerror}"
+        )
+    collapsed = profiler.to_collapsed()
+    _write_or_die(str(target / "profile.collapsed"), collapsed + "\n" if collapsed else "")
+    _write_or_die(str(target / "profile.json"), profiler.to_json() + "\n")
 
 
 def _manifest_args(args) -> dict:
@@ -451,19 +524,23 @@ def _cmd_analyze(args, out, telemetry: Optional[Telemetry] = None) -> int:
     from repro.core import ledger as ledger_mod
 
     spec = _resolve_spec(args)
+    profiler = _profiler_from_args(args)
     analyzer = PrivAnalyzer(
         indirect_targets_filter=args.callgraph, optimize=args.optimize,
         telemetry=telemetry, progress=_progress_from_args(args),
         progress_interval=getattr(args, "progress_interval", None),
+        profiler=profiler,
         **_engine_kwargs(args),
     )
     analysis = analyzer.analyze(spec)
+    _export_profile(args, profiler)
     _capture_ledger(
         args, telemetry,
         lambda directory: ledger_mod.capture_analysis(
             directory, analysis, telemetry,
             cache_stats=analyzer.engine.cache_stats(),
             cli_args=_manifest_args(args),
+            profiler=profiler,
         ),
     )
     if args.format == "table":
@@ -510,16 +587,20 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
     query = parse_query(text, name=Path(args.file).stem)
     budget = SearchBudget(max_states=args.max_states, max_seconds=args.max_seconds)
     tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+    profiler = _profiler_from_args(args)
     report = check(
         query, budget, track_states=args.explain, tracer=tracer,
         progress=_progress_from_args(args),
         progress_interval=_progress_interval_from_args(args),
         reduction=not args.no_reduction,
+        profiler=profiler,
     )
+    _export_profile(args, profiler)
     _capture_ledger(
         args, telemetry,
         lambda directory: ledger_mod.capture_rosa(
-            directory, report, telemetry, cli_args=_manifest_args(args)
+            directory, report, telemetry, cli_args=_manifest_args(args),
+            profiler=profiler,
         ),
     )
     print(report.summary(), file=out)
@@ -616,15 +697,65 @@ def _cmd_fuzz(args, out) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_profile(args, out) -> int:
+    from repro.rewriting import SearchBudget
+    from repro.telemetry import Profiler
+
+    profiler = Profiler()
+    budget = SearchBudget(
+        max_states=args.max_states, max_seconds=args.max_seconds
+    )
+    if args.target in PROGRAM_MODULES:
+        analyzer = PrivAnalyzer(
+            budget=budget,
+            message_repeat=args.repeat,
+            reduction=not args.no_reduction,
+            profiler=profiler,
+        )
+        analyzer.analyze(spec_by_name(args.target))
+    else:
+        path = Path(args.target)
+        if not path.exists():
+            raise SystemExit(
+                f"privanalyzer: {args.target!r} is neither a built-in program "
+                f"({', '.join(sorted(PROGRAM_MODULES))}) nor a query file"
+            )
+        from repro.rosa import check
+        from repro.rosa.dsl import parse_query
+
+        query = parse_query(path.read_text(), name=path.stem)
+        check(
+            query, budget,
+            reduction=not args.no_reduction, profiler=profiler,
+        )
+    print(profiler.render(limit=args.limit), file=out)
+    print(file=out)
+    roots = profiler.to_report()["roots"]
+    for root in sorted(roots):
+        info = roots[root]
+        print(
+            f"{root}: {info['seconds'] * 1000:.1f} ms total, "
+            f"{info['attributed_fraction'] * 100:.1f}% attributed to named frames",
+            file=out,
+        )
+    if args.out:
+        _write_profile_artifacts(args.out, profiler)
+        print(f"profile written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
     # One analyzer for the whole table: its query cache carries verdicts
     # across programs that share (privileges, uids, gids, surface) tuples.
+    profiler = _profiler_from_args(args)
     analyzer = PrivAnalyzer(
         telemetry=telemetry, progress=_progress_from_args(args),
         progress_interval=getattr(args, "progress_interval", None),
+        profiler=profiler,
         **_engine_kwargs(args),
     )
     analyses = [analyzer.analyze(spec_by_name(name)) for name in names]
+    _export_profile(args, profiler)
     if args.format == "markdown":
         for analysis in analyses:
             print(report_mod.to_markdown(analysis), file=out)
@@ -658,6 +789,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_diff(args, out)
         if args.command == "fuzz":
             return _cmd_fuzz(args, out)
+        if args.command == "profile":
+            return _cmd_profile(args, out)
         if args.command == "table3":
             return _cmd_table(
                 args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry

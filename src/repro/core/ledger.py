@@ -30,6 +30,11 @@ generation both assume:
     and search cost.
 ``cache.json``
     Query-engine cache statistics (hits/misses/hit rate/entries).
+``profile.json``
+    The hot-path profiler's schema-versioned report (per rewrite rule,
+    reduction phase, VM opcode, engine worker — see
+    :mod:`repro.telemetry.profiler`), written only when the run carried
+    a live profiler (``--profile-out``).
 
 :func:`diff_ledgers` is the structural comparator behind
 ``privanalyzer diff OLD NEW``: verdict flips, exposure-fraction deltas
@@ -71,6 +76,7 @@ SYSCALLS_FILE = "syscalls.json"
 EXPOSURE_FILE = "exposure.json"
 VERDICTS_FILE = "verdicts.json"
 CACHE_FILE = "cache.json"
+PROFILE_FILE = "profile.json"
 
 #: Stage-duration deltas smaller than this many seconds never count as
 #: perf regressions, whatever the ratio — sub-floor stages are noise.
@@ -177,17 +183,20 @@ def capture_analysis(
     cache_stats: Optional[Dict[str, Any]] = None,
     cli_args: Optional[Dict[str, Any]] = None,
     timestamp: Optional[float] = None,
+    profiler=None,
 ) -> "RunLedger":
     """Write one ``analyze`` run's artifacts; returns the loaded ledger.
 
     ``timestamp`` injects the manifest's creation time (tests pass a
     constant; the CLI passes nothing and gets ``time.time()``).
+    ``profiler``, when live, adds its report as ``profile.json``.
     """
     extra = [
         (EXPOSURE_FILE, analysis_to_dict(analysis)),
         (VERDICTS_FILE, _verdict_records(analysis)),
         (CACHE_FILE, cache_stats or {}),
     ]
+    extra += _profile_extra(profiler)
     return _capture(
         directory, "analyze", analysis.spec.name, telemetry, extra, cli_args, timestamp
     )
@@ -199,12 +208,21 @@ def capture_rosa(
     telemetry: Telemetry,
     cli_args: Optional[Dict[str, Any]] = None,
     timestamp: Optional[float] = None,
+    profiler=None,
 ) -> "RunLedger":
     """Write one ``rosa`` query run's artifacts; returns the loaded ledger."""
     extra = [(VERDICTS_FILE, [_report_record(report, report.query.name, None)])]
+    extra += _profile_extra(profiler)
     return _capture(
         directory, "rosa", report.query.name, telemetry, extra, cli_args, timestamp
     )
+
+
+def _profile_extra(profiler) -> List[Tuple[str, Any]]:
+    """The optional ``profile.json`` entry for :func:`_capture`."""
+    if profiler is None or not getattr(profiler, "enabled", False):
+        return []
+    return [(PROFILE_FILE, profiler.to_report())]
 
 
 # -- loading ------------------------------------------------------------------
@@ -222,6 +240,7 @@ class RunLedger:
     exposure: Optional[Dict[str, Any]] = None
     syscalls: Optional[Dict[str, Any]] = None
     cache: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def schema(self) -> int:
@@ -300,6 +319,7 @@ class RunLedger:
             exposure=optional_json(EXPOSURE_FILE),
             syscalls=optional_json(SYSCALLS_FILE),
             cache=optional_json(CACHE_FILE),
+            profile=optional_json(PROFILE_FILE),
         )
 
 
@@ -532,6 +552,67 @@ def _diff_stages(
             )
 
 
+def _diff_profile(
+    old: RunLedger, new: RunLedger, perf_tolerance: float, findings: List[DiffFinding]
+) -> None:
+    """Hot-path profile sections: per-stack wall-time regressions.
+
+    Profiles are optional (only ``--profile-out`` runs carry them), so a
+    section present in just one ledger is informational, not a gate.
+    """
+    if old.profile is None or new.profile is None:
+        if (old.profile is None) != (new.profile is None):
+            findings.append(
+                DiffFinding(
+                    "info", "profile",
+                    "hot-path profile present in only one ledger "
+                    "(capture both with --profile-out to compare)",
+                )
+            )
+        return
+    old_schema = old.profile.get("schema")
+    new_schema = new.profile.get("schema")
+    if old_schema != new_schema:
+        findings.append(
+            DiffFinding(
+                "info", "profile",
+                f"profile schema {old_schema!r} vs {new_schema!r} — "
+                f"not comparable, recapture the older run",
+            )
+        )
+        return
+
+    def by_stack(profile) -> Dict[str, Dict[str, Any]]:
+        return {
+            ";".join(record["stack"]): record
+            for record in profile.get("records", [])
+        }
+
+    before = by_stack(old.profile)
+    after = by_stack(new.profile)
+    for stack in sorted(set(before) ^ set(after)):
+        where = "vanished from" if stack in before else "appeared in"
+        findings.append(
+            DiffFinding("info", "profile", f"hot path {stack!r} {where} the profile")
+        )
+    for stack in sorted(set(before) & set(after)):
+        old_total = float(before[stack].get("seconds", 0.0))
+        new_total = float(after[stack].get("seconds", 0.0))
+        if (
+            new_total > old_total * (1.0 + perf_tolerance)
+            and new_total - old_total > PERF_ABSOLUTE_FLOOR
+        ):
+            ratio = new_total / old_total if old_total else float("inf")
+            findings.append(
+                DiffFinding(
+                    "regression", "profile",
+                    f"hot path {stack!r}: {old_total * 1000:.1f} ms -> "
+                    f"{new_total * 1000:.1f} ms ({ratio:.1f}x, tolerance "
+                    f"{1.0 + perf_tolerance:.1f}x)",
+                )
+            )
+
+
 def _diff_syscalls(old: RunLedger, new: RunLedger, findings: List[DiffFinding]) -> None:
     if old.syscalls is None or new.syscalls is None:
         if (old.syscalls is None) != (new.syscalls is None):
@@ -640,6 +721,7 @@ def diff_ledgers(
     _diff_verdicts(old, new, findings)
     _diff_exposure(old, new, tolerance, findings)
     _diff_stages(old, new, perf_tolerance, findings)
+    _diff_profile(old, new, perf_tolerance, findings)
     _diff_syscalls(old, new, findings)
     _diff_counters(old, new, findings)
     return LedgerDiff(old=old, new=new, findings=findings)

@@ -36,7 +36,7 @@ from repro.rewriting import SearchBudget
 from repro.rosa.engine import ParallelPolicy, QueryCache, QueryEngine, QueryRequest
 from repro.rosa.query import RosaReport, Verdict
 from repro.telemetry import Telemetry
-from repro.vm import interpreter_class
+from repro.vm import Interpreter, interpreter_class
 
 logger = logging.getLogger("repro.pipeline")
 
@@ -146,6 +146,7 @@ class PrivAnalyzer:
         progress=None,
         progress_interval: Optional[int] = None,
         reduction: bool = True,
+        profiler=None,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -155,6 +156,12 @@ class PrivAnalyzer:
         #: Observability sink: spans per pipeline stage, VM/search metrics,
         #: and (when its ``audit`` is set) a kernel syscall audit trail.
         self.telemetry = telemetry or Telemetry.disabled()
+        #: Optional :class:`repro.telemetry.Profiler`.  When live it flows
+        #: into the query engine (per-rule / reduction-phase search
+        #: attribution) and swaps the dynamic stage onto
+        #: :class:`repro.vm.ProfilingInterpreter` for per-opcode cost.
+        #: Verdicts and exposure tables are bit-identical either way.
+        self.profiler = profiler
         #: The ROSA query engine: dedupes/caches/schedules the phase × attack
         #: queries.  Phases sharing a credential tuple search once, and a
         #: shared engine carries answers across programs/table regenerations.
@@ -173,6 +180,7 @@ class PrivAnalyzer:
                 telemetry=self.telemetry,
                 progress=progress,
                 reduction=reduction,
+                profiler=profiler,
                 **engine_kwargs,
             )
         self.engine = engine
@@ -220,16 +228,55 @@ class PrivAnalyzer:
             if self.telemetry.audit is not None:
                 kernel.enable_audit(self.telemetry.audit)
             process = kernel.spawn(spec.uid, spec.gid, permitted=spec.permitted)
-            vm = interpreter_class()(
+            vm_class = interpreter_class()
+            profiling = (
+                self.profiler is not None
+                and self.profiler.enabled
+                and vm_class is Interpreter
+            )
+            if profiling:
+                # Per-opcode attribution, but only over the stock class —
+                # a custom interpreter (testkit oracles) wins outright.
+                from repro.vm import ProfilingInterpreter
+
+                vm_class = ProfilingInterpreter
+            vm = vm_class(
                 module, kernel, process, argv=list(spec.argv), stdin=list(spec.stdin),
                 metrics=self.telemetry.metrics,
             )
+            if profiling:
+                vm.attach(self.profiler)
             vm.env.update(spec.env)
             recorder = ChronoRecorder(spec.name, process)
             recorder.attach(vm, kernel)
             if spec.setup is not None:
                 spec.setup(kernel, vm)
-            exit_code = vm.run()
+            if profiling:
+                profiler = self.profiler
+                measured_before = sum(
+                    record.seconds
+                    for stack, record in profiler.records.items()
+                    if len(stack) == 2 and stack[0] == "vm"
+                )
+                start = profiler.clock()
+                exit_code = vm.run()
+                elapsed = profiler.clock() - start
+                profiler.account(("vm",), elapsed)
+                measured = sum(
+                    record.seconds
+                    for stack, record in profiler.records.items()
+                    if len(stack) == 2 and stack[0] == "vm"
+                ) - measured_before
+                # Dispatch-loop bookkeeping (block/index checks, budget,
+                # handler lookup) sits between the timed handler windows;
+                # account the remainder so the vm root is 100% attributed
+                # without pretending it was timed (cf. rosa.search.loop).
+                remainder = elapsed - measured
+                if remainder > 0.0:
+                    profiler.account(("vm", "interp.loop"), remainder)
+                    profiler.count(("vm", "interp.loop"), "derived")
+            else:
+                exit_code = vm.run()
             span.set_attribute("instructions", vm.executed_instructions)
             span.set_attribute("exit_code", exit_code)
         logger.debug(

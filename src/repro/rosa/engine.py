@@ -35,6 +35,7 @@ import json
 import logging
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -47,6 +48,7 @@ from repro.rosa.query import (
     check,
     unix_system,
 )
+from repro.telemetry.profiler import NULL_PROFILER
 from repro.telemetry.tracing import NULL_TRACER
 
 logger = logging.getLogger("repro.rosa.engine")
@@ -418,10 +420,18 @@ class QueryEngine:
         progress_interval: int = PROGRESS_INTERVAL,
         checker=None,
         reduction: bool = True,
+        profiler=None,
     ) -> None:
         from repro.telemetry import Telemetry
 
         self.budget = budget
+        #: Optional :class:`repro.telemetry.Profiler`.  When live, every
+        #: serial search gets per-rule/reduction-phase attribution (the
+        #: ``profiler`` kwarg is forwarded to ``checker`` — only then, so
+        #: custom checkers without the parameter keep working), and batch
+        #: scheduling records queue-wait versus execute time per worker
+        #: under the ``engine`` root.
+        self.profiler = profiler
         #: Symmetry + partial-order state-space reduction for every
         #: search this engine runs (see :mod:`repro.rosa.independence`).
         #: Verdict-preserving; disable for baselines and differential runs.
@@ -475,6 +485,9 @@ class QueryEngine:
         self, query: RosaQuery, budget: SearchBudget, track_states: bool = False
     ) -> RosaReport:
         """One live search with the engine's tracer and progress wiring."""
+        extra = {}
+        if self.profiler is not None:
+            extra["profiler"] = self.profiler
         report = self.checker(
             query,
             budget,
@@ -483,6 +496,7 @@ class QueryEngine:
             progress=self.progress,
             progress_interval=self.progress_interval,
             reduction=self.reduction,
+            **extra,
         )
         metrics = self.telemetry.metrics
         if report.stats.symmetry_hits:
@@ -522,15 +536,20 @@ class QueryEngine:
         ]
         metrics = self.telemetry.metrics
         tracer = self.telemetry.tracer
+        profiler = self.profiler if (
+            self.profiler is not None and self.profiler.enabled
+        ) else None
         if entries:
             metrics.counter("rosa.batch.queries").inc(len(entries))
 
-        keys = [
-            query_cache_key(
-                request.query, request.budget or self.budget, reduction=self.reduction
-            )
-            for request in entries
-        ]
+        with (profiler or NULL_PROFILER).section("engine", "key_derivation"):
+            keys = [
+                query_cache_key(
+                    request.query, request.budget or self.budget,
+                    reduction=self.reduction,
+                )
+                for request in entries
+            ]
         reports: List[Optional[RosaReport]] = [None] * len(entries)
 
         # 1. Serve cache hits and collect the distinct misses, preserving
@@ -538,7 +557,16 @@ class QueryEngine:
         distinct: "OrderedDict[str, List[int]]" = OrderedDict()
         for index, (request, key) in enumerate(zip(entries, keys)):
             if self.cache is not None:
+                lookup_start = profiler.clock() if profiler is not None else 0.0
                 entry = self.cache.get(key)
+                if profiler is not None:
+                    profiler.account(
+                        ("engine", "cache.lookup"), profiler.clock() - lookup_start
+                    )
+                    profiler.count(
+                        ("engine", "cache.lookup"),
+                        "hits" if entry is not None else "misses",
+                    )
                 if entry is not None:
                     metrics.counter("rosa.cache.hits").inc()
                     reports[index] = self._served_from_cache(
@@ -568,12 +596,32 @@ class QueryEngine:
                 all_have_specs,
             )
             if mode == "serial" or len(leaders) == 1:
-                leader_reports = [
-                    self._checked(entries[index].query, budget_for(index))
-                    for index in leaders
-                ]
+                if profiler is not None:
+                    # Serial scheduling is one worker draining the queue:
+                    # queue wait is time spent behind earlier searches.
+                    batch_start = profiler.clock()
+                    leader_reports = []
+                    for index in leaders:
+                        start = profiler.clock()
+                        profiler.account(
+                            ("engine", "worker:0", "queue_wait"), start - batch_start
+                        )
+                        leader_reports.append(
+                            self._checked(entries[index].query, budget_for(index))
+                        )
+                        profiler.account(
+                            ("engine", "worker:0", "execute"),
+                            profiler.clock() - start,
+                        )
+                else:
+                    leader_reports = [
+                        self._checked(entries[index].query, budget_for(index))
+                        for index in leaders
+                    ]
             else:
-                leader_reports = self._run_parallel(mode, entries, leaders, budget_for)
+                leader_reports = self._run_parallel(
+                    mode, entries, leaders, budget_for, profiler
+                )
             for key_indices, report in zip(distinct.values(), leader_reports):
                 if self.cache is not None:
                     self.cache.put(
@@ -592,7 +640,9 @@ class QueryEngine:
             self.cache.save()
         return [report for report in reports if report is not None]
 
-    def _run_parallel(self, mode, entries, leaders, budget_for) -> List[RosaReport]:
+    def _run_parallel(
+        self, mode, entries, leaders, budget_for, profiler=None
+    ) -> List[RosaReport]:
         """Fan distinct searches over an executor; returns leader-ordered reports."""
         tracer = self.telemetry.tracer
         metrics = self.telemetry.metrics
@@ -621,20 +671,57 @@ class QueryEngine:
             ]
         elif mode == "thread":
             executor_cls = concurrent.futures.ThreadPoolExecutor
+
+            def run_in_thread(query, budget, submitted=None):
+                if submitted is None:
+                    return check(
+                        query, budget, tracer=NULL_TRACER, reduction=self.reduction
+                    )
+                # Scheduling attribution per pool thread: queue wait is
+                # submit-to-start, execute is the search itself.  Worker
+                # labels come from the pool's thread names
+                # ("ThreadPoolExecutor-0_3" -> worker:3).  The searches
+                # themselves run unprofiled — per-rule attribution is
+                # single-threaded by design (see telemetry.profiler).
+                clock = profiler.clock
+                start = clock()
+                worker = (
+                    "worker:" + threading.current_thread().name.rsplit("_", 1)[-1]
+                )
+                profiler.account(("engine", worker, "queue_wait"), start - submitted)
+                report = check(
+                    query, budget, tracer=NULL_TRACER, reduction=self.reduction
+                )
+                profiler.account(("engine", worker, "execute"), clock() - start)
+                return report
+
             submit_args = [
                 (
-                    lambda query, budget: check(
-                        query, budget, tracer=NULL_TRACER, reduction=self.reduction
-                    ),
+                    run_in_thread,
                     entries[index].query,
                     budget_for(index),
+                    profiler.clock() if profiler is not None else None,
                 )
                 for index in leaders
             ]
         else:  # pragma: no cover - modes are validated upstream
             raise ValueError(f"unknown parallel mode {mode!r}")
+        submit_time = profiler.clock() if profiler is not None else 0.0
+        done_at = [0.0] * len(leaders)
         with executor_cls(max_workers=workers) as executor:
             futures = [executor.submit(fn, *args) for fn, *args in submit_args]
+            if profiler is not None and mode == "process":
+                # Workers are separate processes; the scheduling thread can
+                # only observe each future's submit-to-done wall time.  The
+                # done timestamp is captured by callback (runs off-thread,
+                # writes one float slot); accounting happens here, after.
+                clock = profiler.clock
+                for position, future in enumerate(futures):
+                    future.add_done_callback(
+                        lambda _future, position=position: done_at.__setitem__(
+                            position, clock()
+                        )
+                    )
             try:
                 results = [future.result() for future in futures]
             except concurrent.futures.process.BrokenProcessPool as error:
@@ -652,6 +739,12 @@ class QueryEngine:
                     f"({names}); no results were lost silently — rerun with "
                     f"--jobs 1 (serial) to isolate the failing search"
                 ) from error
+        if profiler is not None and mode == "process":
+            for position in range(len(leaders)):
+                profiler.account(
+                    ("engine", "worker:pool", "inflight"),
+                    max(done_at[position] - submit_time, 0.0),
+                )
         reports = []
         for index, result in zip(leaders, results):
             query = entries[index].query

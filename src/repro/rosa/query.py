@@ -36,6 +36,7 @@ from repro.rewriting import (
 from repro.rosa.goals import Goal
 from repro.rosa.independence import build_reducer
 from repro.rosa.rules import unix_rules
+from repro.telemetry.profiler import Profiler
 from repro.telemetry.tracing import NULL_TRACER, Tracer
 
 logger = logging.getLogger("repro.rosa")
@@ -132,6 +133,7 @@ def check(
     progress_interval: int = PROGRESS_INTERVAL,
     clock: Callable[[], float] = time.monotonic,
     reduction: bool = True,
+    profiler: Optional[Profiler] = None,
 ) -> RosaReport:
     """Run one bounded model-checking query and classify the outcome.
 
@@ -148,6 +150,12 @@ def check(
     Reduction preserves the verdict and witness existence; pass
     ``reduction=False`` to search the raw state space (baselines,
     differential testing).
+
+    ``profiler``, when live, attributes the search's wall time to named
+    rules and reduction phases (:mod:`repro.rosa.profile`) by wrapping
+    the three injectable callables — the search loop itself is
+    unchanged, so the verdict and every cost counter are bit-identical
+    with or without it.
     """
     system = query.system or unix_system()
     reducer = (
@@ -155,6 +163,7 @@ def check(
         if reduction
         else None
     )
+    goal = query.goal
     if reducer is not None:
         successors = reducer.successors
         canonical = reducer.canonical
@@ -164,11 +173,20 @@ def check(
         # the state itself is its visited-set key — no full-key
         # materialisation per successor.
         canonical = lambda config: config  # noqa: E731
+    profiled = None
+    if profiler is not None and profiler.enabled:
+        from repro.rosa.profile import profiled_callables
+
+        profiled = profiled_callables(profiler, system, reducer, query.goal)
+        successors = profiled.successors
+        canonical = profiled.canonical
+        goal = profiled.goal
     with tracer.span("rosa.query", query=query.name) as span:
+        search_start = profiler.clock() if profiled is not None else 0.0
         result: SearchResult = breadth_first_search(
             query.initial,
             successors,
-            query.goal,
+            goal,
             budget=budget,
             canonical=canonical,
             track_states=track_states,
@@ -176,6 +194,8 @@ def check(
             progress_interval=progress_interval,
             clock=clock,
         )
+        if profiled is not None:
+            profiled.finish(profiler.clock() - search_start)
         if reducer is not None:
             result.stats.symmetry_hits = reducer.stats.symmetry_hits
             result.stats.por_pruned = reducer.stats.por_pruned

@@ -34,6 +34,12 @@ from repro.telemetry.export import (
     spans_to_jsonl,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA_VERSION,
+    ProfileRecord,
+    Profiler,
+)
 from repro.telemetry.prometheus import metrics_to_prometheus, prometheus_name
 from repro.telemetry.trace_event import spans_to_trace_events, trace_event_json
 from repro.telemetry.tracing import NULL_TRACER, Span, Tracer
@@ -86,7 +92,11 @@ __all__ = [
     "ManualClock",
     "MetricsRegistry",
     "MONOTONIC",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileRecord",
+    "Profiler",
     "Span",
     "SyscallAuditTrail",
     "Telemetry",

@@ -36,6 +36,11 @@ def prometheus_name(name: str, namespace: str = "privanalyzer") -> str:
     return safe
 
 
+def _escape_help(text: str) -> str:
+    """HELP text per the exposition format: escape backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: Union[int, float]) -> str:
     """One sample value, with the format's spellings for the specials."""
     if isinstance(value, float):
@@ -54,7 +59,7 @@ def metrics_to_prometheus(
     lines: List[str] = []
 
     def series(full_name: str, kind: str, value, help_text: str) -> None:
-        lines.append(f"# HELP {full_name} {help_text}")
+        lines.append(f"# HELP {full_name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {full_name} {kind}")
         lines.append(f"{full_name} {_format_value(value)}")
 
@@ -64,11 +69,12 @@ def metrics_to_prometheus(
             series(f"{base}_total", "counter", snapshot["value"], name)
         elif snapshot["type"] == "gauge":
             series(base, "gauge", snapshot["value"], name)
-        else:  # histogram → summary (_count/_sum) plus min/max gauges
-            lines.append(f"# HELP {base} {name}")
+        else:  # histogram → summary (_sum/_count) plus min/max gauges
+            # Canonical summary series order: _sum then _count.
+            lines.append(f"# HELP {base} {_escape_help(name)}")
             lines.append(f"# TYPE {base} summary")
-            lines.append(f"{base}_count {_format_value(snapshot['count'])}")
             lines.append(f"{base}_sum {_format_value(snapshot['sum'])}")
+            lines.append(f"{base}_count {_format_value(snapshot['count'])}")
             series(f"{base}_min", "gauge", snapshot["min"], f"{name} minimum")
             series(f"{base}_max", "gauge", snapshot["max"], f"{name} maximum")
     return "\n".join(lines) + "\n" if lines else ""

@@ -14,11 +14,13 @@ from repro.vm.interpreter import (
     set_interpreter_class,
 )
 from repro.vm.intrinsics import default_intrinsics
+from repro.vm.profiler import ProfilingInterpreter
 
 __all__ = [
     "Frame",
     "GlobalSlot",
     "Interpreter",
+    "ProfilingInterpreter",
     "ProgramExit",
     "StackSlot",
     "VMError",
