@@ -83,8 +83,8 @@ profile-smoke:
 	      f'{search[\"attributed_fraction\"]:.1%} attributed')"
 
 # Conformance fuzz smoke (CI gate, ~30s): a fixed-seed campaign over the
-# five differential oracle families (including reduction-parity) plus the
-# marker-gated pytest suite.
+# six differential oracle families (including compiled-vs-dispatch and
+# reduction-parity) plus the marker-gated pytest suite.
 # See docs/TESTING.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro.cli fuzz --seed 0 --runs 25

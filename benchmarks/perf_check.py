@@ -16,6 +16,18 @@ any exhaustive reduced search saw more states than its raw twin, or if
 the thttpd batch — the search-dominated workload — did not see strictly
 fewer states in aggregate.
 
+Reduction must also pay for itself in *wall-clock*, not just states
+(:func:`check_reduction_wallclock`): the thttpd (repeat 2) reduced
+engine batch must beat the live unindexed/unreduced baseline, and the
+passwd reduced engine batch — whose searches are tiny enough that the
+engine skips reduction (see ``REDUCTION_MIN_SPACE``) — must cost no
+more than the unreduced batch plus noise.  And the compiled VM core
+must keep earning its keep (:func:`check_vm_core`): the cold passwd
+pipeline on the stock interpreter must be at least
+``PERF_CHECK_COMPILED_MIN`` times faster than the same pipeline forced
+onto the per-instruction dispatch loop, measured back-to-back on this
+host.
+
 Finally prints a per-entry delta table against the committed
 ``BENCH_rosa.json`` baseline (current vs recorded wall-clock).  Ratios
 are informational — the baseline may come from another machine — but a
@@ -37,13 +49,18 @@ from repro.core import PrivAnalyzer  # noqa: E402
 from repro.programs import spec_by_name  # noqa: E402
 from repro.rosa.query import Verdict, check  # noqa: E402
 
-from perf_snapshot import BUDGET, phase_queries  # noqa: E402
+from perf_snapshot import BUDGET, phase_queries, rosa_baseline, rosa_engine  # noqa: E402
 
 REPEATS = int(os.environ.get("BENCH_REPEATS", "3"))
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_rosa.json")
 #: Allowed warm/cold ratio: >1.0 absorbs scheduler noise on a pipeline
 #: whose cacheable stage is only a few percent of wall-clock.
 TOLERANCE = float(os.environ.get("PERF_CHECK_TOLERANCE", "1.15"))
+#: Minimum cold-pipeline speedup of the compiled VM core over the
+#: dispatch loop.  Measured ~2x on the reference host; 1.6 leaves head-
+#: room for slower allocators and noisy CI boxes without letting the
+#: compiled core silently regress to parity.
+COMPILED_MIN_SPEEDUP = float(os.environ.get("PERF_CHECK_COMPILED_MIN", "1.6"))
 
 
 def best_run(analyzer_factory) -> float:
@@ -84,6 +101,10 @@ def main() -> int:
         )
         return 1
     if check_reduction() != 0:
+        return 1
+    if check_reduction_wallclock() != 0:
+        return 1
+    if check_vm_core(cold) != 0:
         return 1
     if baseline_deltas(
         {"passwd_pipeline_cold": cold, "passwd_pipeline_warm": warm}
@@ -199,6 +220,113 @@ def check_reduction() -> int:
             )
             failures += 1
     return failures
+
+
+def _best_wall(fn) -> float:
+    """Best-of-``REPEATS`` wall-clock for a zero-argument callable."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_reduction_wallclock() -> int:
+    """Reduction must pay (or cost nothing) in wall-clock, live.
+
+    Two gates, both measured back-to-back on this host so committed
+    numbers from other machines never enter the comparison:
+
+    * thttpd (repeat 2) — the search-dominated batch where reduction is
+      active: the reduced engine must beat the unindexed/unreduced
+      baseline outright (this was 0.35x before lazy canonicalization
+      and the working ample-set POR);
+    * passwd — every search is tiny, so the engine downgrades to raw
+      search (``REDUCTION_MIN_SPACE``): the reduction-default engine
+      must cost no more than the reduction-off engine plus noise (a
+      fixed few-millisecond floor, since both batches run ~2 ms).
+    """
+    from repro.rosa import QueryCache, QueryEngine
+
+    failures = 0
+
+    thttpd_pairs = phase_queries("thttpd", repeat=2)
+    baseline = _best_wall(lambda: rosa_baseline(thttpd_pairs))
+    reduced = _best_wall(
+        lambda: rosa_engine(
+            thttpd_pairs, QueryEngine(budget=BUDGET, cache=QueryCache())
+        )
+    )
+    ratio = baseline / reduced
+    print(
+        f"perf-check: thttpd r2 reduced engine {reduced * 1000:.1f} ms vs "
+        f"baseline {baseline * 1000:.1f} ms ({ratio:.2f}x, floor 1.0)"
+    )
+    if ratio < 1.0:
+        print(
+            f"perf-check FAILED: thttpd reduced search is {1 / ratio:.2f}x "
+            "slower than the unreduced baseline — reduction no longer pays",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    passwd_pairs = phase_queries("passwd")
+    unreduced = _best_wall(
+        lambda: rosa_engine(
+            passwd_pairs,
+            QueryEngine(budget=BUDGET, cache=QueryCache(), reduction=False),
+        )
+    )
+    tiny = _best_wall(
+        lambda: rosa_engine(
+            passwd_pairs, QueryEngine(budget=BUDGET, cache=QueryCache())
+        )
+    )
+    allowed = unreduced * 1.5 + 0.005
+    print(
+        f"perf-check: passwd tiny-search batch {tiny * 1000:.1f} ms reduced "
+        f"vs {unreduced * 1000:.1f} ms raw (allowed {allowed * 1000:.1f} ms)"
+    )
+    if tiny > allowed:
+        print(
+            "perf-check FAILED: passwd reduced batch exceeds the raw batch "
+            f"({tiny * 1000:.1f} ms > {allowed * 1000:.1f} ms) — the "
+            "tiny-search downgrade regressed",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
+def check_vm_core(cold: float) -> int:
+    """The compiled VM core must stay well ahead of the dispatch loop.
+
+    ``cold`` is the stock (compiled) cold-pipeline wall-clock already
+    measured by :func:`main`; the dispatch run happens right after it on
+    the same host, so the ratio is a genuine like-for-like speedup.
+    """
+    from repro.vm import set_interpreter_class
+    from repro.vm.interpreter import DispatchInterpreter
+
+    previous = set_interpreter_class(DispatchInterpreter)
+    try:
+        dispatch = best_run(PrivAnalyzer)
+    finally:
+        set_interpreter_class(previous)
+    ratio = dispatch / cold
+    print(
+        f"perf-check: compiled pipeline {cold * 1000:.1f} ms vs dispatch "
+        f"{dispatch * 1000:.1f} ms ({ratio:.2f}x, floor {COMPILED_MIN_SPEEDUP})"
+    )
+    if ratio < COMPILED_MIN_SPEEDUP:
+        print(
+            f"perf-check FAILED: compiled VM core only {ratio:.2f}x faster "
+            f"than the dispatch loop (floor {COMPILED_MIN_SPEEDUP})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -15,6 +15,12 @@ the cache hit rate, so future PRs have an apples-to-apples baseline:
   pipeline (compile + VM + ROSA) with a fresh / shared engine;
 * ``thttpd_rosa_repeat2`` — a search-dominated workload (message repeat
   2 grows the state space ~40×), engine versus baseline;
+* ``thttpd_rosa_repeat3`` — the same stage at repeat 3 (the space grows
+  another order of magnitude), where reduction's asymptotic win shows:
+  baseline versus the reduced engine;
+* ``passwd_pipeline_cold_dispatch`` — the cold pipeline forced onto the
+  per-instruction dispatch loop, isolating the compiled VM core's
+  contribution to end-to-end wall-clock;
 * ``privsep_exposure_table`` — the multi-process study's exposure
   computation, whose phases heavily repeat credential tuples.
 
@@ -177,6 +183,22 @@ def main(timestamp: Optional[float] = None) -> None:
 
     entries["passwd_pipeline_cold"] = best_of(pipeline_cold)
 
+    # The same cold pipeline on the dispatch loop: the compiled core's
+    # end-to-end contribution is the ratio between these two entries,
+    # measured on the same host in the same run (committed wall-clock
+    # from other machines is not comparable).
+    def pipeline_cold_dispatch():
+        from repro.vm import set_interpreter_class
+        from repro.vm.interpreter import DispatchInterpreter
+
+        previous = set_interpreter_class(DispatchInterpreter)
+        try:
+            return pipeline_cold()
+        finally:
+            set_interpreter_class(previous)
+
+    entries["passwd_pipeline_cold_dispatch"] = best_of(pipeline_cold_dispatch)
+
     shared = PrivAnalyzer()
     shared.analyze(spec_by_name("passwd"))  # prime the shared engine's cache
 
@@ -213,6 +235,18 @@ def main(timestamp: Optional[float] = None) -> None:
     rosa_engine(thttpd_pairs, thttpd_warm)  # prime
     entries["thttpd_rosa_repeat2_engine_warm"] = best_of(
         lambda: rosa_engine(thttpd_pairs, thttpd_warm)
+    )
+
+    print("measuring thttpd ROSA stage (message repeat 3) ...", file=sys.stderr)
+    # Repeat 3 is where reduction pays asymptotically: the raw space is
+    # another order of magnitude larger, and symmetry + POR prune a
+    # super-linear fraction of it.
+    thttpd3_pairs = phase_queries("thttpd", repeat=3)
+    entries["thttpd_rosa_repeat3_baseline"] = best_of(
+        lambda: rosa_baseline(thttpd3_pairs)
+    )
+    entries["thttpd_rosa_repeat3_engine_reduced"] = best_of(
+        lambda: rosa_engine(thttpd3_pairs, QueryEngine(budget=BUDGET, cache=QueryCache()))
     )
 
     print("measuring thttpd full pipeline (message repeat 3) ...", file=sys.stderr)
@@ -280,6 +314,14 @@ def main(timestamp: Optional[float] = None) -> None:
             "wall_seconds"
         ]
         / entries["thttpd_rosa_repeat2_engine_reduced"]["wall_seconds"],
+        "thttpd_rosa_repeat3_reduced_vs_baseline": entries[
+            "thttpd_rosa_repeat3_baseline"
+        ]["wall_seconds"]
+        / entries["thttpd_rosa_repeat3_engine_reduced"]["wall_seconds"],
+        "passwd_pipeline_compiled_vs_dispatch": entries[
+            "passwd_pipeline_cold_dispatch"
+        ]["wall_seconds"]
+        / entries["passwd_pipeline_cold"]["wall_seconds"],
     }
     snapshot = {
         "schema": 1,

@@ -10,7 +10,11 @@ configurations of :mod:`repro.rewriting.objects`:
   other, so merging them in the visited set is exact: the key itself
   encodes a renaming, false merges are impossible by construction, and
   an imperfect canonicalization can only *miss* a merge (sound, just
-  less reduction).
+  less reduction).  Canonicalization is *lazy*: states are keyed by a
+  :class:`LazyCanonicalKey` whose hash is the O(state) rename-invariant
+  :func:`blind_signature`, and the colour-refinement body is computed
+  only when the visited set sees a hash collision — the common
+  no-collision case never pays for refinement at all.
 
 * **Partial-order reduction** — :class:`Footprint` declares, per
   transition kind, the resource tokens it reads and writes; two kinds
@@ -88,7 +92,9 @@ class ReductionStats:
     #: Pending messages deferred at states where an ample subset was
     #: selected (each deferred message's interleavings are pruned).
     por_pruned: int = 0
-    #: States that took the slow path (had anonymous ids to normalise).
+    #: States whose full colour-refinement canonical form was actually
+    #: computed — under lazy canonicalization only blind-hash collisions
+    #: pay this, so the counter is the slow path's cost figure.
     canonicalized: int = 0
     #: States where partial-order reduction selected an ample subset.
     ample_states: int = 0
@@ -159,6 +165,138 @@ def _resolve(node, rename: Mapping, self_id=None):
 _LABEL_BASE = -1000
 
 
+def _memo_entry(memo: Dict, tkey, pinned: Mapping[str, FrozenSet]) -> Tuple:
+    """The shared per-typed-key memo record: (tkey, anonymous ids, cache).
+
+    Typed keys are interned by the caller (one instance per distinct
+    element), so ``id(tkey)`` is a stable identity within one memo's
+    lifetime; the entry keeps the key alive, which makes that safe.
+    """
+    entry = memo.get(id(tkey))
+    if entry is None:
+        found: set = set()
+        _collect_ids(tkey, found)
+        empty: FrozenSet = frozenset()
+        anon_here = tuple(
+            sorted(
+                ident
+                for ident in found
+                if ident[1] not in pinned.get(ident[0], empty)
+            )
+        )
+        entry = (tkey, anon_here, {})
+        memo[id(tkey)] = entry
+    return entry
+
+
+def blind_signature(
+    typed_elements: Sequence[Tuple[Hashable, int]],
+    pinned: Mapping[str, FrozenSet],
+    memo: Dict,
+) -> Tuple[int, bool]:
+    """O(state) rename-invariant hash of a state: ``(hash, has_anon)``.
+
+    Every anonymous identifier occurrence is *blinded* — replaced by a
+    fixed per-domain marker — so any per-domain bijective renaming of
+    the anonymous ids leaves each element's blinded form, and therefore
+    the multiset hash, unchanged: isomorphic states always collide.
+    Blinding conflates distinct ids, so non-isomorphic states may
+    collide too; the hash is a grouping key only, never an equality —
+    callers must confirm candidate merges with :func:`canonical_key`.
+
+    Blinding alone is too coarse in practice — states that differ only
+    in *which* element an anonymous id links to (a process whose euid
+    matches the file owner's uid versus one whose euid does not) blind
+    to the same element multiset.  The signature therefore also folds in
+    one round of colour refinement: each anonymous id's *occurrence
+    profile*, the multiset of blinded elements it appears in.  Profiles
+    are combined as an unordered multiset (ids carry no order), so the
+    result stays rename-invariant while separating the linkage patterns
+    that dominate wildcard-expansion siblings.
+
+    Per-element blinded reprs are cached in ``memo`` (cache key ``0``,
+    disjoint from :func:`canonical_key`'s per-colouring keys), so after
+    warm-up the cost per state is dict probes and integer hashing.  The
+    combines are plain 64-bit sums: commutative, so neither element nor
+    id order matters.
+    """
+    total = 0
+    has_anon = False
+    profiles: Dict[Tuple, List[Tuple[int, int]]] = {}
+    for tkey, count in typed_elements:
+        entry = _memo_entry(memo, tkey, pinned)
+        anon_here = entry[1]
+        if anon_here:
+            has_anon = True
+            cache = entry[2]
+            blinded = cache.get(0)
+            if blinded is None:
+                markers = {ident: ("?", ident[0]) for ident in anon_here}
+                blinded = hash(repr(_resolve(tkey, markers)))
+                cache[0] = blinded
+            total += hash((blinded, count))
+            for ident in anon_here:
+                profiles.setdefault(ident, []).append((blinded, count))
+        else:
+            total += hash((id(tkey), count))
+    for profile in profiles.values():
+        profile.sort()
+        total += hash((7, tuple(profile)))
+    return total & 0xFFFFFFFFFFFFFFFF, has_anon
+
+
+class LazyCanonicalKey:
+    """A visited-set key that defers colour refinement to hash collisions.
+
+    Hashing uses the O(state) blinded signature (rename-invariant, see
+    :func:`blind_signature`); the expensive canonical *body* is computed
+    by ``resolve_body`` only when the hosting set actually probes
+    equality — i.e. when two states share a blinded hash — and is
+    memoized per key.  Soundness mirrors the eager scheme exactly:
+
+    * isomorphic states have equal blinded hashes, so the set always
+      compares them and equality falls through to equal bodies — no
+      merge is ever missed relative to eager canonical keys;
+    * equality is *decided* by the bodies (or raw-configuration
+      equality, which implies equal bodies), so a blind-hash collision
+      between non-isomorphic states never merges them;
+    * bodies-equal is transitive, so set semantics stay consistent.
+    """
+
+    __slots__ = ("config", "_blind", "_resolve_body", "_body")
+
+    def __init__(self, config, blind_hash: int, resolve_body) -> None:
+        self.config = config
+        self._blind = blind_hash
+        self._resolve_body = resolve_body
+        self._body = None
+
+    def body(self) -> Tuple:
+        body = self._body
+        if body is None:
+            body = self._body = self._resolve_body(self.config)
+            self._resolve_body = None  # the closure is no longer needed
+        return body
+
+    def __hash__(self) -> int:
+        return self._blind
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        if other.__class__ is not LazyCanonicalKey:
+            return NotImplemented
+        # Equal raw configurations are trivially isomorphic; the check is
+        # O(1) on the incremental hash for the (common) negative case.
+        if self.config == other.config:
+            return True
+        return self.body() == other.body()
+
+    def __repr__(self) -> str:
+        state = "resolved" if self._body is not None else "blind"
+        return f"<lazy-key {self._blind:#x} {state}>"
+
+
 def canonical_key(
     typed_elements: Sequence[Tuple[Hashable, int]],
     pinned: Mapping[str, FrozenSet],
@@ -193,21 +331,8 @@ def canonical_key(
     # Per element: (typed key, count, anonymous ids sorted, per-element cache).
     elements: List[Tuple[Hashable, int, Tuple, Dict]] = []
     seen: Dict[Tuple, None] = {}
-    empty: FrozenSet = frozenset()
     for tkey, count in typed_elements:
-        entry = memo.get(id(tkey))
-        if entry is None:
-            found: set = set()
-            _collect_ids(tkey, found)
-            anon_here = tuple(
-                sorted(
-                    ident
-                    for ident in found
-                    if ident[1] not in pinned.get(ident[0], empty)
-                )
-            )
-            entry = (tkey, anon_here, {})
-            memo[id(tkey)] = entry
+        entry = _memo_entry(memo, tkey, pinned)
         elements.append((entry[0], count, entry[1], entry[2]))
         for ident in entry[1]:
             seen.setdefault(ident, None)

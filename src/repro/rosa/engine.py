@@ -40,6 +40,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.rewriting import PROGRESS_INTERVAL, SearchBudget, SearchStats
+from repro.rosa.independence import REDUCTION_MIN_SPACE, estimated_space
 from repro.rosa.query import (
     DEFAULT_BUDGET,
     RosaQuery,
@@ -57,7 +58,11 @@ logger = logging.getLogger("repro.rosa.engine")
 #: persisted caches with another version are discarded, not misread.
 #: Version 2: the reduction flag joined the key material and cached
 #: outcomes grew the reduction counters.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3: lazy canonicalization and working partial-order reduction
+#: changed the cost counters cached entries carry (symmetry_hits /
+#: por_pruned semantics), and the engine now downgrades tiny searches
+#: to the raw space, so reduction=True entries for them hold raw counts.
+CACHE_SCHEMA_VERSION = 3
 
 
 # -- canonical query keys -----------------------------------------------------
@@ -434,7 +439,10 @@ class QueryEngine:
         self.profiler = profiler
         #: Symmetry + partial-order state-space reduction for every
         #: search this engine runs (see :mod:`repro.rosa.independence`).
-        #: Verdict-preserving; disable for baselines and differential runs.
+        #: Verdict-preserving; disable for baselines and differential
+        #: runs.  Even when enabled, searches whose estimated raw space
+        #: is below :data:`~repro.rosa.independence.REDUCTION_MIN_SPACE`
+        #: run unreduced — see :meth:`_effective_reduction`.
         self.reduction = reduction
         #: ``None`` disables caching entirely (every check searches).
         self.cache = cache
@@ -455,6 +463,24 @@ class QueryEngine:
 
     # -- single queries --------------------------------------------------------
 
+    def _effective_reduction(self, query: RosaQuery) -> bool:
+        """The reduction flag for one query: the engine's setting,
+        downgraded to a raw search when the estimated state space is too
+        small to repay the reducer's setup and per-state key derivation.
+
+        The gate lives here, not in :func:`repro.rosa.query.check`,
+        because direct ``check`` calls are the measurement surface —
+        baselines, differential oracles and the reduction tests need
+        ``reduction=True`` to mean the reducer actually runs.  The
+        downgrade is deterministic in the query, so cache entries keyed
+        with the effective flag stay consistent across runs, and it is
+        verdict-neutral: both searches are exhaustive over the same
+        space.
+        """
+        return self.reduction and (
+            estimated_space(query.initial) >= REDUCTION_MIN_SPACE
+        )
+
     def check(
         self,
         query: RosaQuery,
@@ -471,7 +497,9 @@ class QueryEngine:
         metrics = self.telemetry.metrics
         if track_states or self.cache is None:
             return self._checked(query, budget, track_states=track_states)
-        key = query_cache_key(query, budget, reduction=self.reduction)
+        key = query_cache_key(
+            query, budget, reduction=self._effective_reduction(query)
+        )
         entry = self.cache.get(key)
         if entry is not None:
             metrics.counter("rosa.cache.hits").inc()
@@ -495,7 +523,7 @@ class QueryEngine:
             tracer=self.telemetry.tracer,
             progress=self.progress,
             progress_interval=self.progress_interval,
-            reduction=self.reduction,
+            reduction=self._effective_reduction(query),
             **extra,
         )
         metrics = self.telemetry.metrics
@@ -546,7 +574,7 @@ class QueryEngine:
             keys = [
                 query_cache_key(
                     request.query, request.budget or self.budget,
-                    reduction=self.reduction,
+                    reduction=self._effective_reduction(request.query),
                 )
                 for request in entries
             ]
@@ -665,17 +693,17 @@ class QueryEngine:
                     _run_spec_in_worker,
                     entries[index].spec,
                     budget_for(index),
-                    self.reduction,
+                    self._effective_reduction(entries[index].query),
                 )
                 for index in leaders
             ]
         elif mode == "thread":
             executor_cls = concurrent.futures.ThreadPoolExecutor
 
-            def run_in_thread(query, budget, submitted=None):
+            def run_in_thread(query, budget, reduction, submitted=None):
                 if submitted is None:
                     return check(
-                        query, budget, tracer=NULL_TRACER, reduction=self.reduction
+                        query, budget, tracer=NULL_TRACER, reduction=reduction
                     )
                 # Scheduling attribution per pool thread: queue wait is
                 # submit-to-start, execute is the search itself.  Worker
@@ -690,7 +718,7 @@ class QueryEngine:
                 )
                 profiler.account(("engine", worker, "queue_wait"), start - submitted)
                 report = check(
-                    query, budget, tracer=NULL_TRACER, reduction=self.reduction
+                    query, budget, tracer=NULL_TRACER, reduction=reduction
                 )
                 profiler.account(("engine", worker, "execute"), clock() - start)
                 return report
@@ -700,6 +728,7 @@ class QueryEngine:
                     run_in_thread,
                     entries[index].query,
                     budget_for(index),
+                    self._effective_reduction(entries[index].query),
                     profiler.clock() if profiler is not None else None,
                 )
                 for index in leaders

@@ -43,7 +43,9 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
 from repro.rewriting import Configuration, MessageRule, Msg, Obj, ObjectSystem, SearchBudget
 from repro.rewriting.reduction import (
     Footprint,
+    LazyCanonicalKey,
     ReductionStats,
+    blind_signature,
     canonical_key,
     footprint,
     typed_fset,
@@ -244,6 +246,43 @@ def _typed_msg_key(msg: Msg) -> Tuple:
     return ("msg", msg.name, args)
 
 
+#: Below this estimated raw state-space size, reduction costs more than
+#: it can possibly save: the reducer's setup (inert classification) plus
+#: per-state canonicalization overwhelm a search that finishes in a few
+#: dozen states either way.  The query engine downgrades such searches
+#: to the raw space (see :meth:`repro.rosa.engine.QueryEngine.check`);
+#: direct :func:`repro.rosa.query.check` calls are never downgraded —
+#: baselines, differential oracles and reduction tests rely on the flag
+#: meaning exactly what it says.
+REDUCTION_MIN_SPACE = 256
+
+
+def estimated_space(initial: Configuration, cap: int = 1 << 20) -> int:
+    """A cheap upper bound on the reachable state-space size.
+
+    Every UNIX rule consumes one pending message and creates none, so
+    each reachable state is the initial objects rewritten by some
+    sub-multiset of the initial messages: the space is bounded by
+    ``prod(count + 1)`` over the pending message multiset.  The product
+    is clamped at ``cap`` — callers only compare it against small
+    thresholds, and unclamped it grows combinatorially.
+    """
+    bound = 1
+    for element, count in initial._counts.items():
+        if isinstance(element, Msg):
+            bound *= count + 1
+            if bound >= cap:
+                return cap
+    return bound
+
+
+#: Messages that write the uid triple family (``proc.uids``); no other
+#: message kind can change any process's uids.
+_UID_FAMILY = frozenset({"setuid", "seteuid", "setresuid"})
+#: Messages that write the gid family (``proc.gids``); the only writers.
+_GID_FAMILY = frozenset({"setgid", "setegid", "setresgid", "setgroups"})
+
+
 class RosaReducer:
     """Symmetry-canonical visited keys plus ample-set successor filtering.
 
@@ -259,6 +298,7 @@ class RosaReducer:
         goal_footprint: GoalFootprint,
         pinned: Dict[str, FrozenSet],
         por: bool,
+        initial: Optional[Configuration] = None,
     ) -> None:
         self.system = system
         self.goal_reads = goal_footprint.reads
@@ -269,15 +309,17 @@ class RosaReducer:
         #: across the many configurations a search builds, so the cache
         #: hit rate approaches 1 after the first few states.
         self._typed: Dict[object, Tuple] = {}
-        #: canonical key -> incremental hash of the first raw state seen
-        #: with it; a second raw hash under the same key is a symmetry
+        #: canonical body -> incremental hash of the first raw state seen
+        #: with it; a second raw hash under the same body is a symmetry
         #: merge (metrics only — correctness never consults this).
         self._first_raw: Dict[Tuple, int] = {}
-        #: raw configuration -> canonical key.  BFS canonicalizes every
+        #: raw configuration -> visited-set key.  BFS canonicalizes every
         #: successor *edge*; distinct edges frequently produce the same
         #: raw configuration, and Configuration hashes in O(1) via its
         #: incremental hash, so keying finished answers by the raw state
-        #: skips the whole colour-refinement pass on repeats.
+        #: skips re-deriving the key on repeats — and, because equal raw
+        #: configurations share one :class:`LazyCanonicalKey` instance,
+        #: most set probes short-circuit on identity.
         self._canon: Dict[Configuration, Hashable] = {}
         #: Cross-state canonicalization memo shared by every
         #: :func:`canonical_key` call of this search (see its docstring).
@@ -287,6 +329,16 @@ class RosaReducer:
         for rule in system.rules:
             if isinstance(rule, MessageRule) and rule.message_name:
                 self._rules_by_name.setdefault(rule.message_name, []).append(rule)
+        #: Pending message -> forever-inert verdict (see
+        #: :meth:`_classify_inert`); filled from the first configuration
+        #: :meth:`_ample` sees (the search's initial state) unless one
+        #: was provided up front.  Messages never spawn during search, so
+        #: the initial pending set covers every reachable state.
+        self._inert: Optional[Dict[Msg, bool]] = None
+        #: Cached deterministic sort keys for pending-message ordering.
+        self._sort_keys: Dict[Msg, str] = {}
+        if initial is not None:
+            self._classify_inert(initial)
 
     # -- symmetry ---------------------------------------------------------------
 
@@ -313,16 +365,30 @@ class RosaReducer:
             (self._typed_key(element), count)
             for element, count in config._counts.items()
         ]
-        key = canonical_key(typed_elements, self.pinned, memo=self._memo)
-        if key is None:
+        blind, has_anon = blind_signature(typed_elements, self.pinned, self._memo)
+        if not has_anon:
             # Fast path: no anonymous ids, the configuration is its own
             # canonical representative.
             return config
+        # Lazy slow path: the key hashes by the O(1)-combinable blinded
+        # signature; colour refinement runs only if the visited set sees
+        # a hash collision and probes equality (see LazyCanonicalKey).
+        return LazyCanonicalKey(config, blind, self._canonical_body)
+
+    def _canonical_body(self, config: Configuration) -> Tuple:
+        """Full colour-refinement canonical form; collision path only."""
+        typed_elements = [
+            (self._typed_key(element), count)
+            for element, count in config._counts.items()
+        ]
+        body = canonical_key(typed_elements, self.pinned, memo=self._memo)
+        # ``body`` cannot be None here: lazy keys are built only for
+        # states with anonymous ids.
         self.stats.canonicalized += 1
-        raw = self._first_raw.setdefault(key, config._ihash)
+        raw = self._first_raw.setdefault(body, config._ihash)
         if raw != config._ihash:
             self.stats.symmetry_hits += 1
-        return key
+        return body
 
     # -- partial order ----------------------------------------------------------
 
@@ -333,10 +399,116 @@ class RosaReducer:
                 return iter(ample)
         return self.system.successors(config)
 
+    def _classify_inert(self, initial: Configuration) -> Dict[Msg, bool]:
+        """Which pending messages are *forever inert*: pure consumes always.
+
+        A message is forever inert when, at every reachable state, each
+        of its transitions is a pure consume — the result is exactly the
+        state minus one occurrence of the message.  Such a message
+        commutes with everything (consuming it first reaches ``s ∖ {m}``
+        with every object untouched, and no rule reads the message
+        multiset of other kinds), is invisible to goals (goals read only
+        objects), and the space is acyclic (every rule consumes a
+        message), so its transitions form a sound ample set.
+
+        Classification is per message value, from the initial state:
+
+        * ``connect`` and non-SIGKILL ``kill`` are pure consumes by rule
+          construction, at any state;
+        * the uid family is inert when *every* pending uid-family
+          message yields only pure consumes at the initial state.  Those
+          messages are the only writers of any process's uid triple and
+          their enabledness reads only uids plus the capability set
+          frozen inside the message args — so if none of them can move a
+          uid at the start, no reachable state ever differs in uids and
+          the initial classification holds everywhere;
+        * the gid family is frozen analogously (sole writers of gid
+          triples and supplementary groups, enabledness on gids + frozen
+          caps).
+
+        Messages with zero transitions at the initial state classify as
+        pure vacuously — under a frozen family they stay disabled
+        forever, so they neither write nor ever lead an ample set (ample
+        selection requires an enabled transition).
+        """
+        purity: Dict[Msg, bool] = {}
+        pending = list(initial.messages())
+        for msg in pending:
+            expected = None
+            pure = True
+            for rule in self._rules_by_name.get(msg.name, ()):
+                for result in rule.rewrites_for_message(initial, msg):
+                    if expected is None:
+                        expected = initial.consume(msg)
+                    if result != expected:
+                        pure = False
+                        break
+                if not pure:
+                    break
+            purity[msg] = pure
+        uid_frozen = all(
+            purity[msg] for msg in pending if msg.name in _UID_FAMILY
+        )
+        gid_frozen = all(
+            purity[msg] for msg in pending if msg.name in _GID_FAMILY
+        )
+        inert: Dict[Msg, bool] = {}
+        for msg in pending:
+            if msg.name == "connect":
+                inert[msg] = True
+            elif msg.name == "kill" and msg.args[2] != model.SIGKILL:
+                inert[msg] = True
+            elif msg.name in _UID_FAMILY:
+                inert[msg] = uid_frozen
+            elif msg.name in _GID_FAMILY:
+                inert[msg] = gid_frozen
+            else:
+                inert[msg] = False
+        self._inert = inert
+        return inert
+
+    def _sort_key(self, msg: Msg) -> str:
+        key = self._sort_keys.get(msg)
+        if key is None:
+            key = repr(msg.key)
+            self._sort_keys[msg] = key
+        return key
+
     def _ample(self, config: Configuration) -> Optional[List[Tuple[str, Configuration]]]:
-        pending = sorted(config.messages(), key=lambda msg: repr(msg.key))
+        pending = sorted(config.messages(), key=self._sort_key)
         if len(pending) < 2:
             return None
+        inert = self._inert
+        if inert is None:
+            # Lazily classify from the first multi-message state the
+            # search expands — that is the initial configuration, whose
+            # pending set covers every reachable state's.
+            inert = self._classify_inert(config)
+        for msg in pending:
+            if not inert.get(msg, False):
+                continue
+            # Forever-inert message: its transitions are the ample set.
+            # Defense in depth — verify the pure-consume invariant holds
+            # at *this* state before relying on it; fall through to the
+            # footprint path on any mismatch (costs reduction, never
+            # soundness).
+            transitions = []
+            expected = None
+            still_pure = True
+            for rule in self._rules_by_name.get(msg.name, ()):
+                for result in rule.rewrites_for_message(config, msg):
+                    if expected is None:
+                        expected = config.consume(msg)
+                    if result != expected:
+                        still_pure = False
+                        break
+                    transitions.append((rule.label, result))
+                if not still_pure:
+                    break
+            if still_pure and transitions:
+                self.stats.ample_states += 1
+                self.stats.por_pruned += len(pending) - 1
+                return transitions
         for msg in pending:
             fp = MESSAGE_FOOTPRINTS.get(msg.name)
             if fp is None:
@@ -431,7 +603,7 @@ def build_reducer(
         GID: frozenset(pinned_gids),
     }
     por = budget.max_depth is None
-    return RosaReducer(system, goal_fp, pinned, por)
+    return RosaReducer(system, goal_fp, pinned, por, initial=initial)
 
 
 _UNIX_SIGNATURE = None

@@ -20,10 +20,13 @@ that attribute every expansion's wall time to named frames under the
     every pending syscall message writes tokens the goal reads.
 ``reduction.canonical.cache_hit`` / ``.fast_path`` / ``.canonicalize``
     The symmetry layer's three outcomes: raw-configuration cache hit,
-    no-anonymous-ids fast path (the key *is* the configuration), and the
-    full colour-refinement canonicalization — the slow path whose
-    ``merges`` counter is the ``symmetry_hits`` figure.  The split shows
-    *why* ``symmetry_hits`` ≈ 0: repro-scale states pin almost every id.
+    no-anonymous-ids fast path (the key *is* the configuration), and
+    lazy-key construction (the O(state) blinded signature).  The full
+    colour refinement is collision-triggered — it runs inside the
+    visited set's equality probes — so its wall time lands in
+    ``search.loop``; :meth:`ProfiledSearch.finish` surfaces its volume
+    as the ``resolved`` (bodies computed) and ``merges``
+    (``symmetry_hits``) counters on the canonicalize frame.
 ``hash.incremental``
     Hashing the visited-set key — O(1) by construction (configurations
     carry an incremental multiset hash), and the profile proves it.
@@ -145,16 +148,17 @@ class ProfiledSearch:
             key = reducer.canonical(config)
             self._account(_CACHE_HIT, clock() - start)
         else:
-            merges_before = reducer.stats.symmetry_hits
             key = reducer.canonical(config)
             elapsed = clock() - start
             if key is config:
                 self._account(_FAST_PATH, elapsed)
             else:
+                # Lazy-key construction: the blinded signature only.  The
+                # colour refinement itself now runs inside the visited
+                # set's equality probes (hash collisions), which land in
+                # the search.loop remainder; finish() surfaces its volume
+                # via the ``resolved``/``merges`` counters.
                 self._account(_CANONICALIZE, elapsed)
-                merges = reducer.stats.symmetry_hits - merges_before
-                if merges:
-                    self.profiler.count(_CANONICALIZE, "merges", merges)
         start = clock()
         hash(key)
         self._account(_HASH, clock() - start)
@@ -186,6 +190,18 @@ class ProfiledSearch:
         if remainder > 0.0:
             profiler.account(_LOOP, remainder)
             profiler.count(_LOOP, "derived")
+        reducer = self.reducer
+        if reducer is not None:
+            # Colour refinement is collision-triggered under lazy keys and
+            # runs inside set equality probes; report its totals here.
+            if reducer.stats.canonicalized:
+                profiler.count(
+                    _CANONICALIZE, "resolved", reducer.stats.canonicalized
+                )
+            if reducer.stats.symmetry_hits:
+                profiler.count(
+                    _CANONICALIZE, "merges", reducer.stats.symmetry_hits
+                )
 
 
 def profiled_callables(

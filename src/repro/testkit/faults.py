@@ -50,34 +50,62 @@ def install_fault(name: str):
 
 @fault("vm-mul-truncate")
 def _vm_mul_truncate() -> Callable[[], None]:
-    """The dispatch-table VM silently truncates large ``mul`` results.
+    """The production VM silently truncates large ``mul`` results.
 
-    Models a narrowing bug in one opcode handler.  Patched at class
-    level *before* interpreter construction, so every new stock
-    ``Interpreter`` binds the buggy handler into its dispatch table; the
-    reference interpreter never consults the handler and stays correct —
-    exactly the disagreement the ``vm`` oracle exists to catch.
+    Models a narrowing bug in the shared ``BINARY_OPS`` semantics table,
+    which *both* production cores consult — the dispatch loop at every
+    retired instruction, the compiled core when it specializes a ``mul``
+    closure (per-VM caches, so interpreters built inside the fault
+    window compile the bug in).  The reference interpreter inlines its
+    own arithmetic and stays correct — exactly the disagreement the
+    ``vm`` oracle family exists to catch.  (The ``compiled`` family
+    deliberately does *not* catch this one: both production strategies
+    share the table and agree with each other — see
+    ``compiled-mul-truncate`` for its bug class.)
     """
-    from repro.vm.interpreter import _CONTINUE, Interpreter
+    from repro.ir import instructions
 
-    original = Interpreter._step_binop
+    original = instructions.BINARY_OPS["mul"]
 
-    def buggy_step_binop(self, frame, instruction):
-        if instruction.op == "mul":
-            lhs = self._operand(frame, instruction.operands[0])
-            rhs = self._operand(frame, instruction.operands[1])
-            raw = lhs * rhs
-            if abs(raw) >= 64:
-                raw &= 63
-            frame.values[instruction] = instruction.type.wrap(raw)
-            frame.index += 1
-            return _CONTINUE
-        return original(self, frame, instruction)
+    def buggy_mul(a, b):
+        raw = a * b
+        if abs(raw) >= 64:
+            raw &= 63
+        return raw
 
-    Interpreter._step_binop = buggy_step_binop
+    instructions.BINARY_OPS["mul"] = buggy_mul
 
     def undo() -> None:
-        Interpreter._step_binop = original
+        instructions.BINARY_OPS["mul"] = original
+
+    return undo
+
+
+@fault("compiled-mul-truncate")
+def _compiled_mul_truncate() -> Callable[[], None]:
+    """The compiled core bakes a stale ``mul`` into its closures.
+
+    Models compile-time-captured semantics drifting from the dispatch
+    loop's — a table updated in one place but not the other.  Only the
+    compiler module's ``BINARY_OPS`` binding is rebound (to a copy with
+    a truncating ``mul``), so the dispatch loop and the reference
+    evaluator stay correct: the ``compiled`` oracle family's
+    compiled-vs-dispatch comparison is what catches it.
+    """
+    from repro.vm import compiled
+
+    original = compiled.BINARY_OPS
+
+    def buggy_mul(a, b):
+        raw = a * b
+        if abs(raw) >= 64:
+            raw &= 63
+        return raw
+
+    compiled.BINARY_OPS = {**original, "mul": buggy_mul}
+
+    def undo() -> None:
+        compiled.BINARY_OPS = original
 
     return undo
 

@@ -19,6 +19,9 @@ Differential families (the default campaign):
 * ``vm`` — the **dispatch-table VM vs the straight-line reference**
   evaluator must agree on exit code, stdout, instruction count and the
   entire final kernel state;
+* ``compiled`` — the **closure-compiled VM core vs the dispatch loop**
+  (the two production execution strategies) must agree on the same four
+  sides, including exact error messages and budget-exhaustion points;
 * ``ledger`` — a run ledger **written, read back and diffed against
   itself** must be clean.
 
@@ -305,6 +308,31 @@ _register(
         description="dispatch-table VM vs straight-line reference evaluator",
         generate=generators.gen_program_case,
         run=_run_vm,
+        shrink_candidates=_shrink_program,
+    )
+)
+
+
+# -- compiled: closure-compiled core vs dispatch loop -------------------------
+
+
+def _run_compiled(case: Case) -> OracleResult:
+    from repro.vm.interpreter import DispatchInterpreter, Interpreter
+
+    compiled = _execute_program(case, Interpreter)
+    dispatch = _execute_program(case, DispatchInterpreter)
+    for label, a, b in zip(_VM_SIDE_LABELS, compiled, dispatch):
+        if a != b:
+            return _mismatch("compiled", f"compiled.{label}", a, f"dispatch.{label}", b)
+    return OracleResult("compiled", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="compiled",
+        description="closure-compiled VM core vs per-instruction dispatch loop",
+        generate=generators.gen_program_case,
+        run=_run_compiled,
         shrink_candidates=_shrink_program,
     )
 )
@@ -624,6 +652,7 @@ DEFAULT_FAMILIES: Tuple[str, ...] = (
     "cache",
     "pools",
     "vm",
+    "compiled",
     "ledger",
     "reduction-parity",
 )

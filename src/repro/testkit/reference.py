@@ -67,6 +67,10 @@ class ReferenceInterpreter(Interpreter):
     strategy differs.
     """
 
+    #: The whole point is the independent straight-line loop below; the
+    #: compiled core must not route around it.
+    use_compiled = False
+
     def _resolve(self, frame: Frame, value):
         # Literal kinds first — the opposite probe order from the
         # production fast path, so ordering bugs cannot hide in both.

@@ -7,6 +7,7 @@ provides exact per-instruction accounting and the intrinsic surface
 
 from repro.vm.frame import Frame, GlobalSlot, StackSlot
 from repro.vm.interpreter import (
+    DispatchInterpreter,
     Interpreter,
     ProgramExit,
     VMError,
@@ -17,6 +18,7 @@ from repro.vm.intrinsics import default_intrinsics
 from repro.vm.profiler import ProfilingInterpreter
 
 __all__ = [
+    "DispatchInterpreter",
     "Frame",
     "GlobalSlot",
     "Interpreter",

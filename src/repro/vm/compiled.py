@@ -1,0 +1,740 @@
+"""The compiled VM core: per-function closure compilation.
+
+:func:`compile_function` translates one defined IR function into a
+:class:`CompiledFunction`: SSA values become integer slots in a flat
+register list, and every instruction becomes a specialized closure with
+its operands resolved at compile time — no per-step ``isinstance``
+ladder, no dispatch-table lookup, no frame-dictionary probes.  The
+stock :class:`~repro.vm.interpreter.Interpreter` routes defined-function
+calls here (``use_compiled``); subclasses that override ``_run_frame``
+(the profiling and testkit reference interpreters) opt out and keep
+their per-instruction strategies.
+
+Parity is the design constraint, not an afterthought:
+
+* ``executed_instructions`` matches the dispatch interpreter exactly,
+  including on every error path.  Each basic block's count is added
+  *before* the block runs; closures that can terminate early (division,
+  bad pointers, calls that unwind) carry their baked ``tail`` — the
+  number of pre-counted instructions that will now never retire — and
+  subtract it before re-raising, so the counter always reads as if
+  instructions were retired one at a time.
+* When a block would cross the instruction budget, the pre-add is
+  rolled back and the block re-runs through a per-instruction slow path
+  that raises at exactly the instruction the dispatch loop would.
+  A call that leaves the counter at the budget edge re-checks before
+  letting pre-counted successors run (the dispatch loop would raise on
+  the instruction after the call).
+* Error messages are byte-identical to the dispatch handlers' — the
+  differential oracles fingerprint them.
+* ϕ-nodes compile to per-edge move lists (classic SSA destruction),
+  applied in instruction order so a ϕ reading an earlier ϕ of the same
+  block observes the new value, exactly like the sequential dispatch
+  loop.  Block variants are keyed by predecessor only when the block
+  actually contains ϕ-nodes.
+* Signal delivery stays at call boundaries: every call closure runs the
+  pending-signal dispatch its dispatch-loop counterpart would.
+
+ChronoPriv's per-block counting call compiles to
+``vm.chrono_count(n)`` — a direct method call instead of an intrinsic
+dispatch — which the recorder overrides per-instance with a bare
+counter-cell increment (see :mod:`repro.chronopriv.runtime`).
+
+Known (accepted) divergences from the dispatch loop, all outside the
+IR the frontend emits: reading an SSA temporary before its definition
+yields the slot's initial ``0`` instead of a "use of undefined value"
+error, and calling a defined function with too few arguments zero-fills
+the missing parameters instead of erroring at first use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.ir import (
+    Alloca,
+    BinOp,
+    Branch,
+    Call,
+    ConstantInt,
+    ConstantString,
+    FunctionRef,
+    Function,
+    GlobalVariable,
+    ICmp,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    UndefValue,
+    Value,
+)
+from repro.ir.instructions import BINARY_OPS, ICMP_PREDICATES
+from repro.vm.frame import StackSlot
+from repro.vm.interpreter import ProgramExit, VMError
+
+_BUDGET_MSG = "instruction budget exhausted (runaway program?)"
+
+#: ChronoPriv's counting hook (kept literal to avoid an import cycle
+#: with :mod:`repro.chronopriv.instrument`).
+_CHRONO_COUNT = "__chrono_count"
+
+#: Shared ``ret void`` result — terminators return either the next
+#: :class:`_BlockCode` or a ``("ret", value)`` pair.
+_RET_NONE = ("ret", None)
+
+# Operand descriptor kinds (first element of the descriptor pair).
+_REG = 0      # value lives in a register slot
+_CONST = 1    # compile-time constant (int, str, FunctionRef, GlobalSlot)
+_GLOBAL = 2   # GlobalVariable missing from vm.globals at compile time
+_UNDEF = 3    # unresolvable value; using it raises the dispatch error
+
+
+class _BlockCode:
+    """One basic block (for one predecessor edge) in compiled form."""
+
+    __slots__ = ("steps", "tails", "term", "count", "term_retires")
+
+    def __init__(self) -> None:
+        self.steps: Tuple[Callable, ...] = ()
+        #: Per-step baked tail counts, for the budget slow path to undo a
+        #: closure's own tail subtraction before re-raising.
+        self.tails: Tuple[int, ...] = ()
+        self.term: Callable = _unfilled_terminator
+        #: Instructions this block pre-adds (steps + retiring terminator).
+        self.count: int = 0
+        #: False only for blocks missing a terminator: the dispatch loop
+        #: raises *without* retiring an instruction there.
+        self.term_retires: bool = True
+
+
+def _unfilled_terminator(vm, regs):  # pragma: no cover - compile-time bug trap
+    raise VMError("compiled block was never filled")
+
+
+class CompiledFunction:
+    """A compiled function body; called as ``code(vm, args)``."""
+
+    __slots__ = ("function", "nregs", "argc", "entry")
+
+    def __init__(self, function: Function, nregs: int, argc: int, entry: _BlockCode) -> None:
+        self.function = function
+        self.nregs = nregs
+        self.argc = argc
+        self.entry = entry
+
+    def __call__(self, vm, args: List[Any]):
+        regs = [0] * self.nregs
+        argc = self.argc
+        for index, value in enumerate(args):
+            if index >= argc:
+                break
+            regs[index] = value
+        code = self.entry
+        maxi = vm.max_instructions
+        while True:
+            count = code.count
+            vm.executed_instructions += count
+            if vm.executed_instructions > maxi:
+                vm.executed_instructions -= count
+                nxt = _run_slow(vm, regs, code, maxi)
+            else:
+                for step in code.steps:
+                    step(vm, regs)
+                nxt = code.term(vm, regs)
+            if nxt.__class__ is _BlockCode:
+                code = nxt
+            else:
+                return nxt[1]
+
+
+def _run_slow(vm, regs, code: _BlockCode, maxi: int):
+    """Re-run one block with per-instruction counting (budget edge).
+
+    The fast path's pre-add has been rolled back; retire instructions
+    one at a time so the budget error fires at exactly the instruction
+    the dispatch loop would raise on.  Step closures bake in a tail
+    subtraction sized for the pre-added fast path, so a raise here is
+    compensated from the parallel ``tails`` record.
+    """
+    tails = code.tails
+    for index, step in enumerate(code.steps):
+        vm.executed_instructions += 1
+        if vm.executed_instructions > maxi:
+            raise VMError(_BUDGET_MSG)
+        try:
+            step(vm, regs)
+        except (VMError, ProgramExit):
+            vm.executed_instructions += tails[index]
+            raise
+    if code.term_retires:
+        vm.executed_instructions += 1
+        if vm.executed_instructions > maxi:
+            raise VMError(_BUDGET_MSG)
+    return code.term(vm, regs)
+
+
+def compile_function(vm, function: Function) -> CompiledFunction:
+    """Compile ``function`` for ``vm`` (globals prebound to its slots)."""
+    return _Compiler(vm, function).compile()
+
+
+class _Compiler:
+    def __init__(self, vm, function: Function) -> None:
+        self.vm = vm
+        self.function = function
+        #: SSA value -> register slot.  Arguments first, then every
+        #: instruction (identity-keyed, like the dispatch frame map).
+        self.regmap: Dict[Value, int] = {}
+        for argument in function.arguments:
+            self.regmap[argument] = len(self.regmap)
+        self.argc = len(self.regmap)
+        for block in function.blocks:
+            for instruction in block.instructions:
+                self.regmap[instruction] = len(self.regmap)
+        #: (block, pred-or-None) -> _BlockCode.  Blocks without ϕ-nodes
+        #: compile once and share the code across every in-edge.
+        self.variants: Dict[Tuple[Any, Any], _BlockCode] = {}
+        self._worklist: List[Tuple[_BlockCode, Any, Any]] = []
+
+    def compile(self) -> CompiledFunction:
+        entry = self._variant(self.function.entry, None)
+        while self._worklist:
+            code, block, pred = self._worklist.pop()
+            self._fill(code, block, pred)
+        return CompiledFunction(self.function, len(self.regmap), self.argc, entry)
+
+    def _variant(self, block, pred) -> _BlockCode:
+        has_phi = any(isinstance(i, Phi) for i in block.instructions)
+        key = (block, pred if has_phi else None)
+        code = self.variants.get(key)
+        if code is None:
+            code = _BlockCode()
+            self.variants[key] = code
+            self._worklist.append((code, block, pred if has_phi else None))
+        return code
+
+    # -- operand resolution ---------------------------------------------------
+
+    def _operand(self, value: Value) -> Tuple[int, Any]:
+        index = self.regmap.get(value)
+        if index is not None:
+            return (_REG, index)
+        if isinstance(value, (ConstantInt, ConstantString)):
+            return (_CONST, value.value)
+        if isinstance(value, FunctionRef):
+            return (_CONST, value)
+        if isinstance(value, GlobalVariable):
+            slot = self.vm.globals.get(value)
+            if slot is not None:
+                return (_CONST, slot)
+            return (_GLOBAL, value)
+        if isinstance(value, UndefValue):
+            return (_CONST, 0)
+        return (
+            _UNDEF,
+            f"@{self.function.name}: use of undefined value {value.short()}",
+        )
+
+    def _fetch(self, desc: Tuple[int, Any]) -> Callable:
+        kind, payload = desc
+        if kind == _REG:
+            index = payload
+
+            def get(vm, regs, _i=index):
+                return regs[_i]
+
+        elif kind == _GLOBAL:
+
+            def get(vm, regs, _v=payload):
+                return vm.globals[_v]
+
+        else:
+
+            def get(vm, regs, _c=payload):
+                return _c
+
+        return get
+
+    @staticmethod
+    def _first_undef(*descs) -> Optional[str]:
+        for kind, payload in descs:
+            if kind == _UNDEF:
+                return payload
+        return None
+
+    # -- block compilation ----------------------------------------------------
+
+    def _fill(self, code: _BlockCode, block, pred) -> None:
+        body: List[Any] = []
+        terminator = None
+        for instruction in block.instructions:
+            if instruction.is_terminator:
+                terminator = instruction
+                break
+            body.append(instruction)
+        step_count = len(body)
+        code.term_retires = terminator is not None
+        code.count = step_count + (1 if terminator is not None else 0)
+        steps: List[Callable] = []
+        tails: List[int] = []
+        for position, instruction in enumerate(body):
+            # Pre-counted instructions that never retire if this one raises.
+            tail = code.count - (position + 1)
+            steps.append(self._compile_step(instruction, pred, tail))
+            tails.append(tail)
+        code.steps = tuple(steps)
+        code.tails = tuple(tails)
+        code.term = self._compile_terminator(terminator, block)
+
+    def _compile_step(self, instruction, pred, tail: int) -> Callable:
+        if isinstance(instruction, Phi):
+            return self._compile_phi(instruction, pred, tail)
+        if isinstance(instruction, Call):
+            return self._compile_call(instruction, tail)
+        if isinstance(instruction, BinOp):
+            return self._compile_binop(instruction, tail)
+        if isinstance(instruction, Load):
+            return self._compile_load(instruction, tail)
+        if isinstance(instruction, Store):
+            return self._compile_store(instruction, tail)
+        if isinstance(instruction, ICmp):
+            return self._compile_icmp(instruction, tail)
+        if isinstance(instruction, Select):
+            return self._compile_select(instruction, tail)
+        if isinstance(instruction, Alloca):
+            dest = self.regmap[instruction]
+            name = instruction.name
+
+            def step(vm, regs, _d=dest, _n=name):
+                regs[_d] = StackSlot(_n)
+
+            return step
+        # The instruction set is closed; match the dispatch-table error.
+        return self._raiser(f"unknown instruction {instruction.opcode}", tail)
+
+    def _raiser(self, message: str, tail: int) -> Callable:
+        if tail:
+
+            def step(vm, regs, _m=message, _t=tail):
+                vm.executed_instructions -= _t
+                raise VMError(_m)
+
+        else:
+
+            def step(vm, regs, _m=message):
+                raise VMError(_m)
+
+        return step
+
+    def _compile_phi(self, instruction: Phi, pred, tail: int) -> Callable:
+        incoming = instruction.incoming.get(pred)
+        if incoming is None:
+            return self._raiser(
+                f"phi has no incoming for predecessor "
+                f"%{pred.name if pred else '?'}",
+                tail,
+            )
+        desc = self._operand(incoming)
+        kind, payload = desc
+        if kind == _UNDEF:
+            return self._raiser(payload, tail)
+        dest = self.regmap[instruction]
+        if kind == _REG:
+
+            def step(vm, regs, _d=dest, _s=payload):
+                regs[_d] = regs[_s]
+
+        elif kind == _GLOBAL:
+
+            def step(vm, regs, _d=dest, _v=payload):
+                regs[_d] = vm.globals[_v]
+
+        else:
+
+            def step(vm, regs, _d=dest, _c=payload):
+                regs[_d] = _c
+
+        return step
+
+    def _compile_binop(self, instruction: BinOp, tail: int) -> Callable:
+        lhs = self._operand(instruction.operands[0])
+        rhs = self._operand(instruction.operands[1])
+        undef = self._first_undef(lhs, rhs)
+        if undef is not None:
+            return self._raiser(undef, tail)
+        dest = self.regmap[instruction]
+        op = instruction.op
+        opfn = BINARY_OPS[op]
+        wrap = instruction.type.wrap
+        if op in ("sdiv", "srem"):
+            get_l = self._fetch(lhs)
+            get_r = self._fetch(rhs)
+
+            def step(vm, regs, _d=dest, _l=get_l, _r=get_r, _o=opfn, _w=wrap,
+                     _op=op, _t=tail):
+                try:
+                    raw = _o(_l(vm, regs), _r(vm, regs))
+                except ZeroDivisionError:
+                    vm.executed_instructions -= _t
+                    raise VMError(f"{_op} by zero") from None
+                regs[_d] = _w(raw)
+
+            return step
+        if lhs[0] == _REG and rhs[0] == _REG:
+
+            def step(vm, regs, _d=dest, _a=lhs[1], _b=rhs[1], _o=opfn, _w=wrap):
+                regs[_d] = _w(_o(regs[_a], regs[_b]))
+
+        elif lhs[0] == _REG and rhs[0] == _CONST:
+
+            def step(vm, regs, _d=dest, _a=lhs[1], _k=rhs[1], _o=opfn, _w=wrap):
+                regs[_d] = _w(_o(regs[_a], _k))
+
+        elif lhs[0] == _CONST and rhs[0] == _REG:
+
+            def step(vm, regs, _d=dest, _k=lhs[1], _b=rhs[1], _o=opfn, _w=wrap):
+                regs[_d] = _w(_o(_k, regs[_b]))
+
+        else:
+            get_l = self._fetch(lhs)
+            get_r = self._fetch(rhs)
+
+            def step(vm, regs, _d=dest, _l=get_l, _r=get_r, _o=opfn, _w=wrap):
+                regs[_d] = _w(_o(_l(vm, regs), _r(vm, regs)))
+
+        return step
+
+    def _compile_icmp(self, instruction: ICmp, tail: int) -> Callable:
+        lhs = self._operand(instruction.operands[0])
+        rhs = self._operand(instruction.operands[1])
+        undef = self._first_undef(lhs, rhs)
+        if undef is not None:
+            return self._raiser(undef, tail)
+        dest = self.regmap[instruction]
+        predicate = ICMP_PREDICATES[instruction.predicate]
+        if lhs[0] == _REG and rhs[0] == _REG:
+
+            def step(vm, regs, _d=dest, _a=lhs[1], _b=rhs[1], _p=predicate):
+                regs[_d] = int(_p(regs[_a], regs[_b]))
+
+        elif lhs[0] == _REG and rhs[0] == _CONST:
+
+            def step(vm, regs, _d=dest, _a=lhs[1], _k=rhs[1], _p=predicate):
+                regs[_d] = int(_p(regs[_a], _k))
+
+        elif lhs[0] == _CONST and rhs[0] == _REG:
+
+            def step(vm, regs, _d=dest, _k=lhs[1], _b=rhs[1], _p=predicate):
+                regs[_d] = int(_p(_k, regs[_b]))
+
+        else:
+            get_l = self._fetch(lhs)
+            get_r = self._fetch(rhs)
+
+            def step(vm, regs, _d=dest, _l=get_l, _r=get_r, _p=predicate):
+                regs[_d] = int(_p(_l(vm, regs), _r(vm, regs)))
+
+        return step
+
+    def _compile_load(self, instruction: Load, tail: int) -> Callable:
+        pointer = self._operand(instruction.pointer)
+        kind, payload = pointer
+        if kind == _UNDEF:
+            return self._raiser(payload, tail)
+        dest = self.regmap[instruction]
+        if kind == _CONST and isinstance(payload, StackSlot):
+            # Global load: the slot is prebound, no pointer check needed.
+
+            def step(vm, regs, _d=dest, _s=payload):
+                value = _s.value
+                regs[_d] = 0 if value is None else value
+
+            return step
+        if kind == _CONST:
+            return self._raiser(f"load through non-pointer {payload!r}", tail)
+        get_p = self._fetch(pointer)
+
+        def step(vm, regs, _d=dest, _g=get_p, _t=tail):
+            slot = _g(vm, regs)
+            if isinstance(slot, StackSlot):
+                value = slot.value
+                regs[_d] = 0 if value is None else value
+            else:
+                vm.executed_instructions -= _t
+                raise VMError(f"load through non-pointer {slot!r}")
+
+        return step
+
+    def _compile_store(self, instruction: Store, tail: int) -> Callable:
+        # Dispatch resolves the pointer first, then checks it, then
+        # resolves the value; error precedence here matches that order.
+        pointer = self._operand(instruction.pointer)
+        kind, payload = pointer
+        if kind == _UNDEF:
+            return self._raiser(payload, tail)
+        value = self._operand(instruction.value)
+        if value[0] == _UNDEF:
+            if kind == _CONST and isinstance(payload, StackSlot):
+                return self._raiser(value[1], tail)
+            if kind == _CONST:
+                return self._raiser(
+                    f"store through non-pointer {payload!r}", tail
+                )
+            get_p = self._fetch(pointer)
+
+            def step(vm, regs, _g=get_p, _m=value[1], _t=tail):
+                slot = _g(vm, regs)
+                vm.executed_instructions -= _t
+                if isinstance(slot, StackSlot):
+                    raise VMError(_m)
+                raise VMError(f"store through non-pointer {slot!r}")
+
+            return step
+        if kind == _CONST and isinstance(payload, StackSlot):
+            if value[0] == _REG:
+
+                def step(vm, regs, _s=payload, _v=value[1]):
+                    _s.value = regs[_v]
+
+            else:
+                get_v = self._fetch(value)
+
+                def step(vm, regs, _s=payload, _g=get_v):
+                    _s.value = _g(vm, regs)
+
+            return step
+        if kind == _CONST:
+            return self._raiser(f"store through non-pointer {payload!r}", tail)
+        get_p = self._fetch(pointer)
+        get_v = self._fetch(value)
+
+        def step(vm, regs, _gp=get_p, _gv=get_v, _t=tail):
+            slot = _gp(vm, regs)
+            if isinstance(slot, StackSlot):
+                slot.value = _gv(vm, regs)
+            else:
+                vm.executed_instructions -= _t
+                raise VMError(f"store through non-pointer {slot!r}")
+
+        return step
+
+    def _compile_select(self, instruction: Select, tail: int) -> Callable:
+        cond = self._operand(instruction.operands[0])
+        if_true = self._operand(instruction.operands[1])
+        if_false = self._operand(instruction.operands[2])
+        undef = self._first_undef(cond, if_true, if_false)
+        if undef is not None:
+            return self._raiser(undef, tail)
+        dest = self.regmap[instruction]
+        if cond[0] == _REG and if_true[0] == _REG and if_false[0] == _REG:
+
+            def step(vm, regs, _d=dest, _c=cond[1], _t=if_true[1], _f=if_false[1]):
+                regs[_d] = regs[_t] if regs[_c] else regs[_f]
+
+        else:
+            get_c = self._fetch(cond)
+            get_t = self._fetch(if_true)
+            get_f = self._fetch(if_false)
+
+            def step(vm, regs, _d=dest, _gc=get_c, _gt=get_t, _gf=get_f):
+                # Like the dispatch handler, all three operands resolve.
+                taken = _gt(vm, regs)
+                other = _gf(vm, regs)
+                regs[_d] = taken if _gc(vm, regs) else other
+
+        return step
+
+    def _compile_call(self, instruction: Call, tail: int) -> Callable:
+        dest = self.regmap[instruction]
+        arg_descs = [self._operand(arg) for arg in instruction.args]
+        callee = instruction.callee
+        if isinstance(callee, FunctionRef):
+            undef = self._first_undef(*arg_descs)
+            if undef is not None:
+                return self._raiser(undef, tail)
+            target = callee.function
+            getters = tuple(self._fetch(desc) for desc in arg_descs)
+            if target.is_declaration:
+                if (
+                    target.name == _CHRONO_COUNT
+                    and len(instruction.args) == 1
+                    and isinstance(instruction.args[0], ConstantInt)
+                ):
+                    return self._chrono_step(
+                        dest, instruction.args[0].value, tail
+                    )
+
+                def step(vm, regs, _d=dest, _n=target.name, _g=getters, _t=tail):
+                    try:
+                        regs[_d] = vm._call_intrinsic(
+                            _n, [g(vm, regs) for g in _g]
+                        )
+                        process = vm.process
+                        if process.pending_signals or not process.alive:
+                            vm._dispatch_pending_signals()
+                    except (VMError, ProgramExit):
+                        vm.executed_instructions -= _t
+                        raise
+                    if vm.executed_instructions - _t >= vm.max_instructions:
+                        vm.executed_instructions -= _t - 1
+                        raise VMError(_BUDGET_MSG)
+
+                return step
+
+            def step(vm, regs, _d=dest, _f=target, _g=getters, _t=tail):
+                try:
+                    regs[_d] = vm.call_function(_f, [g(vm, regs) for g in _g])
+                    process = vm.process
+                    if process.pending_signals or not process.alive:
+                        vm._dispatch_pending_signals()
+                except (VMError, ProgramExit):
+                    vm.executed_instructions -= _t
+                    raise
+                if vm.executed_instructions - _t >= vm.max_instructions:
+                    vm.executed_instructions -= _t - 1
+                    raise VMError(_BUDGET_MSG)
+
+            return step
+        callee_desc = self._operand(callee)
+        undef = self._first_undef(callee_desc, *arg_descs)
+        if undef is not None:
+            return self._raiser(undef, tail)
+        get_callee = self._fetch(callee_desc)
+        getters = tuple(self._fetch(desc) for desc in arg_descs)
+
+        def step(vm, regs, _d=dest, _gc=get_callee, _g=getters, _t=tail):
+            try:
+                target = _gc(vm, regs)
+                if not isinstance(target, FunctionRef):
+                    raise VMError(
+                        f"indirect call through non-function {target!r}"
+                    )
+                regs[_d] = vm.call_function(
+                    target.function, [g(vm, regs) for g in _g]
+                )
+                process = vm.process
+                if process.pending_signals or not process.alive:
+                    vm._dispatch_pending_signals()
+            except (VMError, ProgramExit):
+                vm.executed_instructions -= _t
+                raise
+            if vm.executed_instructions - _t >= vm.max_instructions:
+                vm.executed_instructions -= _t - 1
+                raise VMError(_BUDGET_MSG)
+
+        return step
+
+    def _chrono_step(self, dest: int, count: int, tail: int) -> Callable:
+        """ChronoPriv's per-block counter: a direct method call.
+
+        ``vm.chrono_count`` defaults to the intrinsic dispatch (so inert
+        and custom hooks keep working) and the recorder overrides it
+        per-instance with a counter-cell increment.  Signal delivery at
+        the call boundary is preserved.
+        """
+
+        def step(vm, regs, _d=dest, _k=count, _t=tail):
+            try:
+                regs[_d] = vm.chrono_count(_k)
+                process = vm.process
+                if process.pending_signals or not process.alive:
+                    vm._dispatch_pending_signals()
+            except (VMError, ProgramExit):
+                vm.executed_instructions -= _t
+                raise
+            if vm.executed_instructions - _t >= vm.max_instructions:
+                vm.executed_instructions -= _t - 1
+                raise VMError(_BUDGET_MSG)
+
+        return step
+
+    # -- terminators ----------------------------------------------------------
+
+    def _compile_terminator(self, instruction, block) -> Callable:
+        function_name = self.function.name
+        if instruction is None:
+
+            def term(vm, regs, _m=(
+                f"@{function_name}:%{block.name}: block without terminator"
+            )):
+                raise VMError(_m)
+
+            return term
+        if isinstance(instruction, Ret):
+            value = instruction.value
+            if value is None:
+
+                def term(vm, regs):
+                    return _RET_NONE
+
+                return term
+            desc = self._operand(value)
+            kind, payload = desc
+            if kind == _UNDEF:
+
+                def term(vm, regs, _m=payload):
+                    raise VMError(_m)
+
+            elif kind == _REG:
+
+                def term(vm, regs, _s=payload):
+                    return ("ret", regs[_s])
+
+            elif kind == _GLOBAL:
+
+                def term(vm, regs, _v=payload):
+                    return ("ret", vm.globals[_v])
+
+            else:
+                result = ("ret", payload)
+
+                def term(vm, regs, _r=result):
+                    return _r
+
+            return term
+        if isinstance(instruction, Jump):
+            target = self._variant(instruction.target, block)
+
+            def term(vm, regs, _n=target):
+                return _n
+
+            return term
+        if isinstance(instruction, Branch):
+            if_true = self._variant(instruction.if_true, block)
+            if_false = self._variant(instruction.if_false, block)
+            desc = self._operand(instruction.operands[0])
+            kind, payload = desc
+            if kind == _UNDEF:
+
+                def term(vm, regs, _m=payload):
+                    raise VMError(_m)
+
+            elif kind == _REG:
+
+                def term(vm, regs, _c=payload, _t=if_true, _f=if_false):
+                    return _t if regs[_c] else _f
+
+            else:
+                get_c = self._fetch(desc)
+
+                def term(vm, regs, _g=get_c, _t=if_true, _f=if_false):
+                    return _t if _g(vm, regs) else _f
+
+            return term
+        if isinstance(instruction, Unreachable):
+
+            def term(vm, regs, _m=(
+                f"@{function_name}:%{block.name}: reached unreachable"
+            )):
+                raise VMError(_m)
+
+            return term
+        # pragma: no cover - the terminator set is closed
+        def term(vm, regs, _m=f"unknown instruction {instruction.opcode}"):
+            raise VMError(_m)
+
+        return term

@@ -102,7 +102,18 @@ class VMError(RuntimeError):
 
 
 class Interpreter:
-    """Executes one module as one process."""
+    """Executes one module as one process.
+
+    Defined-function calls route through the compiled closure core
+    (:mod:`repro.vm.compiled`) by default; the dispatch-table loop in
+    :meth:`_run_frame` remains the semantic reference and the fallback.
+    Subclasses whose value lies in the per-instruction loop — the
+    profiling interpreter, the testkit reference — set ``use_compiled``
+    to ``False`` so their ``_run_frame`` overrides stay in charge.
+    """
+
+    #: Route defined-function calls through the compiled core.
+    use_compiled = True
 
     def __init__(
         self,
@@ -144,6 +155,9 @@ class Interpreter:
         self.children: List["Interpreter"] = []
         self._in_signal_handler = False
         self._call_depth = 0
+        #: Per-VM compiled-function cache (globals are prebound to this
+        #: VM's slots, so the cache cannot be shared across instances).
+        self._compiled: Dict[Function, Callable] = {}
         self._dispatch: Dict[type, Callable] = {
             Alloca: self._step_alloca,
             Load: self._step_load,
@@ -195,9 +209,30 @@ class Interpreter:
             raise VMError(f"call depth exceeded calling @{function.name}")
         self._call_depth += 1
         try:
+            if self.use_compiled:
+                code = self._compiled.get(function)
+                if code is None:
+                    from repro.vm.compiled import compile_function
+
+                    code = self._compiled[function] = compile_function(
+                        self, function
+                    )
+                return code(self, args)
             return self._run_frame(Frame(function, args))
         finally:
             self._call_depth -= 1
+
+    def chrono_count(self, count: int):
+        """ChronoPriv's per-block counting hook, as a direct method call.
+
+        The compiled core calls this instead of dispatching the
+        ``__chrono_count`` intrinsic; the default defers to the
+        intrinsics table so inert counters (spawned children) and custom
+        hooks behave identically on both cores, and the ChronoPriv
+        recorder overrides it per-instance with a bare counter-cell
+        increment (:meth:`repro.chronopriv.runtime.ChronoRecorder.attach`).
+        """
+        return self._call_intrinsic("__chrono_count", [count])
 
     def _call_intrinsic(self, name: str, args: List[Any]):
         fn = self.intrinsics.get(name)
@@ -403,3 +438,15 @@ class Interpreter:
                 self.call_function(handler, [signum])
         finally:
             self._in_signal_handler = False
+
+
+class DispatchInterpreter(Interpreter):
+    """The dispatch-table VM with the compiled core switched off.
+
+    Semantically identical to :class:`Interpreter` — same handlers, same
+    counters, same errors — but every instruction goes through the
+    per-step dispatch loop.  The differential oracles and benchmarks use
+    it as the independent slow side against the compiled core.
+    """
+
+    use_compiled = False

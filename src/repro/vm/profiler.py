@@ -38,6 +38,10 @@ from repro.vm.interpreter import _CONTINUE  # noqa: F401  (dispatch sentinel)
 class ProfilingInterpreter(Interpreter):
     """An interpreter that attributes wall time per opcode and intrinsic."""
 
+    #: Per-opcode attribution needs the per-instruction dispatch loop;
+    #: the compiled core has no handler windows to time.
+    use_compiled = False
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         #: Attach after construction (``vm.profiler = profiler``); the

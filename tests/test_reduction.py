@@ -12,6 +12,7 @@ Covers the three layers separately and together:
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.rewriting import Configuration, SearchBudget, breadth_first_search
 from repro.rewriting.objects import Msg, _mix
@@ -423,3 +424,89 @@ class TestIncrementalHash:
         # Plain summation of small-int hashes would collide multisets
         # like {1, 3} and {2, 2}; the mixer must keep them apart.
         assert _mix(1) + _mix(3) != _mix(2) + _mix(2)
+
+
+# -- lazy vs eager canonicalization: partition equivalence --------------------
+
+
+class TestLazyEagerEquivalence:
+    """The lazy visited-set keys must induce exactly the eager partition.
+
+    :meth:`RosaReducer.canonical` returns lazily-resolving keys (hash by
+    blinded signature, colour refinement only on collision); soundness
+    says two states merge under them iff their eager
+    :func:`canonical_key` bodies are equal.  The property is checked on
+    whole reachable spaces: group every state by each key kind and
+    compare the partitions.
+    """
+
+    @staticmethod
+    def _reachable(config, limit=200):
+        system = unix_system()
+        seen = {config.key: config}
+        frontier = [config]
+        while frontier and len(seen) < limit:
+            state = frontier.pop()
+            for _label, successor in system.successors(state):
+                if successor.key not in seen:
+                    seen[successor.key] = successor
+                    frontier.append(successor)
+        return list(seen.values())
+
+    @staticmethod
+    def _partition(keys):
+        groups = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(key, []).append(index)
+        return sorted(tuple(indices) for indices in groups.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 2), st.permutations([10, 20, 30]))
+    def test_lazy_partition_matches_eager(self, repeat, uids):
+        elements = [
+            model.process_for_user(1, uids[0], uids[0]),
+            model.file_obj(3, name="/tmp/f", owner=uids[0], group=10, perms=0o644),
+            model.user(4, uids[0]),
+            model.user(5, uids[1]),
+            model.user(6, uids[2]),
+        ]
+        elements += [syscalls.sys_setuid(1, WILDCARD, ["CapSetuid"])] * repeat
+        config = Configuration(elements)
+        reducer = build_reducer(
+            config, goals.process_terminated(1), unix_system(), BUDGET
+        )
+        assert reducer is not None
+        states = self._reachable(config)
+        lazy = [reducer.canonical(state) for state in states]
+        eager = []
+        for state in states:
+            typed = [
+                (reducer._typed_key(element), count)
+                for element, count in state._counts.items()
+            ]
+            body = canonical_key(typed, reducer.pinned)
+            # canonical_key returns None on the no-anonymous-ids fast
+            # path, where the state is its own representative.
+            eager.append(("raw", state.key) if body is None else ("canon", body))
+        assert self._partition(lazy) == self._partition(eager)
+
+    def test_lazy_keys_of_renamed_states_compare_equal(self):
+        reducer = build_reducer(
+            symmetric_setuid_config(),
+            goals.process_terminated(1),
+            unix_system(),
+            BUDGET,
+        )
+        assert reducer is not None
+
+        def after_setuid(euid):
+            base = symmetric_setuid_config()
+            proc = base.find_object(1)
+            msg = next(base.messages("setuid"))
+            return base.remove(msg).update_object(
+                proc.update(euid=euid, ruid=euid, suid=euid)
+            )
+
+        keys = [reducer.canonical(after_setuid(euid)) for euid in (20, 30)]
+        assert hash(keys[0]) == hash(keys[1])
+        assert keys[0] == keys[1]

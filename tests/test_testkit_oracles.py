@@ -41,11 +41,12 @@ class TestFamiliesPassOnCorrectCode:
         assert result.passed, [f.details for f in result.failures]
         assert result.executed == 4
 
-    def test_default_families_are_the_differential_five(self):
+    def test_default_families_are_the_differential_six(self):
         assert DEFAULT_FAMILIES == (
             "cache",
             "pools",
             "vm",
+            "compiled",
             "ledger",
             "reduction-parity",
         )
@@ -68,6 +69,23 @@ class TestFaultInjection:
         # The patch is fully undone on exit.
         assert oracle.run(MUL_CASE).ok
 
+    def test_compiled_fault_caught_by_compiled_oracle(self):
+        oracle = family("compiled")
+        assert oracle.run(MUL_CASE).ok
+        with install_fault("compiled-mul-truncate"):
+            result = oracle.run(MUL_CASE)
+        assert result.failed
+        assert "compiled." in result.details
+        assert oracle.run(MUL_CASE).ok
+
+    def test_shared_table_fault_is_invisible_to_compiled_oracle(self):
+        # Both production strategies consult the shared BINARY_OPS table,
+        # so a bug there makes them agree (the vm family catches it
+        # against the independent reference instead).
+        oracle = family("compiled")
+        with install_fault("vm-mul-truncate"):
+            assert oracle.run(MUL_CASE).ok
+
     def test_cache_fault_caught_by_cache_oracle(self):
         oracle = family("cache")
         case = oracle.generate(random.Random("0:cache:0"), 20)
@@ -84,6 +102,7 @@ class TestFaultInjection:
 
     def test_fault_registry_names(self):
         assert "vm-mul-truncate" in FAULTS
+        assert "compiled-mul-truncate" in FAULTS
         assert "cache-verdict-flip" in FAULTS
 
 
