@@ -7,7 +7,10 @@ Subcommands:
   ``.privc`` source file, printing the Table-III-style report (or
   Markdown/JSON/CSV with ``--format``);
 * ``hints <program>`` — refactoring guidance modelled on §VII-D/E;
-* ``rosa <file>`` — check a Maude-style query file (Figure 2/4 syntax);
+* ``rosa <file>...`` — check Maude-style query files (Figure 2/4
+  syntax); ``--jobs N`` fans distinct queries over a process pool whose
+  workers report back telemetry capsules (merged spans, metrics,
+  profiles — one Perfetto track per worker);
 * ``fuzz`` — run the conformance testkit's seeded differential/metamorphic
   campaign; failures shrink to replayable repro files (docs/TESTING.md);
 * ``profile`` — run a program or query under the hot-path profiler and
@@ -39,6 +42,7 @@ Examples::
     privanalyzer diff out/run1 out/run2
     privanalyzer analyze agent.privc --caps CapSetuid,CapDacReadSearch
     privanalyzer rosa examples/queries/figure2.rosa --progress
+    privanalyzer rosa examples/queries/*.rosa --jobs 4 --perfetto-out fleet.json
     privanalyzer table5 --format markdown
 """
 
@@ -139,6 +143,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="disable symmetry + partial-order state-space reduction; "
         "searches explore the raw state space (verdicts are identical)",
     )
+    _add_capsules_flag(group)
+
+
+def _add_capsules_flag(target) -> None:
+    target.add_argument(
+        "--no-capsules", action="store_true",
+        help="pool workers search dark instead of returning telemetry "
+        "capsules (merged worker spans/metrics/profiles; verdicts are "
+        "identical either way)",
+    )
 
 
 def _engine_kwargs(args) -> dict:
@@ -149,6 +163,7 @@ def _engine_kwargs(args) -> dict:
         "use_query_cache": not getattr(args, "no_query_cache", False),
         "query_cache_path": getattr(args, "query_cache", None),
         "reduction": not getattr(args, "no_reduction", False),
+        "capsules": not getattr(args, "no_capsules", False),
     }
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
@@ -211,19 +226,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run capability blame analysis per vulnerable phase",
     )
 
-    rosa = sub.add_parser("rosa", help="check a Maude-style ROSA query file")
-    rosa.add_argument("file", help="path to a query in Figure 2/4 syntax")
+    rosa = sub.add_parser("rosa", help="check Maude-style ROSA query files")
+    rosa.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="path(s) to queries in Figure 2/4 syntax",
+    )
     rosa.add_argument("--max-states", type=int, default=200_000)
     rosa.add_argument("--max-seconds", type=float, default=60.0)
     rosa.add_argument(
         "--explain", action="store_true",
-        help="narrate the witness step by step when vulnerable",
+        help="narrate the witness step by step when vulnerable "
+        "(incompatible with --jobs > 1)",
     )
     rosa.add_argument(
         "--no-reduction", action="store_true",
         help="search the raw state space without symmetry/partial-order "
         "reduction (verdicts are identical; states explored may grow)",
     )
+    rosa.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="answer distinct queries on a pool of N worker processes; "
+        "each worker returns a telemetry capsule merged into this "
+        "session's trace/metrics/profile (one Perfetto track per worker)",
+    )
+    _add_capsules_flag(rosa)
     _add_observability_flags(rosa)
     _add_ledger_flag(rosa)
 
@@ -419,6 +445,10 @@ def _export_telemetry(args, telemetry: Optional[Telemetry]) -> None:
     """Honour --trace-out / --trace / --profile / --audit-out after a command."""
     if telemetry is None:
         return
+    if telemetry.audit is not None:
+        # kernel.audit.dropped refreshes on append only; republish at
+        # export time so the written snapshots carry the final figure.
+        telemetry.audit.publish_dropped()
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         jsonl = spans_to_jsonl(telemetry.tracer)
@@ -541,6 +571,7 @@ def _cmd_analyze(args, out, telemetry: Optional[Telemetry] = None) -> int:
             cache_stats=analyzer.engine.cache_stats(),
             cli_args=_manifest_args(args),
             profiler=profiler,
+            fleet=analyzer.engine.fleet_stats() or None,
         ),
     )
     if args.format == "table":
@@ -580,37 +611,72 @@ def _cmd_rosa(args, out, telemetry: Optional[Telemetry] = None) -> int:
     from repro.core import ledger as ledger_mod
     from repro.rewriting import SearchBudget
     from repro.rosa import check, explain_witness
-    from repro.rosa.dsl import parse_query
+    from repro.rosa.dsl import DslQuerySpec, parse_query
     from repro.telemetry.tracing import NULL_TRACER
 
-    text = Path(args.file).read_text()
-    query = parse_query(text, name=Path(args.file).stem)
+    jobs = args.jobs or 1
+    if jobs > 1 and args.explain:
+        raise SystemExit(
+            "privanalyzer: --explain needs the serial searcher "
+            "(witness states do not cross the pool); drop --jobs"
+        )
+    parsed = []
+    for name in args.files:
+        text = Path(name).read_text()
+        parsed.append((parse_query(text, name=Path(name).stem), text))
     budget = SearchBudget(max_states=args.max_states, max_seconds=args.max_seconds)
-    tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
     profiler = _profiler_from_args(args)
-    report = check(
-        query, budget, track_states=args.explain, tracer=tracer,
-        progress=_progress_from_args(args),
-        progress_interval=_progress_interval_from_args(args),
-        reduction=not args.no_reduction,
-        profiler=profiler,
-    )
+    fleet = None
+    if jobs > 1:
+        from repro.rosa.engine import ParallelPolicy, QueryEngine, QueryRequest
+
+        engine = QueryEngine(
+            budget=budget,
+            cache=None,
+            parallel=ParallelPolicy(mode="process", max_workers=jobs),
+            telemetry=telemetry,
+            progress=_progress_from_args(args),
+            progress_interval=_progress_interval_from_args(args),
+            reduction=not args.no_reduction,
+            profiler=profiler,
+            capsules=not args.no_capsules,
+        )
+        reports = engine.run_queries(
+            [
+                QueryRequest(query, spec=DslQuerySpec(text, query.name))
+                for query, text in parsed
+            ]
+        )
+        fleet = engine.fleet_stats() or None
+    else:
+        tracer = telemetry.tracer if telemetry is not None else NULL_TRACER
+        reports = [
+            check(
+                query, budget, track_states=args.explain, tracer=tracer,
+                progress=_progress_from_args(args),
+                progress_interval=_progress_interval_from_args(args),
+                reduction=not args.no_reduction,
+                profiler=profiler,
+            )
+            for query, _ in parsed
+        ]
     _export_profile(args, profiler)
     _capture_ledger(
         args, telemetry,
         lambda directory: ledger_mod.capture_rosa(
-            directory, report, telemetry, cli_args=_manifest_args(args),
-            profiler=profiler,
+            directory, reports if len(reports) > 1 else reports[0], telemetry,
+            cli_args=_manifest_args(args), profiler=profiler, fleet=fleet,
         ),
     )
-    print(report.summary(), file=out)
-    # ✗ and ⊙ verdicts come with their cost: an unreachable/undecided
-    # answer that took the whole budget reads very differently from one
-    # that exhausted a tiny state space (paper §VIII).
-    print(report.cost_line(), file=out)
-    if args.explain and report.vulnerable:
-        print(explain_witness(report), file=out)
-    return 0 if not report.vulnerable else 1
+    for report in reports:
+        print(report.summary(), file=out)
+        # ✗ and ⊙ verdicts come with their cost: an unreachable/undecided
+        # answer that took the whole budget reads very differently from one
+        # that exhausted a tiny state space (paper §VIII).
+        print(report.cost_line(), file=out)
+        if args.explain and report.vulnerable:
+            print(explain_witness(report), file=out)
+    return 0 if not any(report.vulnerable for report in reports) else 1
 
 
 def _cmd_diff(args, out) -> int:

@@ -147,6 +147,7 @@ class PrivAnalyzer:
         progress_interval: Optional[int] = None,
         reduction: bool = True,
         profiler=None,
+        capsules: bool = True,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -181,6 +182,7 @@ class PrivAnalyzer:
                 progress=progress,
                 reduction=reduction,
                 profiler=profiler,
+                capsules=capsules,
                 **engine_kwargs,
             )
         self.engine = engine

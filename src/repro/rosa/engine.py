@@ -39,7 +39,12 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.rewriting import PROGRESS_INTERVAL, SearchBudget, SearchStats
+from repro.rewriting import (
+    PROGRESS_INTERVAL,
+    ProgressSample,
+    SearchBudget,
+    SearchStats,
+)
 from repro.rosa.independence import REDUCTION_MIN_SPACE, estimated_space
 from repro.rosa.query import (
     DEFAULT_BUDGET,
@@ -48,6 +53,13 @@ from repro.rosa.query import (
     Verdict,
     check,
     unix_system,
+)
+from repro.telemetry.capsule import (
+    CAPSULE_SCHEMA_VERSION,
+    CapsuleCollector,
+    CapsuleRequest,
+    merge_capsule,
+    normalize_worker,
 )
 from repro.telemetry.profiler import NULL_PROFILER
 from repro.telemetry.tracing import NULL_TRACER
@@ -399,11 +411,33 @@ class QueryRequest:
 
 
 def _run_spec_in_worker(
-    spec, budget: SearchBudget, reduction: bool = True
-) -> CachedOutcome:
-    """Process-pool entry point: rebuild the query, search, return the essence."""
-    report = check(spec.build(), budget, tracer=NULL_TRACER, reduction=reduction)
-    return CachedOutcome.from_report(report)
+    spec,
+    budget: SearchBudget,
+    reduction: bool = True,
+    capsule_request: Optional[CapsuleRequest] = None,
+):
+    """Process-pool entry point: rebuild the query, search, return the essence.
+
+    Without a capsule request (telemetry fully disabled) the worker
+    searches dark and ships the bare :class:`CachedOutcome`.  With one,
+    the search runs under a private :class:`CapsuleCollector` and the
+    return value is an ``(outcome, capsule)`` pair — the parent merges
+    the capsule into its own collectors (see :func:`merge_capsule`).
+    """
+    if capsule_request is None or not capsule_request.any:
+        report = check(spec.build(), budget, tracer=NULL_TRACER, reduction=reduction)
+        return CachedOutcome.from_report(report)
+    collector = CapsuleCollector(capsule_request)
+    report = check(
+        spec.build(),
+        budget,
+        tracer=collector.tracer,
+        progress=collector.progress,
+        reduction=reduction,
+        profiler=collector.profiler,
+    )
+    collector.observe_report(report)
+    return CachedOutcome.from_report(report), collector.capsule()
 
 
 class QueryEngine:
@@ -426,6 +460,7 @@ class QueryEngine:
         checker=None,
         reduction: bool = True,
         profiler=None,
+        capsules: bool = True,
     ) -> None:
         from repro.telemetry import Telemetry
 
@@ -456,10 +491,26 @@ class QueryEngine:
         self.checker = checker or check
         #: Live-search observability: every serially executed search
         #: forwards periodic :class:`~repro.rewriting.ProgressSample`
-        #: readings here (pool workers search unobserved — samples do
-        #: not cross process boundaries).  Cache hits emit none.
+        #: readings here.  Pool workers sample into their telemetry
+        #: capsule instead (a bounded, decimated tail reattached to the
+        #: report at merge time — not live).  Cache hits emit none.
         self.progress = progress
         self.progress_interval = progress_interval
+        #: Fleet telemetry: with ``capsules`` on (the default), pool
+        #: workers — process *and* thread mode — run their searches
+        #: under private collectors and return a
+        #: :class:`~repro.telemetry.capsule.TelemetryCapsule` that the
+        #: engine merges back into this session's tracer / metrics /
+        #: profiler / audit ring.  Collection only actually happens when
+        #: some parent collector is live (see :meth:`_capsule_request`),
+        #: so dark runs stay zero-overhead.
+        self.capsules = capsules
+        #: Raw worker name → stable integer id, session-persistent so
+        #: ``worker:N`` spellings agree across batches.
+        self._worker_ids: Dict[str, int] = {}
+        #: Per-worker accumulated accounting (see :meth:`fleet_stats`).
+        self._fleet: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._fleet_mode: Optional[str] = None
 
     # -- single queries --------------------------------------------------------
 
@@ -648,7 +699,7 @@ class QueryEngine:
                     ]
             else:
                 leader_reports = self._run_parallel(
-                    mode, entries, leaders, budget_for, profiler
+                    mode, entries, leaders, budget_for, profiler, keys
                 )
             for key_indices, report in zip(distinct.values(), leader_reports):
                 if self.cache is not None:
@@ -668,16 +719,108 @@ class QueryEngine:
             self.cache.save()
         return [report for report in reports if report is not None]
 
+    def _capsule_request(self, profiler) -> Optional[CapsuleRequest]:
+        """What pool workers should collect, or ``None`` for nothing.
+
+        Derived from the parent session's live collectors: no tracer →
+        no span collection, and so on.  When no collector is live (the
+        default dark pipeline) this returns ``None`` and workers run
+        exactly the pre-capsule fast path — zero added overhead.
+        """
+        if not self.capsules:
+            return None
+        trace = self.telemetry.active
+        profile = profiler is not None
+        audit = self.telemetry.audit is not None
+        samples = trace or self.progress is not None
+        if not (trace or profile or audit or samples):
+            return None
+        return CapsuleRequest(
+            trace=trace, profile=profile, samples=samples, audit=audit
+        )
+
+    def _record_fleet(
+        self, worker, capsule, report, queue_wait: float, execute: float, mode
+    ) -> None:
+        """Accumulate one merged capsule into the per-worker fleet stats."""
+        stats = self._fleet.get(worker)
+        if stats is None:
+            stats = self._fleet[worker] = {
+                "tasks": 0,
+                "execute_seconds": 0.0,
+                "queue_wait_seconds": 0.0,
+                "states_explored": 0,
+                "spans": 0,
+                "samples": 0,
+                "profile_records": 0,
+                "audit_records": 0,
+                "syscalls": 0,
+                "names": [],
+            }
+        stats["tasks"] += 1
+        stats["execute_seconds"] += execute
+        stats["queue_wait_seconds"] += queue_wait
+        stats["states_explored"] += report.states_explored
+        stats["spans"] += len(capsule.spans)
+        stats["samples"] += len(capsule.samples)
+        stats["profile_records"] += len(capsule.profile)
+        stats["audit_records"] += len(capsule.audit_records)
+        stats["syscalls"] += capsule.audit_total
+        if capsule.worker not in stats["names"]:
+            stats["names"].append(capsule.worker)
+        self._fleet_mode = mode
+
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Per-worker capsule accounting for ledgers and ``diff``.
+
+        Empty until a pool batch has merged at least one capsule.  Keys
+        are stable ``worker:N`` ids; ``names`` lists the raw worker
+        identities (pool thread names, ``pid:N``) that mapped to each.
+        """
+        if not self._fleet:
+            return {}
+        return {
+            "capsule_schema": CAPSULE_SCHEMA_VERSION,
+            "mode": self._fleet_mode,
+            "workers": {
+                worker: dict(stats)
+                for worker, stats in sorted(self._fleet.items())
+            },
+        }
+
     def _run_parallel(
-        self, mode, entries, leaders, budget_for, profiler=None
+        self, mode, entries, leaders, budget_for, profiler=None, keys=None
     ) -> List[RosaReport]:
-        """Fan distinct searches over an executor; returns leader-ordered reports."""
+        """Fan distinct searches over an executor; returns leader-ordered reports.
+
+        With capsules enabled and any parent collector live, each worker
+        (process or thread) searches under a private collector set and
+        its telemetry merges back here: spans adopt into the session
+        tracer (clock-skew-normalized, stamped with ``worker`` +
+        ``trace_id``), metrics fold in additively with per-worker labeled
+        variants, profile subtrees graft under
+        ``("engine", "worker:N", "execute")``, audit records re-sequence
+        into the parent ring, and progress samples reattach to the
+        report.  Scheduling itself is attributed per worker: queue wait
+        (submit → start) versus execute (the search).
+        """
         tracer = self.telemetry.tracer
         metrics = self.telemetry.metrics
         workers = self.parallel.max_workers or min(
             len(leaders), os.cpu_count() or 1
         )
         metrics.gauge("rosa.pool.workers").set_max(workers)
+        request = self._capsule_request(profiler)
+        timed = profiler is not None or request is not None
+        clock = profiler.clock if profiler is not None else tracer.clock
+
+        def request_for(index):
+            # Trace-context propagation: the canonical query key is the
+            # capsule's trace id, shared by every span the worker emits.
+            if request is None or keys is None:
+                return request
+            return dataclasses.replace(request, trace_id=keys[index])
+
         if mode == "process":
             unbuildable = [
                 index for index in leaders if entries[index].spec is None
@@ -694,34 +837,40 @@ class QueryEngine:
                     entries[index].spec,
                     budget_for(index),
                     self._effective_reduction(entries[index].query),
+                    request_for(index),
                 )
                 for index in leaders
             ]
         elif mode == "thread":
             executor_cls = concurrent.futures.ThreadPoolExecutor
 
-            def run_in_thread(query, budget, reduction, submitted=None):
-                if submitted is None:
-                    return check(
+            def run_in_thread(query, budget, reduction, capsule_request):
+                # Thread workers share the parent's clock, so their
+                # capsules merge with anchor=None (no skew to correct).
+                # Start/end come back to the scheduling thread, which
+                # does all profiler accounting — the Profiler is
+                # single-threaded by design (see telemetry.profiler).
+                name = threading.current_thread().name
+                start = clock() if timed else 0.0
+                if capsule_request is None or not capsule_request.any:
+                    report = check(
                         query, budget, tracer=NULL_TRACER, reduction=reduction
                     )
-                # Scheduling attribution per pool thread: queue wait is
-                # submit-to-start, execute is the search itself.  Worker
-                # labels come from the pool's thread names
-                # ("ThreadPoolExecutor-0_3" -> worker:3).  The searches
-                # themselves run unprofiled — per-rule attribution is
-                # single-threaded by design (see telemetry.profiler).
-                clock = profiler.clock
-                start = clock()
-                worker = (
-                    "worker:" + threading.current_thread().name.rsplit("_", 1)[-1]
+                    return report, None, name, start, (clock() if timed else 0.0)
+                collector = CapsuleCollector(
+                    capsule_request, clock=clock, worker=name
                 )
-                profiler.account(("engine", worker, "queue_wait"), start - submitted)
                 report = check(
-                    query, budget, tracer=NULL_TRACER, reduction=reduction
+                    query,
+                    budget,
+                    tracer=collector.tracer,
+                    progress=collector.progress,
+                    progress_interval=self.progress_interval,
+                    reduction=reduction,
+                    profiler=collector.profiler,
                 )
-                profiler.account(("engine", worker, "execute"), clock() - start)
-                return report
+                collector.observe_report(report)
+                return report, collector.capsule(), name, start, clock()
 
             submit_args = [
                 (
@@ -729,22 +878,23 @@ class QueryEngine:
                     entries[index].query,
                     budget_for(index),
                     self._effective_reduction(entries[index].query),
-                    profiler.clock() if profiler is not None else None,
+                    request_for(index),
                 )
                 for index in leaders
             ]
         else:  # pragma: no cover - modes are validated upstream
             raise ValueError(f"unknown parallel mode {mode!r}")
-        submit_time = profiler.clock() if profiler is not None else 0.0
+        submit_time = clock() if timed else 0.0
         done_at = [0.0] * len(leaders)
         with executor_cls(max_workers=workers) as executor:
             futures = [executor.submit(fn, *args) for fn, *args in submit_args]
-            if profiler is not None and mode == "process":
+            if timed and mode == "process":
                 # Workers are separate processes; the scheduling thread can
                 # only observe each future's submit-to-done wall time.  The
                 # done timestamp is captured by callback (runs off-thread,
-                # writes one float slot); accounting happens here, after.
-                clock = profiler.clock
+                # writes one float slot); it anchors capsule clock-skew
+                # normalization and queue-wait attribution, both done here
+                # afterwards.
                 for position, future in enumerate(futures):
                     future.add_done_callback(
                         lambda _future, position=position: done_at.__setitem__(
@@ -768,30 +918,88 @@ class QueryEngine:
                     f"({names}); no results were lost silently — rerun with "
                     f"--jobs 1 (serial) to isolate the failing search"
                 ) from error
-        if profiler is not None and mode == "process":
-            for position in range(len(leaders)):
-                profiler.account(
-                    ("engine", "worker:pool", "inflight"),
-                    max(done_at[position] - submit_time, 0.0),
-                )
         reports = []
-        for index, result in zip(leaders, results):
+        for position, (index, result) in enumerate(zip(leaders, results)):
             query = entries[index].query
-            if isinstance(result, CachedOutcome):
+            capsule = None
+            started = ended = None
+            if mode == "process":
+                if isinstance(result, tuple):
+                    outcome, capsule = result
+                else:
+                    outcome = result
                 report = dataclasses.replace(
-                    result.to_report(query), from_cache=False
+                    outcome.to_report(query), from_cache=False
                 )
             else:
-                report = result
-            # Workers search without the tracer; record the span here so
-            # batched runs stay observable (verdict + cost attributes).
-            with tracer.span(
-                "rosa.query", query=query.name, parallel=mode
-            ) as span:
-                span.set_attribute("verdict", report.verdict.value)
-                span.set_attribute("states_seen", report.states_seen)
-                span.set_attribute("states_explored", report.states_explored)
-                span.set_attribute("peak_frontier", report.stats.peak_frontier)
+                report, capsule, raw_name, started, ended = result
+            # Stable worker identity: capsule workers carry their raw
+            # name (pid:N or pool thread name); bare thread mode uses the
+            # thread name directly.  Either way the session-persistent
+            # map yields worker:N ids (MainThread and friends included).
+            if capsule is not None:
+                worker = normalize_worker(capsule.worker, self._worker_ids)
+            elif mode == "thread" and timed:
+                worker = normalize_worker(raw_name, self._worker_ids)
+            else:
+                worker = None
+            # Scheduling attribution.  Process mode can only observe
+            # submit-to-done from outside; a capsule's own execute window
+            # splits that into queue_wait + execute.  Thread mode has the
+            # worker-side start/end directly.
+            execute = queue_wait = 0.0
+            if mode == "process" and timed:
+                inflight = max(done_at[position] - submit_time, 0.0)
+                if capsule is not None:
+                    execute = min(capsule.execute_seconds, inflight)
+                    queue_wait = inflight - execute
+                elif profiler is not None:
+                    profiler.account(
+                        ("engine", "worker:pool", "inflight"), inflight
+                    )
+            elif mode == "thread" and timed:
+                queue_wait = max(started - submit_time, 0.0)
+                execute = max(ended - started, 0.0)
+            if profiler is not None and worker is not None:
+                profiler.account(("engine", worker, "queue_wait"), queue_wait)
+                profiler.account(("engine", worker, "execute"), execute)
+            merged = False
+            if capsule is not None:
+                anchor = (
+                    done_at[position] if (mode == "process" and timed) else None
+                )
+                merged = merge_capsule(
+                    capsule,
+                    worker=worker,
+                    tracer=tracer if self.telemetry.active else None,
+                    metrics=metrics,
+                    profiler=profiler,
+                    audit=self.telemetry.audit,
+                    anchor=anchor,
+                )
+            if merged:
+                if capsule.samples and not report.stats.samples:
+                    # Process-mode reports cross the pool as bare
+                    # outcomes; rebuild the worker's sampled progress
+                    # tail (thread reports keep their own samples).
+                    report.stats.samples.extend(
+                        ProgressSample(**sample) for sample in capsule.samples
+                    )
+                self._record_fleet(
+                    worker, capsule, report, queue_wait, execute, mode
+                )
+            if not (merged and capsule.spans):
+                # No adopted worker spans to show for this search (capsules
+                # off, schema skew, or tracing disabled in the worker):
+                # record the synthetic span here so batched runs stay
+                # observable (verdict + cost attributes).
+                with tracer.span(
+                    "rosa.query", query=query.name, parallel=mode
+                ) as span:
+                    span.set_attribute("verdict", report.verdict.value)
+                    span.set_attribute("states_seen", report.states_seen)
+                    span.set_attribute("states_explored", report.states_explored)
+                    span.set_attribute("peak_frontier", report.stats.peak_frontier)
             reports.append(report)
         return reports
 

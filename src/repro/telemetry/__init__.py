@@ -22,6 +22,15 @@ import dataclasses
 from typing import Optional
 
 from repro.telemetry.audit import AuditRecord, SyscallAuditTrail
+from repro.telemetry.capsule import (
+    CAPSULE_SCHEMA_VERSION,
+    CapsuleCollector,
+    CapsuleRequest,
+    TelemetryCapsule,
+    merge_capsule,
+    normalize_worker,
+    worker_index,
+)
 from repro.telemetry.clock import Clock, ManualClock, MONOTONIC
 from repro.telemetry.export import (
     metrics_to_jsonl,
@@ -33,7 +42,13 @@ from repro.telemetry.export import (
     spans_from_jsonl,
     spans_to_jsonl,
 )
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
 from repro.telemetry.profiler import (
     NULL_PROFILER,
     PROFILE_SCHEMA_VERSION,
@@ -85,6 +100,9 @@ class Telemetry:
 
 __all__ = [
     "AuditRecord",
+    "CAPSULE_SCHEMA_VERSION",
+    "CapsuleCollector",
+    "CapsuleRequest",
     "Clock",
     "Counter",
     "Gauge",
@@ -100,9 +118,13 @@ __all__ = [
     "Span",
     "SyscallAuditTrail",
     "Telemetry",
+    "TelemetryCapsule",
     "Tracer",
+    "labeled_name",
+    "merge_capsule",
     "metrics_to_jsonl",
     "metrics_to_prometheus",
+    "normalize_worker",
     "prometheus_name",
     "render_metrics",
     "render_profile",
@@ -113,4 +135,5 @@ __all__ = [
     "spans_to_jsonl",
     "spans_to_trace_events",
     "trace_event_json",
+    "worker_index",
 ]
