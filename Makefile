@@ -1,9 +1,10 @@
-.PHONY: install test bench bench-json perf-check perf-history examples reproduce trace-smoke ledger-smoke profile-smoke fleet-smoke fuzz-smoke fuzz clean
+.PHONY: install test bench bench-json perf-check perf-history examples reproduce trace-smoke ledger-smoke profile-smoke fleet-smoke fuzz-smoke fuzz corpus-smoke clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 LEDGER_SMOKE_DIR := /tmp/privanalyzer-ledger-smoke
 PROFILE_SMOKE_DIR := /tmp/privanalyzer-profile-smoke
 FLEET_SMOKE_DIR := /tmp/privanalyzer-fleet-smoke
+CORPUS_SMOKE_DIR := /tmp/privanalyzer-corpus-smoke
 FUZZ_SEED ?= 0
 FUZZ_RUNS ?= 300
 
@@ -131,6 +132,40 @@ fuzz-smoke:
 fuzz:
 	PYTHONPATH=src python -m repro.cli fuzz \
 		--seed $(FUZZ_SEED) --runs $(FUZZ_RUNS) --oracle all
+
+# Corpus + peers smoke test (CI gate): a seeded 32-program daemon
+# corpus with one planted CAP_SYS_ADMIN hoarder.  The peers report must
+# rank the violator top-1 with the report's only capability finding,
+# and a warm rerun over the same profile store must serve every program
+# from cache (see docs/CORPUS.md).
+corpus-smoke:
+	rm -rf $(CORPUS_SMOKE_DIR)
+	PYTHONPATH=src python -m repro.cli corpus build \
+		--out $(CORPUS_SMOKE_DIR)/corpus --seed 0 --size 32 \
+		--families daemon --violators 1 --no-exemplars --no-builtins
+	PYTHONPATH=src python -m repro.cli peers $(CORPUS_SMOKE_DIR)/corpus \
+		--store $(CORPUS_SMOKE_DIR)/profiles --jobs 2 --format json \
+		--out $(CORPUS_SMOKE_DIR)/peers.json > /dev/null
+	PYTHONPATH=src python -c "\
+	import json; \
+	manifest = json.load(open('$(CORPUS_SMOKE_DIR)/corpus/manifest.json')); \
+	violators = {e['name'] for e in manifest['entries'] if e['violator']}; \
+	report = json.load(open('$(CORPUS_SMOKE_DIR)/peers.json')); \
+	top = report['outliers'][0]; \
+	assert top['program'] in violators, \
+	    f'top outlier {top} is not the planted violator {violators}'; \
+	findings = [(f['program'], f['capability']) for f in report['findings']]; \
+	assert findings, 'no capability finding for the planted hoarder'; \
+	assert all(p in violators and c == 'CapSysAdmin' for p, c in findings), findings; \
+	print(f'corpus-smoke ok: violator {top[\"program\"]} is top-1 ' \
+	      f'(score {top[\"score\"]:.1f}), findings {findings}')"
+	PYTHONPATH=src python -m repro.cli peers $(CORPUS_SMOKE_DIR)/corpus \
+		--store $(CORPUS_SMOKE_DIR)/profiles \
+		> $(CORPUS_SMOKE_DIR)/warm.txt 2> $(CORPUS_SMOKE_DIR)/warm-stats.txt
+	grep -q "32 hit(s), 0 miss(es)" $(CORPUS_SMOKE_DIR)/warm-stats.txt \
+		|| { echo "corpus-smoke: warm sweep was not fully cached:"; \
+		     cat $(CORPUS_SMOKE_DIR)/warm-stats.txt; exit 1; }
+	@echo "corpus-smoke ok: warm sweep served 32/32 from the profile store"
 
 examples:
 	@for script in examples/*.py; do \

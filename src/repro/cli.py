@@ -16,6 +16,12 @@ Subcommands:
 * ``profile`` — run a program or query under the hot-path profiler and
   print per-rule / per-reduction-phase / per-opcode cost attribution
   (``--out DIR`` writes flamegraph + JSON artifacts);
+* ``corpus build`` — materialize a seeded, reproducible scenario corpus
+  (family-conditioned generated programs + exemplars + the paper's
+  built-ins) into a directory (docs/CORPUS.md);
+* ``peers`` — sweep a corpus into privilege profiles (content-addressed
+  cache, ``--jobs`` pooling) and report peer-group outliers: "which
+  programs hold CAP_SYS_ADMIN longer than their peers";
 * ``table3`` / ``table5`` — regenerate the paper's headline tables.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace`` records
@@ -341,6 +347,96 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=30, metavar="N",
         help="rows in the printed cost table (default 30)",
     )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="build and inspect scenario corpora (see docs/CORPUS.md)",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_build = corpus_sub.add_parser(
+        "build", help="materialize a seeded, reproducible corpus directory"
+    )
+    corpus_build.add_argument(
+        "--out", metavar="DIR", required=True,
+        help="target directory (manifest.json + programs/*.privc)",
+    )
+    corpus_build.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus seed; same seed, same corpus, byte for byte (default 0)",
+    )
+    corpus_build.add_argument(
+        "--size", type=int, default=200,
+        help="number of generated programs; built-ins and exemplars ride "
+        "on top (default 200)",
+    )
+    corpus_build.add_argument(
+        "--families", default=None, metavar="LIST",
+        help="comma-separated family subset (default: all five; see "
+        "docs/CORPUS.md)",
+    )
+    corpus_build.add_argument(
+        "--violators", type=int, default=5, metavar="N",
+        help="generated least-privilege violators to plant, spread evenly "
+        "(default 5)",
+    )
+    corpus_build.add_argument(
+        "--no-exemplars", action="store_true",
+        help="leave out the hand-modeled exemplar programs",
+    )
+    corpus_build.add_argument(
+        "--no-builtins", action="store_true",
+        help="leave out the paper's built-in programs",
+    )
+
+    peers = sub.add_parser(
+        "peers",
+        help="peer-group least-privilege outlier report over a corpus "
+        "(see docs/CORPUS.md)",
+    )
+    peers.add_argument(
+        "corpus", help="materialized corpus directory (from `corpus build`)"
+    )
+    peers.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed profile cache; a warm sweep over an "
+        "unchanged corpus profiles nothing",
+    )
+    peers.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="profile cache misses on N pool workers (default 1: serial)",
+    )
+    peers.add_argument(
+        "--pool", choices=("thread", "process"), default="thread",
+        help="worker pool flavour for --jobs > 1 (default thread)",
+    )
+    peers.add_argument(
+        "--clusters", type=int, default=None, metavar="K",
+        help="peer groups to form (default: about sqrt(n/2))",
+    )
+    peers.add_argument(
+        "--seed", type=int, default=0,
+        help="clustering seed; same seed + corpus, same report (default 0)",
+    )
+    peers.add_argument(
+        "--cap", default=None, metavar="CAP",
+        help="restrict capability findings to one capability, e.g. "
+        "CapSysAdmin",
+    )
+    peers.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="outlier rows in the text report (default 10)",
+    )
+    peers.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report as readable text or a JSON document",
+    )
+    peers.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (whatever --format says)",
+    )
+    peers.add_argument("--max-states", type=int, default=20_000)
+    peers.add_argument("--max-seconds", type=float, default=10.0)
+    _add_observability_flags(peers)
 
     for table in ("table3", "table5"):
         table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
@@ -810,6 +906,87 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _cmd_corpus(args, out) -> int:
+    from repro.corpus import CorpusSpec, generate_corpus, materialize_corpus
+    from repro.testkit.generators import PROGRAM_FAMILIES
+
+    families = (
+        tuple(name.strip() for name in args.families.split(",") if name.strip())
+        if args.families
+        else PROGRAM_FAMILIES
+    )
+    spec = CorpusSpec(
+        seed=args.seed,
+        size=args.size,
+        families=families,
+        violators=args.violators,
+        include_exemplars=not args.no_exemplars,
+        include_builtins=not args.no_builtins,
+    )
+    try:
+        entries = generate_corpus(spec)
+    except ValueError as error:
+        raise SystemExit(f"privanalyzer: {error}")
+    try:
+        materialize_corpus(entries, args.out, spec=spec)
+    except OSError as error:
+        raise SystemExit(
+            f"privanalyzer: cannot write corpus {args.out}: {error.strerror}"
+        )
+    violators = sum(1 for entry in entries if entry.violator)
+    generated = sum(1 for entry in entries if entry.kind == "generated")
+    print(
+        f"corpus: {len(entries)} programs ({generated} generated, "
+        f"{len(entries) - generated} modeled; {violators} planted "
+        f"violator(s)) written to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_peers(args, out, telemetry: Optional[Telemetry] = None) -> int:
+    from repro.corpus import ProfileStore, load_corpus, peer_analysis, sweep_corpus
+    from repro.rewriting import SearchBudget
+
+    try:
+        entries = load_corpus(args.corpus)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"privanalyzer: {error}")
+    store = ProfileStore(args.store) if args.store else None
+    jobs = args.jobs or 1
+    profiles = sweep_corpus(
+        entries,
+        store=store,
+        jobs=jobs,
+        mode="serial" if jobs <= 1 else args.pool,
+        budget=SearchBudget(
+            max_states=args.max_states, max_seconds=args.max_seconds
+        ),
+        telemetry=telemetry,
+    )
+    report = peer_analysis(
+        profiles,
+        k=args.clusters,
+        seed=args.seed,
+        capability=args.cap,
+        telemetry=telemetry,
+    )
+    if args.out:
+        _write_or_die(args.out, report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="", file=out)
+    else:
+        print(report.render_text(top=args.top), file=out)
+        if store is not None:
+            stats = store.stats()
+            print(
+                f"profile store: {stats['hits']} hit(s), "
+                f"{stats['misses']} miss(es)",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_table(args, out, names, telemetry: Optional[Telemetry] = None) -> int:
     # One analyzer for the whole table: its query cache carries verdicts
     # across programs that share (privileges, uids, gids, surface) tuples.
@@ -857,6 +1034,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_fuzz(args, out)
         if args.command == "profile":
             return _cmd_profile(args, out)
+        if args.command == "corpus":
+            return _cmd_corpus(args, out)
+        if args.command == "peers":
+            return _cmd_peers(args, out, telemetry)
         if args.command == "table3":
             return _cmd_table(
                 args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry

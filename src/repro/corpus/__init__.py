@@ -1,0 +1,61 @@
+"""Scenario corpus + peer-group least-privilege analysis.
+
+The paper evaluates five hand-picked programs; this package scales the
+same pipeline to hundreds.  Three layers (see docs/CORPUS.md):
+
+:mod:`repro.corpus.build`
+    Seeded, reproducible corpus generation — family-conditioned
+    generated programs (``testkit.generators.gen_corpus_program_case``)
+    plus the hand-modeled exemplars and the paper's built-in programs —
+    materialized to a manifest + ``.privc`` sources by
+    ``privanalyzer corpus build``.
+:mod:`repro.corpus.profile`
+    The :class:`PrivilegeProfile` extractor: one pipeline run (or its
+    run ledger — the two paths agree bit-identically) condensed into a
+    feature vector of exposure windows, capability hold-times,
+    credential shape and syscall surfaces.
+:mod:`repro.corpus.peers`
+    Deterministic seeded k-medoids over a documented profile distance,
+    outlier scoring, and per-capability "holds X longer than its peers"
+    findings — the ``privanalyzer peers`` report.
+
+:mod:`repro.corpus.store` caches profiles content-addressed so a
+200-program sweep (:mod:`repro.corpus.sweep`) is incremental: a warm
+rerun profiles nothing.
+"""
+
+from repro.corpus.build import (
+    CorpusEntry,
+    CorpusSpec,
+    generate_corpus,
+    load_corpus,
+    materialize_corpus,
+)
+from repro.corpus.peers import PeerReport, peer_analysis, profile_distance
+from repro.corpus.profile import (
+    PROFILE_SCHEMA_VERSION,
+    PrivilegeProfile,
+    profile_from_analysis,
+    profile_from_ledger,
+    profile_key,
+)
+from repro.corpus.store import ProfileStore
+from repro.corpus.sweep import sweep_corpus
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusSpec",
+    "PeerReport",
+    "PrivilegeProfile",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileStore",
+    "generate_corpus",
+    "load_corpus",
+    "materialize_corpus",
+    "peer_analysis",
+    "profile_distance",
+    "profile_from_analysis",
+    "profile_from_ledger",
+    "profile_key",
+    "sweep_corpus",
+]

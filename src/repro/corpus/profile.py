@@ -1,0 +1,215 @@
+"""The PrivilegeProfile extractor: one run condensed to a feature vector.
+
+A profile is built from exactly the two JSON structures a run ledger
+already persists — ``exposure.json`` (:func:`repro.core.report.
+analysis_to_dict`) and ``syscalls.json`` (the audit trail grouped by
+credential tuple).  The live path serialises the in-memory analysis
+through the *same* structures, so ``profile_from_analysis`` and
+``profile_from_ledger`` agree bit-identically by construction: there is
+no second extraction code path to drift (the 7th fuzz-oracle family in
+``testkit.oracles`` holds this invariant under generated programs).
+
+Feature vector (schema v1):
+
+``windows``
+    Per-attack vulnerability window (fraction of dynamic instructions),
+    straight from the exposure table.
+``invulnerable_window``
+    Fraction of execution invulnerable to every modeled attack.
+``cap_hold``
+    Per-capability hold time: the fraction of dynamic instructions
+    during which the capability stayed *permitted* (AutoPriv's live
+    range, ChronoPriv's phase weighting) — the paper's Table III
+    columns as a vector.  This is the peers CLI's headline feature:
+    "holds CAP_SYS_ADMIN longer than its peers" is a ``cap_hold``
+    comparison.
+``root_euid_fraction``
+    Fraction of instructions executed with effective uid 0.
+``cred_tuples``
+    Number of distinct (uids, gids) credential tuples across phases.
+``static_surface``
+    The compiler's reachable-syscall over-approximation (every syscall
+    intrinsic in the program text).
+``dynamic_surface``
+    Syscalls actually observed by the kernel audit trail, all
+    credential phases merged (empty when the run carried no audit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.ledger import _syscalls_by_credential
+from repro.core.pipeline import ProgramAnalysis
+from repro.core.report import analysis_to_dict
+from repro.programs.common import ProgramSpec
+from repro.rewriting import SearchBudget
+
+#: Bump when the feature vector's layout changes; cached profiles with
+#: another schema are recomputed, never reinterpreted.
+PROFILE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivilegeProfile:
+    """One program's privilege feature vector (schema v1)."""
+
+    program: str
+    schema: int
+    total_instructions: int
+    phase_count: int
+    windows: Dict[str, float]
+    invulnerable_window: float
+    cap_hold: Dict[str, float]
+    root_euid_fraction: float
+    cred_tuples: int
+    static_surface: List[str]
+    dynamic_surface: List[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON form (sorted keys, plain types)."""
+        return {
+            "program": self.program,
+            "schema": self.schema,
+            "total_instructions": self.total_instructions,
+            "phase_count": self.phase_count,
+            "windows": dict(sorted(self.windows.items())),
+            "invulnerable_window": self.invulnerable_window,
+            "cap_hold": dict(sorted(self.cap_hold.items())),
+            "root_euid_fraction": self.root_euid_fraction,
+            "cred_tuples": self.cred_tuples,
+            "static_surface": list(self.static_surface),
+            "dynamic_surface": list(self.dynamic_surface),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PrivilegeProfile":
+        return cls(
+            program=str(data["program"]),
+            schema=int(data["schema"]),
+            total_instructions=int(data["total_instructions"]),
+            phase_count=int(data["phase_count"]),
+            windows={str(k): float(v) for k, v in data["windows"].items()},
+            invulnerable_window=float(data["invulnerable_window"]),
+            cap_hold={str(k): float(v) for k, v in data["cap_hold"].items()},
+            root_euid_fraction=float(data["root_euid_fraction"]),
+            cred_tuples=int(data["cred_tuples"]),
+            static_surface=[str(s) for s in data["static_surface"]],
+            dynamic_surface=[str(s) for s in data["dynamic_surface"]],
+        )
+
+
+def profile_from_exposure(
+    exposure: Dict[str, Any], syscalls: Optional[Dict[str, Any]] = None
+) -> PrivilegeProfile:
+    """The profile of one run, from its exposure (+ optional audit) dicts.
+
+    This is the *single* extraction routine; both public entry points
+    delegate here with the same structures, which is what makes the
+    live and ledger paths bit-identical.
+    """
+    phases = exposure.get("phases", [])
+    total = int(exposure.get("total_instructions", 0))
+    weight_base = total if total > 0 else 1
+
+    cap_instructions: Dict[str, int] = {}
+    root_instructions = 0
+    creds = set()
+    for phase in phases:
+        instructions = int(phase["instructions"])
+        for cap in phase["privileges"]:
+            cap_instructions[cap] = cap_instructions.get(cap, 0) + instructions
+        uids = list(phase["uids"])
+        gids = list(phase["gids"])
+        if len(uids) > 1 and int(uids[1]) == 0:
+            root_instructions += instructions
+        creds.add((tuple(uids), tuple(gids)))
+
+    dynamic: set = set()
+    if syscalls:
+        for names in syscalls.get("by_credential", {}).values():
+            dynamic.update(names)
+
+    return PrivilegeProfile(
+        program=str(exposure.get("program", "?")),
+        schema=PROFILE_SCHEMA_VERSION,
+        total_instructions=total,
+        phase_count=len(phases),
+        windows={
+            str(attack): round(float(window), 6)
+            for attack, window in exposure.get("windows", {}).items()
+        },
+        invulnerable_window=round(float(exposure.get("invulnerable_window", 0.0)), 6),
+        cap_hold={
+            cap: round(instructions / weight_base, 6)
+            for cap, instructions in sorted(cap_instructions.items())
+        },
+        root_euid_fraction=round(root_instructions / weight_base, 6),
+        cred_tuples=len(creds),
+        static_surface=sorted(exposure.get("syscalls", [])),
+        dynamic_surface=sorted(dynamic),
+    )
+
+
+def profile_from_analysis(
+    analysis: ProgramAnalysis, audit=None
+) -> PrivilegeProfile:
+    """The profile of a live pipeline run.
+
+    Serialises through ``analysis_to_dict`` / ``_syscalls_by_credential``
+    — the exact structures the ledger persists — then extracts.  The
+    JSON round-trip the ledger adds on top is exact for every type
+    involved, so the result matches :func:`profile_from_ledger` on the
+    same run bit for bit.
+    """
+    exposure = analysis_to_dict(analysis)
+    syscalls = _syscalls_by_credential(audit) if audit is not None else None
+    return profile_from_exposure(exposure, syscalls)
+
+
+def profile_from_ledger(ledger) -> PrivilegeProfile:
+    """The profile of a captured run (:class:`repro.core.ledger.RunLedger`)."""
+    if ledger.exposure is None:
+        raise ValueError(
+            f"ledger {ledger.root} has no exposure.json — profiles need an "
+            "analyze-kind ledger"
+        )
+    return profile_from_exposure(ledger.exposure, ledger.syscalls)
+
+
+# -- content addressing --------------------------------------------------------
+
+
+def profile_key(spec: ProgramSpec, budget: Optional[SearchBudget] = None) -> str:
+    """The content address of a (program, analysis configuration) pair.
+
+    Everything that can change the profile goes into the hash: the
+    source text, launch credentials and workload, the filesystem
+    variant, the setup hook's identity, the search budget, and the
+    profile schema itself.  Two sweeps over an unchanged corpus
+    therefore hit the store for every program; editing one program's
+    source invalidates exactly that entry.
+    """
+    setup = spec.setup
+    payload = {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "name": spec.name,
+        "source": spec.source,
+        "permitted": sorted(str(cap) for cap in spec.permitted),
+        "uid": spec.uid,
+        "gid": spec.gid,
+        "argv": list(spec.argv),
+        "stdin": list(spec.stdin),
+        "env": {str(k): spec.env[k] for k in sorted(spec.env)},
+        "refactored_fs": spec.refactored_fs,
+        "setup": f"{setup.__module__}.{setup.__qualname__}" if setup else None,
+        "budget": {
+            "max_states": budget.max_states if budget else None,
+            "max_seconds": budget.max_seconds if budget else None,
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

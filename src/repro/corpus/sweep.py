@@ -1,0 +1,142 @@
+"""The corpus sweep: profile every entry, incrementally, optionally pooled.
+
+Per entry: compute the content address (:func:`repro.corpus.profile.
+profile_key`), consult the :class:`~repro.corpus.store.ProfileStore`,
+and only on a miss run the full pipeline — with a *private* audited
+telemetry bundle so the dynamic syscall surface lands in the profile —
+then cache the result.  A warm rerun over an unchanged corpus therefore
+profiles nothing.
+
+``--jobs N`` fans cache misses over a thread or process pool.  Process
+workers receive only picklable payloads: generated entries ship their
+case dict, built-ins and exemplars ship just their *name* and are
+rebuilt via ``spec_by_name`` inside the worker (specs carry setup
+callables that don't pickle).  Results are keyed back by name, so the
+sweep's output order — and every downstream cluster — is independent of
+pool scheduling.
+
+Telemetry: ``rosa.corpus.programs`` / ``rosa.corpus.cache_hits`` /
+``rosa.corpus.profiled`` counters and a ``corpus.sweep`` span (one
+``corpus.profile`` child per miss in serial mode) on the caller's
+bundle.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import PrivAnalyzer
+from repro.corpus.build import CorpusEntry
+from repro.corpus.profile import (
+    PrivilegeProfile,
+    profile_from_analysis,
+    profile_key,
+)
+from repro.corpus.store import ProfileStore
+from repro.programs import spec_by_name
+from repro.rewriting import SearchBudget
+from repro.telemetry import Telemetry
+
+#: The sweep's default per-program search budget — matches the fuzz
+#: harness's: generous for these small programs, bounded for CI.
+DEFAULT_SWEEP_BUDGET = SearchBudget(max_states=20_000, max_seconds=10.0)
+
+
+def _entry_payload(entry: CorpusEntry, budget: SearchBudget) -> Dict[str, Any]:
+    """A picklable description a pool worker can rebuild the task from."""
+    return {
+        "name": entry.name,
+        "kind": entry.kind,
+        "case": entry.case,
+        "max_states": budget.max_states,
+        "max_seconds": budget.max_seconds,
+    }
+
+
+def _profile_task(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Analyze one program and extract its profile (pool worker body).
+
+    Module-level and payload-driven so it pickles into process workers;
+    each call builds its own analyzer and audited telemetry, so pooled
+    tasks never share mutable state.
+    """
+    if payload["kind"] == "generated":
+        from repro.testkit.generators import build_program_spec
+
+        spec = build_program_spec(payload["case"], name=payload["name"])
+    else:
+        spec = spec_by_name(payload["name"])
+    budget = SearchBudget(
+        max_states=payload["max_states"], max_seconds=payload["max_seconds"]
+    )
+    telemetry = Telemetry.enabled(audit=True)
+    analyzer = PrivAnalyzer(budget=budget, telemetry=telemetry)
+    analysis = analyzer.analyze(spec)
+    profile = profile_from_analysis(analysis, audit=telemetry.audit)
+    return payload["name"], profile.to_dict()
+
+
+def sweep_corpus(
+    entries: Sequence[CorpusEntry],
+    store: Optional[ProfileStore] = None,
+    jobs: int = 1,
+    mode: str = "thread",
+    budget: SearchBudget = DEFAULT_SWEEP_BUDGET,
+    telemetry: Optional[Telemetry] = None,
+) -> List[PrivilegeProfile]:
+    """Profiles for every corpus entry, in entry order.
+
+    ``store=None`` disables caching (every entry is profiled live).
+    ``jobs`` > 1 pools the cache misses; ``mode`` picks ``thread`` or
+    ``process`` workers (``serial`` ignores ``jobs``).
+    """
+    if mode not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown sweep mode {mode!r}")
+    telemetry = telemetry or Telemetry.disabled()
+    programs = telemetry.metrics.counter("rosa.corpus.programs")
+    cache_hits = telemetry.metrics.counter("rosa.corpus.cache_hits")
+    profiled = telemetry.metrics.counter("rosa.corpus.profiled")
+
+    with telemetry.tracer.span("corpus.sweep", entries=len(entries), mode=mode):
+        results: Dict[str, PrivilegeProfile] = {}
+        keys: Dict[str, str] = {}
+        misses: List[CorpusEntry] = []
+        for entry in entries:
+            programs.inc()
+            if store is not None:
+                key = profile_key(entry.spec(), budget=budget)
+                keys[entry.name] = key
+                cached = store.get(key)
+                if cached is not None:
+                    cache_hits.inc()
+                    results[entry.name] = cached
+                    continue
+            misses.append(entry)
+
+        if misses:
+            if jobs <= 1 or mode == "serial":
+                produced = []
+                for entry in misses:
+                    with telemetry.tracer.span("corpus.profile", program=entry.name):
+                        produced.append(_profile_task(_entry_payload(entry, budget)))
+            else:
+                executor_type = (
+                    concurrent.futures.ThreadPoolExecutor
+                    if mode == "thread"
+                    else concurrent.futures.ProcessPoolExecutor
+                )
+                payloads = [_entry_payload(entry, budget) for entry in misses]
+                with telemetry.tracer.span(
+                    "corpus.profile.pool", tasks=len(payloads), workers=jobs
+                ):
+                    with executor_type(max_workers=jobs) as pool:
+                        produced = list(pool.map(_profile_task, payloads))
+            for name, data in produced:
+                profiled.inc()
+                profile = PrivilegeProfile.from_dict(data)
+                results[name] = profile
+                if store is not None:
+                    store.put(keys[name], profile)
+
+    return [results[entry.name] for entry in entries]

@@ -7,6 +7,14 @@ paper's §VII-B workload.  ``ALL_PROGRAMS`` covers Table III;
 """
 
 from repro.programs import (
+    atd,
+    backupd,
+    containershim,
+    crond,
+    greedyd,
+    inetd,
+    logrotated,
+    ntpd,
     passwd,
     passwd_refactored,
     ping,
@@ -14,7 +22,10 @@ from repro.programs import (
     sshd_privsep,
     su,
     su_refactored,
+    sudohelper,
     thttpd,
+    udevd,
+    vsftpd,
 )
 from repro.programs.common import ProgramSpec, source_sloc
 
@@ -44,7 +55,25 @@ PROGRAM_MODULES = {
     "thttpd": thttpd,
     "passwdRef": passwd_refactored,
     "suRef": su_refactored,
+    # Scenario-corpus exemplars (docs/CORPUS.md); each module carries a
+    # FAMILY attribute naming its peer group.
+    "atd": atd,
+    "backupd": backupd,
+    "containershim": containershim,
+    "crond": crond,
+    "greedyd": greedyd,
+    "inetd": inetd,
+    "logrotated": logrotated,
+    "ntpd": ntpd,
+    "sudohelper": sudohelper,
+    "udevd": udevd,
+    "vsftpd": vsftpd,
 }
+
+#: The corpus exemplar names, in registry order.
+EXEMPLAR_NAMES = tuple(
+    name for name, module in PROGRAM_MODULES.items() if hasattr(module, "FAMILY")
+)
 
 
 def spec_by_name(name: str) -> ProgramSpec:
@@ -59,6 +88,7 @@ def spec_by_name(name: str) -> ProgramSpec:
 
 __all__ = [
     "ALL_PROGRAM_NAMES",
+    "EXEMPLAR_NAMES",
     "PROGRAM_MODULES",
     "ProgramSpec",
     "all_specs",

@@ -1,0 +1,100 @@
+"""atd: one-shot deferred job runner (corpus exemplar, cron family).
+
+Same peer group as crond — become the submitting user per job — but a
+batch queue rather than a schedule: the whole spool is drained once.
+The distinguishing profile detail is that atd *fully* switches uid per
+job (``setuid``-style irreversible drop is not possible for a daemon
+that must serve many users, so it uses effective-id flips like crond)
+and spends most of its instructions inside the jobs themselves.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "cron"
+
+SOURCE = """
+// atd: drain the at-job spool, each job under its owner's credentials.
+
+int read_spool() {
+    priv_raise(CAP_DAC_READ_SEARCH);
+    int fd = open("/var/spool/atjobs", "r");
+    int jobs = 0;
+    if (fd >= 0) {
+        str spool = read(fd);
+        close(fd);
+        int line;
+        for (line = 0; line < 8; line = line + 1) {
+            if (strlen(str_field(spool, line, "\\n")) > 0) {
+                jobs = jobs + 1;
+            }
+        }
+    }
+    priv_lower(CAP_DAC_READ_SEARCH);
+    priv_remove(CAP_DAC_READ_SEARCH);
+    return jobs;
+}
+
+int execute_job(int owner, int job) {
+    priv_raise(CAP_SETGID);
+    setegid(owner);
+    priv_lower(CAP_SETGID);
+    priv_raise(CAP_SETUID);
+    seteuid(owner);
+    priv_lower(CAP_SETUID);
+
+    // The job body dominates the instruction count.
+    int out = 0;
+    int step = 0;
+    while (step < 90) {
+        out = (out * 17 + job * 3 + step) % 32749;
+        step = step + 1;
+    }
+
+    priv_raise(CAP_SETUID);
+    seteuid(0);
+    priv_lower(CAP_SETUID);
+    priv_raise(CAP_SETGID);
+    setegid(0);
+    priv_lower(CAP_SETGID);
+    return out;
+}
+
+void main() {
+    int jobs = read_spool();
+    int done = 0;
+    int job;
+    for (job = 0; job < jobs; job = job + 1) {
+        int owner = 1000 + (job % 2);
+        int result = execute_job(owner, job);
+        done = done + 1;
+    }
+    print_str(strcat("atd: drained ", int_to_str(done)));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """The pending at-job spool."""
+    spool = "\n".join(
+        ["a0001 alice echo hello", "a0002 bob make backup", "a0003 alice sync"]
+    )
+    kernel.fs.mkdir("/var/spool", UID_ROOT, UID_ROOT, 0o755)
+    kernel.fs.create_file("/var/spool/atjobs", UID_ROOT, UID_ROOT, 0o600, spool)
+
+
+def spec() -> ProgramSpec:
+    """Drain a three-job spool once."""
+    return ProgramSpec(
+        name="atd",
+        description="Deferred one-shot job runner (corpus exemplar)",
+        source=SOURCE,
+        setup=_setup,
+        permitted=CapabilitySet.of("CapDacReadSearch", "CapSetuid", "CapSetgid"),
+        uid=0,
+        gid=0,
+    )

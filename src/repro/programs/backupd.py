@@ -1,0 +1,87 @@
+"""backupd: credential-database backup daemon (corpus exemplar, daemon family).
+
+A daemon whose privileged op is *reading* protected files, not binding
+ports: each backup cycle opens ``/etc/shadow`` under a tight
+``CAP_DAC_READ_SEARCH`` bracket, checksums it into the archive, and
+sleeps.  Within the daemon peer group its profile has no network surface
+at all — the read-capability direction of the cluster.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+FAMILY = "daemon"
+
+SOURCE = """
+// backupd: periodically archive the credential databases.
+
+int snapshot_shadow(int cycle) {
+    // The only privileged moment per cycle.
+    priv_raise(CAP_DAC_READ_SEARCH);
+    int fd = open("/etc/shadow", "r");
+    str content = "";
+    if (fd >= 0) {
+        content = read(fd);
+        close(fd);
+    }
+    priv_lower(CAP_DAC_READ_SEARCH);
+
+    int sum = 0;
+    int step = 0;
+    while (step < strlen(content) + 50) {
+        sum = (sum * 31 + step + cycle) % 65521;
+        step = step + 1;
+    }
+    return sum;
+}
+
+int snapshot_passwd(int cycle) {
+    // World-readable: no privilege needed.
+    int fd = open("/etc/passwd", "r");
+    int sum = 0;
+    if (fd >= 0) {
+        str content = read(fd);
+        close(fd);
+        int step = 0;
+        while (step < strlen(content) + 20) {
+            sum = (sum * 17 + step + cycle) % 32749;
+            step = step + 1;
+        }
+    }
+    return sum;
+}
+
+void write_archive(int shadow_sum, int passwd_sum) {
+    int out = open("/var/log/sulog", "w");
+    if (out >= 0) {
+        write(out, strcat("backup:", int_to_str(shadow_sum + passwd_sum)));
+        close(out);
+    }
+}
+
+void main() {
+    int cycles = 3;
+    int cycle;
+    for (cycle = 0; cycle < cycles; cycle = cycle + 1) {
+        int shadow_sum = snapshot_shadow(cycle);
+        int passwd_sum = snapshot_passwd(cycle);
+        write_archive(shadow_sum, passwd_sum);
+    }
+    print_str(strcat("backupd: cycles ", int_to_str(cycles)));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """Three backup cycles over the credential databases."""
+    return ProgramSpec(
+        name="backupd",
+        description="Credential-database backup daemon (corpus exemplar)",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapDacReadSearch"),
+        uid=0,
+        gid=0,
+    )

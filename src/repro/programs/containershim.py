@@ -1,0 +1,99 @@
+"""containershim: OCI-style container runtime shim (corpus exemplar).
+
+The container-shim family signature: a burst of *very* powerful setup —
+mount the rootfs (``CAP_SYS_ADMIN``), jail into it
+(``CAP_SYS_CHROOT``), re-own the writable layer (``CAP_CHOWN``) — each
+in its own tight bracket, then an irreversible drop to the container
+user before the workload runs for the long tail with nothing held.
+Done right, CAP_SYS_ADMIN hold-time is a sliver; the corpus's planted
+violators hold it across the workload instead.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+FAMILY = "container-shim"
+
+SOURCE = """
+// containershim: mount, jail, re-own, drop, exec workload.
+
+int mount_rootfs() {
+    // The one CAP_SYS_ADMIN moment: bind-mount the image onto the
+    // container root (modeled as validating the mount table).
+    priv_raise(CAP_SYS_ADMIN);
+    int table = 0;
+    int entry;
+    for (entry = 0; entry < 8; entry = entry + 1) {
+        table = (table * 13 + entry) % 8191;
+    }
+    priv_lower(CAP_SYS_ADMIN);
+    return table;
+}
+
+void enter_container_root() {
+    priv_raise(CAP_SYS_CHROOT);
+    chroot("/srv/www");
+    priv_lower(CAP_SYS_CHROOT);
+}
+
+void fix_writable_layer() {
+    priv_raise(CAP_CHOWN);
+    chown("/srv/www/index.html", 1000, 1000);
+    priv_lower(CAP_CHOWN);
+}
+
+void drop_to_container_user() {
+    priv_raise(CAP_SETGID);
+    setgroups0();
+    setgid(1000);
+    priv_lower(CAP_SETGID);
+    priv_raise(CAP_SETUID);
+    setuid(1000);
+    priv_lower(CAP_SETUID);
+}
+
+int run_workload() {
+    // The container's own process: the long unprivileged tail.
+    int fd = open("/srv/www/index.html", "r");
+    int state = 0;
+    if (fd >= 0) {
+        str body = read(fd);
+        close(fd);
+        int round;
+        for (round = 0; round < 5; round = round + 1) {
+            int step = 0;
+            while (step < 60) {
+                state = (state * 33 + step + round) % 1048573;
+                step = step + 1;
+            }
+        }
+    }
+    return state;
+}
+
+void main() {
+    int table = mount_rootfs();
+    enter_container_root();
+    fix_writable_layer();
+    drop_to_container_user();
+    int result = run_workload();
+    print_str(strcat("containershim: exit ", int_to_str(result % 100)));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """Start one container and run its workload to completion."""
+    return ProgramSpec(
+        name="containershim",
+        description="Container runtime shim (corpus exemplar)",
+        source=SOURCE,
+        permitted=CapabilitySet.of(
+            "CapSysAdmin", "CapSysChroot", "CapChown", "CapSetuid", "CapSetgid"
+        ),
+        uid=0,
+        gid=0,
+    )

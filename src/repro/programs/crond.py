@@ -1,0 +1,118 @@
+"""crond: a periodic job scheduler (corpus exemplar, cron family).
+
+The privilege shape every cron implementation shares: the daemon stays
+root so it can become *any* user, and per job it flips its effective
+uid/gid to the job owner, runs the job, and flips back.  ``CAP_SETUID``
+/ ``CAP_SETGID`` are therefore raised briefly but *repeatedly* — the
+hold-time profile is a comb, not a block.  ``CAP_DAC_READ_SEARCH``
+covers reading other users' crontabs at startup and is dropped for good
+before the first job runs.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "cron"
+
+SOURCE = """
+// crond: run each user's scheduled jobs under that user's credentials.
+
+int load_crontabs() {
+    // Spool entries live in users' home directories; reading them all
+    // needs CAP_DAC_READ_SEARCH.  Dropped permanently after startup.
+    priv_raise(CAP_DAC_READ_SEARCH);
+    int fd = open("/etc/crontab", "r");
+    int jobs = 0;
+    if (fd >= 0) {
+        str tab = read(fd);
+        close(fd);
+        int line;
+        for (line = 0; line < 6; line = line + 1) {
+            str entry = str_field(tab, line, "\\n");
+            if (strlen(entry) > 0) { jobs = jobs + 1; }
+        }
+    }
+    priv_lower(CAP_DAC_READ_SEARCH);
+    priv_remove(CAP_DAC_READ_SEARCH);
+    return jobs;
+}
+
+int run_job(int owner, int job) {
+    // Flip effective ids to the job owner, work, flip back.  The
+    // repeated raise/lower comb is the family signature.
+    priv_raise(CAP_SETGID);
+    setegid(owner);
+    priv_lower(CAP_SETGID);
+    priv_raise(CAP_SETUID);
+    seteuid(owner);
+    priv_lower(CAP_SETUID);
+
+    int work = 0;
+    int step = 0;
+    while (step < 40) {
+        work = (work * 31 + job + step) % 65521;
+        step = step + 1;
+    }
+
+    priv_raise(CAP_SETUID);
+    seteuid(0);
+    priv_lower(CAP_SETUID);
+    priv_raise(CAP_SETGID);
+    setegid(0);
+    priv_lower(CAP_SETGID);
+    return work;
+}
+
+void log_run(int job, int result) {
+    int log = open("/var/log/sulog", "w");
+    if (log >= 0) {
+        write(log, strcat("job:", int_to_str(result)));
+        close(log);
+    }
+}
+
+void main() {
+    int jobs = load_crontabs();
+    if (jobs == 0) {
+        print_str("crond: nothing to do");
+        exit(0);
+    }
+    int tick;
+    for (tick = 0; tick < 3; tick = tick + 1) {
+        int job;
+        for (job = 0; job < jobs; job = job + 1) {
+            int owner = 1000 + (job % 2);
+            int result = run_job(owner, job);
+            log_run(job, result);
+        }
+    }
+    print_str(strcat("crond: ran ", int_to_str(jobs * 3)));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """The system crontab the scheduler parses at startup."""
+    tab = "\n".join(
+        ["*/5 * * * * alice /usr/bin/backup",
+         "0 * * * * bob /usr/bin/report",
+         "@daily root /usr/sbin/rotate"]
+    )
+    kernel.fs.create_file("/etc/crontab", UID_ROOT, UID_ROOT, 0o600, tab)
+
+
+def spec() -> ProgramSpec:
+    """Three scheduler ticks over a three-entry system crontab."""
+    return ProgramSpec(
+        name="crond",
+        description="Periodic job scheduler (corpus exemplar)",
+        source=SOURCE,
+        setup=_setup,
+        permitted=CapabilitySet.of("CapDacReadSearch", "CapSetuid", "CapSetgid"),
+        uid=0,
+        gid=0,
+    )

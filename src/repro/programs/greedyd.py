@@ -1,0 +1,96 @@
+"""greedyd: the planted CAP_SYS_ADMIN hoarder (corpus exemplar, daemon family).
+
+The hand-planted least-privilege violator the peers CLI must flag: a
+daemon whose actual work (serve files, write a status log) needs at most
+``CAP_NET_BIND_SERVICE`` for one bind, yet it raises ``CAP_SYS_ADMIN``
+and ``CAP_DAC_OVERRIDE`` at startup "to be safe" and lowers them only on
+the way out — the anti-pattern §VII-C calls out in the paper's
+pre-refactor programs, held for ~the whole run instead of a bracket.
+Peer-group analysis should score it a top outlier in the daemon cluster
+on CAP_SYS_ADMIN hold-time.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+FAMILY = "daemon"
+
+#: This exemplar is a deliberate least-privilege violation.
+VIOLATOR = True
+
+SOURCE = """
+// greedyd: raise everything up front, serve, lower at exit.
+
+int bind_status_port() {
+    priv_raise(CAP_NET_BIND_SERVICE);
+    int fd = socket();
+    int rc = bind(fd, 80);
+    priv_lower(CAP_NET_BIND_SERVICE);
+    if (rc < 0) { return -1; }
+    listen(fd);
+    return fd;
+}
+
+int serve_status(int conn, int round) {
+    str request = net_recv(conn);
+    int fd = open("/srv/www/index.html", "r");
+    int sum = 0;
+    if (fd >= 0) {
+        str body = read(fd);
+        close(fd);
+        int step = 0;
+        while (step < strlen(body) / 8 + 40) {
+            sum = (sum * 31 + step + round) % 65521;
+            step = step + 1;
+        }
+    }
+    net_send(conn, strcat("status:", int_to_str(sum)));
+    int log = open("/var/log/sulog", "w");
+    if (log >= 0) {
+        write(log, strcat("hit:", int_to_str(round)));
+        close(log);
+    }
+    return sum;
+}
+
+void main() {
+    // The violation: blanket raise at startup, held across the entire
+    // serving loop.  Nothing below ever needs these.
+    priv_raise(CAP_SYS_ADMIN | CAP_DAC_OVERRIDE);
+
+    int server = bind_status_port();
+    if (server < 0) {
+        print_str("greedyd: bind failed");
+        exit(2);
+    }
+
+    int served = 0;
+    int conn = net_accept(server);
+    while (conn >= 0) {
+        int sum = serve_status(conn, served);
+        served = served + 1;
+        conn = net_accept(server);
+    }
+
+    priv_lower(CAP_SYS_ADMIN | CAP_DAC_OVERRIDE);
+    print_str(strcat("greedyd: served ", int_to_str(served)));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """Three status requests served with CAP_SYS_ADMIN held throughout."""
+    return ProgramSpec(
+        name="greedyd",
+        description="Status daemon that hoards CAP_SYS_ADMIN (planted violator)",
+        source=SOURCE,
+        permitted=CapabilitySet.of(
+            "CapSysAdmin", "CapDacOverride", "CapNetBindService"
+        ),
+        uid=0,
+        gid=0,
+        env={"connections": [1, 2, 3], "incoming": ["GET /", "GET /", "GET /"]},
+    )

@@ -1,0 +1,114 @@
+"""inetd: the classic super-server (corpus exemplar, super-server family).
+
+Binds every configured low port up front under one
+``CAP_NET_BIND_SERVICE`` bracket, then never needs it again.  Per
+accepted connection it flips its effective uid to the configured service
+user, hands the socket to the service logic, and flips back — the
+super-server signature: network privilege front-loaded, credential
+privilege a per-connection comb.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "super-server"
+
+SOURCE = """
+// inetd: bind configured ports, dispatch each connection as the
+// service's unprivileged user.
+
+int parse_services() {
+    int fd = open("/etc/inetd.conf", "r");
+    if (fd < 0) { return 0; }
+    str conf = read(fd);
+    close(fd);
+    int services = 0;
+    int line;
+    for (line = 0; line < 6; line = line + 1) {
+        if (strlen(str_field(conf, line, "\\n")) > 0) {
+            services = services + 1;
+        }
+    }
+    return services;
+}
+
+int bind_ports(int services) {
+    // One bracket for every listening socket: the only time the
+    // super-server holds network privilege.
+    priv_raise(CAP_NET_BIND_SERVICE);
+    int first = socket();
+    bind(first, 7);
+    listen(first);
+    if (services > 1) {
+        int second = socket();
+        bind(second, 13);
+        listen(second);
+    }
+    priv_lower(CAP_NET_BIND_SERVICE);
+    return first;
+}
+
+int serve_connection(int conn, int service_uid) {
+    priv_raise(CAP_SETUID);
+    seteuid(service_uid);
+    priv_lower(CAP_SETUID);
+
+    str request = net_recv(conn);
+    int sum = 0;
+    int step = 0;
+    while (step < strlen(request) + 30) {
+        sum = (sum * 13 + step) % 8191;
+        step = step + 1;
+    }
+    net_send(conn, strcat("echo:", int_to_str(sum)));
+
+    priv_raise(CAP_SETUID);
+    seteuid(0);
+    priv_lower(CAP_SETUID);
+    return sum;
+}
+
+void main() {
+    int services = parse_services();
+    if (services == 0) {
+        print_str("inetd: no services");
+        exit(0);
+    }
+    int server = bind_ports(services);
+    int served = 0;
+    int conn = net_accept(server);
+    while (conn >= 0) {
+        int result = serve_connection(conn, 1000 + (served % 2));
+        served = served + 1;
+        conn = net_accept(server);
+    }
+    print_str(strcat("inetd: served ", int_to_str(served)));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """The service table."""
+    conf = "\n".join(
+        ["echo stream tcp nowait alice internal",
+         "daytime stream tcp nowait bob internal"]
+    )
+    kernel.fs.create_file("/etc/inetd.conf", UID_ROOT, UID_ROOT, 0o644, conf)
+
+
+def spec() -> ProgramSpec:
+    """Two services, three connections."""
+    return ProgramSpec(
+        name="inetd",
+        description="Internet super-server (corpus exemplar)",
+        source=SOURCE,
+        setup=_setup,
+        permitted=CapabilitySet.of("CapNetBindService", "CapSetuid", "CapSetgid"),
+        uid=0,
+        gid=0,
+        env={"connections": [1, 2, 3], "incoming": ["ping", "date?", "ping2"]},
+    )

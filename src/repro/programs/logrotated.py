@@ -1,0 +1,102 @@
+"""logrotated: log rotation helper (corpus exemplar, cron family).
+
+The cron-family batch job that does *file* privilege instead of
+credential flips: it rewrites root-owned logs, so its comb is
+``CAP_DAC_OVERRIDE`` / ``CAP_CHOWN`` / ``CAP_FOWNER`` brackets around
+each rotation, with no uid changes at all.  Within the cron peer group
+that makes it the file-capability outlier direction — useful contrast
+for the distance metric.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "cron"
+
+SOURCE = """
+// logrotated: rotate each configured log, preserving owner and mode.
+
+int parse_config() {
+    int fd = open("/etc/logrotate.conf", "r");
+    if (fd < 0) { return 0; }
+    str conf = read(fd);
+    close(fd);
+    int entries = 0;
+    int line;
+    for (line = 0; line < 5; line = line + 1) {
+        if (strlen(str_field(conf, line, "\\n")) > 0) {
+            entries = entries + 1;
+        }
+    }
+    return entries;
+}
+
+int rotate_log(str path, int round) {
+    // stat, copy, truncate, restore ownership — all under one
+    // file-capability bracket per log.
+    priv_raise(CAP_DAC_OVERRIDE | CAP_CHOWN | CAP_FOWNER);
+    int owner = stat_owner(path);
+    int group = stat_group(path);
+    int mode = stat_mode(path);
+    int fd = open(path, "r");
+    int copied = 0;
+    if (fd >= 0) {
+        str content = read(fd);
+        close(fd);
+        int step = 0;
+        while (step < strlen(content) + 60) {
+            copied = (copied * 31 + step + round) % 65521;
+            step = step + 1;
+        }
+        int out = open(path, "w");
+        if (out >= 0) {
+            write(out, "");
+            close(out);
+        }
+        chown(path, owner, group);
+        chmod(path, mode);
+    }
+    priv_lower(CAP_DAC_OVERRIDE | CAP_CHOWN | CAP_FOWNER);
+    return copied;
+}
+
+void main() {
+    int entries = parse_config();
+    if (entries == 0) {
+        print_str("logrotated: nothing configured");
+        exit(0);
+    }
+    int rotated = 0;
+    int round;
+    for (round = 0; round < entries; round = round + 1) {
+        int sum = rotate_log("/var/log/sulog", round);
+        rotated = rotated + 1;
+    }
+    print_str(strcat("logrotated: rotated ", int_to_str(rotated)));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """Rotation config plus some log content to copy."""
+    conf = "\n".join(
+        ["/var/log/sulog { weekly rotate 4 }", "compress", "missingok"]
+    )
+    kernel.fs.create_file("/etc/logrotate.conf", UID_ROOT, UID_ROOT, 0o644, conf)
+
+
+def spec() -> ProgramSpec:
+    """Rotate the su log three times (one per config entry)."""
+    return ProgramSpec(
+        name="logrotated",
+        description="Log rotation helper (corpus exemplar)",
+        source=SOURCE,
+        setup=_setup,
+        permitted=CapabilitySet.of("CapDacOverride", "CapChown", "CapFowner"),
+        uid=0,
+        gid=0,
+    )

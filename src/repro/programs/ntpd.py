@@ -1,0 +1,94 @@
+"""ntpd: network time daemon (corpus exemplar, daemon family).
+
+Daemon-family member whose long phase is *compute*, not serving: after
+binding UDP 123 and dropping to the ntp user, the clock-discipline loop
+dominates the instruction count with an empty effective set.  Profile
+distinguishers inside the peer group: no chroot, a single socket, and
+compute mass instead of request traffic.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+FAMILY = "daemon"
+
+SOURCE = """
+// ntpd: bind 123, drop to the ntp user, discipline the clock.
+
+int bind_ntp_port() {
+    priv_raise(CAP_NET_BIND_SERVICE);
+    int fd = socket();
+    int rc = bind(fd, 123);
+    priv_lower(CAP_NET_BIND_SERVICE);
+    if (rc < 0) { return -1; }
+    listen(fd);
+    return fd;
+}
+
+void drop_to_ntp_user() {
+    priv_raise(CAP_SETGID);
+    setgroups0();
+    setgid(998);
+    priv_lower(CAP_SETGID);
+    priv_raise(CAP_SETUID);
+    setuid(998);
+    priv_lower(CAP_SETUID);
+}
+
+int poll_peer(int conn, int round) {
+    str sample = net_recv(conn);
+    int offset = (strlen(sample) * 7 + round) % 1024;
+    net_send(conn, strcat("stratum:", int_to_str(offset % 16)));
+    return offset;
+}
+
+int discipline_clock(int offset) {
+    // The PLL/FLL loop: the daemon's dominant instruction mass.
+    int state = offset;
+    int round;
+    for (round = 0; round < 6; round = round + 1) {
+        int step = 0;
+        while (step < 50) {
+            state = (state * 33 + step + round) % 1048573;
+            step = step + 1;
+        }
+    }
+    return state;
+}
+
+void main() {
+    int server = bind_ntp_port();
+    if (server < 0) {
+        print_str("ntpd: bind failed");
+        exit(2);
+    }
+    drop_to_ntp_user();
+
+    int drift = 0;
+    int round = 0;
+    int conn = net_accept(server);
+    while (conn >= 0) {
+        int offset = poll_peer(conn, round);
+        drift = discipline_clock(offset);
+        round = round + 1;
+        conn = net_accept(server);
+    }
+    print_str(strcat("ntpd: drift ", int_to_str(drift % 1000)));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """Two peer exchanges, six discipline rounds each."""
+    return ProgramSpec(
+        name="ntpd",
+        description="Network time daemon (corpus exemplar)",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapNetBindService", "CapSetuid", "CapSetgid"),
+        uid=0,
+        gid=0,
+        env={"connections": [1, 2], "incoming": ["t1", "t2"]},
+    )

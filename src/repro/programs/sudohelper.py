@@ -1,0 +1,96 @@
+"""sudohelper: minimal sudo-like elevation helper (corpus exemplar).
+
+Setuid-helper family, alongside passwd and su: starts as the invoking
+user, authenticates against the shadow database under a tight
+``CAP_DAC_READ_SEARCH`` bracket, then briefly becomes root under
+``CAP_SETUID`` to run the requested command and logs the run.  The
+elevation window is the profile feature that separates well-behaved
+helpers from su-style ones that *stay* root.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.programs.common import ProgramSpec
+
+FAMILY = "setuid-helper"
+
+SOURCE = """
+// sudohelper: authenticate, elevate briefly, run, log, drop.
+
+str read_shadow_entry(str user) {
+    priv_raise(CAP_DAC_READ_SEARCH);
+    str entry = getspnam(user);
+    priv_lower(CAP_DAC_READ_SEARCH);
+    return entry;
+}
+
+int authenticate(str stored, str typed) {
+    str computed = crypt(typed);
+    int pad = 0;
+    int i;
+    for (i = 0; i < strlen(stored) + strlen(computed); i = i + 1) {
+        pad = (pad * 2 + i) % 97;
+    }
+    return streq(stored, computed);
+}
+
+int run_as_root(int me) {
+    // The elevation window: seteuid(0), run the command, seteuid back.
+    priv_raise(CAP_SETUID);
+    seteuid(0);
+    priv_lower(CAP_SETUID);
+
+    int result = 0;
+    int step = 0;
+    while (step < 50) {
+        result = (result * 31 + step) % 65521;
+        step = step + 1;
+    }
+
+    priv_raise(CAP_SETUID);
+    seteuid(me);
+    priv_lower(CAP_SETUID);
+    return result;
+}
+
+void log_invocation(int me, int result) {
+    priv_raise(CAP_DAC_OVERRIDE);
+    int log = open("/var/log/sulog", "w");
+    if (log >= 0) {
+        write(log, strcat("sudo:", int_to_str(me)));
+        close(log);
+    }
+    priv_lower(CAP_DAC_OVERRIDE);
+}
+
+void main() {
+    int me = getuid();
+    str user = getpwuid_name(me);
+    if (strlen(user) == 0) {
+        print_str("sudohelper: unknown user");
+        exit(1);
+    }
+    str stored = read_shadow_entry(user);
+    str typed = getpass("Password: ");
+    if (authenticate(stored, typed) == 0) {
+        print_str("sudohelper: authentication failure");
+        exit(1);
+    }
+    int result = run_as_root(me);
+    log_invocation(me, result);
+    print_str("sudohelper: done");
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """One authenticated elevated command for the invoking user."""
+    return ProgramSpec(
+        name="sudohelper",
+        description="Minimal sudo-like elevation helper (corpus exemplar)",
+        source=SOURCE,
+        permitted=CapabilitySet.of("CapDacReadSearch", "CapSetuid", "CapDacOverride"),
+        stdin=("userpw",),
+    )

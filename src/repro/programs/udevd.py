@@ -1,0 +1,87 @@
+"""udevd: device-node manager (corpus exemplar, daemon family).
+
+The daemon that owns ``/dev``: per hotplug event it fixes a device
+node's owner, group and mode under a ``CAP_CHOWN`` / ``CAP_FOWNER``
+bracket.  No network, no uid changes — the chown-comb direction of the
+daemon peer group.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "daemon"
+
+SOURCE = """
+// udevd: apply ownership rules to device nodes as events arrive.
+
+int load_rules() {
+    int fd = open("/etc/udev.rules", "r");
+    if (fd < 0) { return 0; }
+    str rules = read(fd);
+    close(fd);
+    int count = 0;
+    int line;
+    for (line = 0; line < 6; line = line + 1) {
+        if (strlen(str_field(rules, line, "\\n")) > 0) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+
+int apply_rule(str node, int mode, int event) {
+    // Match the rule (pure compute), then fix the node under one
+    // file-ownership bracket.
+    int match = 0;
+    int step = 0;
+    while (step < 40) {
+        match = (match * 13 + step + event) % 8191;
+        step = step + 1;
+    }
+    priv_raise(CAP_CHOWN | CAP_FOWNER);
+    chown(node, 0, 0);
+    chmod(node, mode);
+    priv_lower(CAP_CHOWN | CAP_FOWNER);
+    return match;
+}
+
+void main() {
+    int rules = load_rules();
+    if (rules == 0) {
+        print_str("udevd: no rules");
+        exit(0);
+    }
+    int events = 0;
+    int event;
+    for (event = 0; event < 4; event = event + 1) {
+        int result = apply_rule("/dev/null", 438, event);
+        events = events + 1;
+    }
+    print_str(strcat("udevd: events ", int_to_str(events)));
+    exit(0);
+}
+"""
+
+
+def _setup(kernel, vm) -> None:
+    """The ownership rule set."""
+    rules = "\n".join(
+        ['KERNEL=="null", MODE="0666"', 'KERNEL=="mem", GROUP="kmem"']
+    )
+    kernel.fs.create_file("/etc/udev.rules", UID_ROOT, UID_ROOT, 0o644, rules)
+
+
+def spec() -> ProgramSpec:
+    """Four hotplug events against a two-rule set."""
+    return ProgramSpec(
+        name="udevd",
+        description="Device-node manager (corpus exemplar)",
+        source=SOURCE,
+        setup=_setup,
+        permitted=CapabilitySet.of("CapChown", "CapFowner"),
+        uid=0,
+        gid=0,
+    )

@@ -1,0 +1,108 @@
+"""vsftpd: hardened FTP daemon (corpus exemplar, daemon family).
+
+The daemon-family textbook citizen, modeled on vsftpd's "one privileged
+op per bracket, then drop everything" discipline: bind port 21 under
+``CAP_NET_BIND_SERVICE``, chroot into the FTP root under
+``CAP_SYS_CHROOT``, switch to the ftp user under ``CAP_SETGID`` /
+``CAP_SETUID``, then serve with an empty effective set for the long
+tail of execution.
+"""
+
+from __future__ import annotations
+
+from repro.caps import CapabilitySet
+from repro.oskernel.setup import UID_ROOT
+from repro.programs.common import ProgramSpec
+
+FAMILY = "daemon"
+
+SOURCE = """
+// vsftpd: bind, jail, drop, serve.
+
+int bind_ftp_port() {
+    priv_raise(CAP_NET_BIND_SERVICE);
+    int fd = socket();
+    int rc = bind(fd, 21);
+    priv_lower(CAP_NET_BIND_SERVICE);
+    if (rc < 0) { return -1; }
+    listen(fd);
+    return fd;
+}
+
+void enter_jail() {
+    priv_raise(CAP_SYS_CHROOT);
+    chroot("/srv/www");
+    priv_lower(CAP_SYS_CHROOT);
+}
+
+void become_ftp_user(int uid, int gid) {
+    priv_raise(CAP_SETGID);
+    setgroups0();
+    setgid(gid);
+    priv_lower(CAP_SETGID);
+    priv_raise(CAP_SETUID);
+    setuid(uid);
+    priv_lower(CAP_SETUID);
+}
+
+int handle_session(int conn) {
+    net_send(conn, "220 ready");
+    str command = net_recv(conn);
+    int fd = open("/srv/www/index.html", "r");
+    int bytes = 0;
+    if (fd >= 0) {
+        str body = read(fd);
+        close(fd);
+        // RETR transfer loop: checksum and send in chunks.
+        int chunks = (strlen(body) / 64) + 1;
+        int i;
+        for (i = 0; i < chunks; i = i + 1) {
+            int sum = 0;
+            int b = 0;
+            while (b < 24) {
+                sum = (sum + i * 5 + b) % 65521;
+                b = b + 1;
+            }
+            net_send(conn, int_to_str(sum));
+            bytes = bytes + 64;
+        }
+    }
+    net_send(conn, "226 done");
+    return bytes;
+}
+
+void main() {
+    int server = bind_ftp_port();
+    if (server < 0) {
+        print_str("vsftpd: bind failed");
+        exit(2);
+    }
+    enter_jail();
+    become_ftp_user(998, 998);
+
+    int sessions = 0;
+    int conn = net_accept(server);
+    while (conn >= 0) {
+        int bytes = handle_session(conn);
+        sessions = sessions + 1;
+        conn = net_accept(server);
+    }
+    print_str(strcat("vsftpd: sessions ", int_to_str(sessions)));
+    exit(0);
+}
+"""
+
+
+def spec() -> ProgramSpec:
+    """Two anonymous RETR sessions against the bundled docroot."""
+    return ProgramSpec(
+        name="vsftpd",
+        description="Hardened FTP daemon (corpus exemplar)",
+        source=SOURCE,
+        permitted=CapabilitySet.of(
+            "CapNetBindService", "CapSysChroot", "CapSetuid", "CapSetgid"
+        ),
+        uid=0,
+        gid=0,
+        env={"connections": [1, 2], "incoming": ["RETR index.html", "RETR index.html"]},
+    )

@@ -145,6 +145,38 @@ def _cache_verdict_flip() -> Callable[[], None]:
     return undo
 
 
+@fault("profile-ledger-skew")
+def _profile_ledger_skew() -> Callable[[], None]:
+    """The ledger writer drops the final phase record from exposure.json.
+
+    Models an off-by-one in the ledger's serialisation path.  Only the
+    ``ledger`` module's ``analysis_to_dict`` binding is rebound, so the
+    live extraction (``repro.corpus.profile`` imports the report
+    function directly) stays correct — and the ``ledger`` family's
+    self-diff is blind to the bug, because *both* captures it compares
+    carry the same skew.  The ``profile`` oracle family's live-vs-ledger
+    comparison is what catches it: phase counts, hold times and
+    credential-tuple counts all drift the moment a phase goes missing.
+    """
+    from repro.core import ledger
+
+    original = ledger.analysis_to_dict
+
+    def skewed(analysis):
+        data = original(analysis)
+        if data.get("phases"):
+            data = dict(data)
+            data["phases"] = data["phases"][:-1]
+        return data
+
+    ledger.analysis_to_dict = skewed
+
+    def undo() -> None:
+        ledger.analysis_to_dict = original
+
+    return undo
+
+
 @dataclasses.dataclass(frozen=True)
 class CrashingSpec:
     """A picklable query spec whose ``build()`` kills its process.

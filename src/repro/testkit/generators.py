@@ -28,7 +28,7 @@ Four input domains are covered:
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.caps import CapabilitySet
 from repro.core.attacks import ALL_ATTACKS, ATTACKS_BY_ID
@@ -83,10 +83,19 @@ SURFACE_POOL = (
 
 
 def subset(rng: random.Random, pool, low: int = 0, high: int = None) -> List:
-    """A sorted random subset of ``pool`` with ``low``–``high`` elements."""
-    high = len(pool) if high is None else min(high, len(pool))
+    """A sorted random subset of ``pool`` with ``low``–``high`` elements.
+
+    Unordered pools (sets, frozensets, dict views) are canonicalized
+    before sampling: ``rng.sample`` picks by *position*, so a
+    hash-ordered pool would make the same seed draw different elements
+    under ``PYTHONHASHSEED`` variation — corpus builds must be
+    byte-identical across interpreter launches.  Sequences keep the
+    caller's order so existing seeds keep their draws.
+    """
+    items = list(pool) if isinstance(pool, (list, tuple)) else sorted(pool, key=str)
+    high = len(items) if high is None else min(high, len(items))
     count = rng.randint(low, high)
-    return sorted(rng.sample(list(pool), count), key=str)
+    return sorted(rng.sample(items, count), key=str)
 
 
 def gen_capset_names(rng: random.Random, max_size: int = 4) -> List[str]:
@@ -407,6 +416,8 @@ _CAP_TO_CONST = {
     "CapNetBindService": "CAP_NET_BIND_SERVICE",
     "CapSetgid": "CAP_SETGID",
     "CapSetuid": "CAP_SETUID",
+    "CapSysAdmin": "CAP_SYS_ADMIN",
+    "CapSysChroot": "CAP_SYS_CHROOT",
 }
 
 
@@ -501,6 +512,207 @@ def build_program_spec(case: Case, name: str = "generated") -> ProgramSpec:
         uid=int(case["uid"]),
         gid=int(case["gid"]),
     )
+
+
+# -- family-conditioned corpus programs ----------------------------------------
+
+#: The scenario-corpus program families (see docs/CORPUS.md).  Each is a
+#: hand-shaped template over the same statement grammar as
+#: :func:`gen_program_case`, conditioned to produce the privilege
+#: *shape* of one real-world software class — so peer-group clustering
+#: over privilege profiles has structure to find.
+PROGRAM_FAMILIES = (
+    "daemon",
+    "setuid-helper",
+    "super-server",
+    "container-shim",
+    "cron",
+)
+
+#: The powerful capability a family's planted least-privilege violator
+#: hoards for (nearly) its whole execution.
+VIOLATOR_CAP = {
+    "daemon": "CapSysAdmin",
+    "setuid-helper": "CapDacReadSearch",
+    "super-server": "CapKill",
+    "container-shim": "CapSysAdmin",
+    "cron": "CapDacOverride",
+}
+
+
+def _bracket(cap: str, inner: List[List]) -> List[List]:
+    """``priv_raise(cap); inner; priv_lower(cap)`` — the AutoPriv idiom."""
+    return [["priv", "raise", cap]] + inner + [["priv", "lower", cap]]
+
+
+def _compute_loop(rng: random.Random, var: int, count: int) -> List:
+    """A bounded busy loop mutating ``var`` — dynamic instruction mass."""
+    return [
+        "loop", count,
+        [["set", var, ["bin", "+", ["var", var], ["lit", rng.choice((1, 2, 3, 7))]]]],
+    ]
+
+
+#: Optional per-family behaviours, drawn as a sorted-key subset so the
+#: same seed picks the same features under any PYTHONHASHSEED.
+_FAMILY_FEATURES = {
+    "daemon": ("logfile", "pidfile", "stats"),
+    "setuid-helper": ("audit-log", "retry"),
+    "super-server": ("logfile", "per-conn-stats"),
+    "container-shim": ("devnull-setup", "stats"),
+    "cron": ("joblog", "stats"),
+}
+
+
+def _feature_stmts(feature: str, rng: random.Random) -> List[List]:
+    if feature in ("logfile", "audit-log", "joblog"):
+        return [["open", 2, "/var/log/sulog", "w"], ["close", 2]]
+    if feature == "pidfile":
+        return [["open", 2, "/dev/null", "w"], ["close", 2]]
+    if feature in ("stats", "per-conn-stats"):
+        return [["print", ["bin", "+", ["var", 0], ["lit", rng.randint(0, 9)]]]]
+    if feature == "retry":
+        return [["if", ["bin", "<", ["var", 0], ["lit", 0]],
+                 [["print", ["lit", 1]]], []]]
+    if feature == "devnull-setup":
+        return [["chmod", "/dev/null", 0o666]]
+    raise ValueError(f"unknown family feature {feature!r}")
+
+
+def _gen_daemon_body(rng: random.Random, features: List[str]) -> Tuple[List, List[str], int, int]:
+    port = rng.choice((22, 80, 443))
+    drop_uid = rng.choice((998, 1000))
+    body: List[List] = []
+    body += _bracket("CapNetBindService", [["sock", 1, port]])
+    for feature in features:
+        body += _feature_stmts(feature, rng)
+    body += _bracket("CapSetgid", [["sys1", "setgid", 1000]])
+    body += _bracket("CapSetuid", [["sys1", "setuid", drop_uid]])
+    serve = [
+        ["open", 2, rng.choice(("/etc/passwd", "/dev/null")), "r"],
+        ["close", 2],
+        ["set", 0, ["bin", "+", ["var", 0], ["lit", 1]]],
+    ]
+    body.append(["loop", rng.randint(5, 9), serve])
+    body.append(_compute_loop(rng, 0, rng.randint(2, 4)))
+    caps = ["CapNetBindService", "CapSetgid", "CapSetuid"]
+    return body, caps, 0, 0
+
+
+def _gen_setuid_helper_body(rng: random.Random, features: List[str]) -> Tuple[List, List[str], int, int]:
+    body: List[List] = [_compute_loop(rng, 0, rng.randint(2, 4))]
+    body += _bracket(
+        "CapDacReadSearch",
+        [["open", 1, "/etc/shadow", "r"], ["close", 1]],
+    )
+    for feature in features:
+        body += _feature_stmts(feature, rng)
+    body.append(_compute_loop(rng, 0, rng.randint(3, 6)))
+    caps = ["CapDacReadSearch"]
+    if rng.random() < 0.5:
+        body += _bracket("CapSetuid", [["sys1", "seteuid", 1000]])
+        caps.append("CapSetuid")
+    return body, caps, 1000, 1000
+
+
+def _gen_super_server_body(rng: random.Random, features: List[str]) -> Tuple[List, List[str], int, int]:
+    body: List[List] = []
+    ports = rng.sample((22, 80, 443, 8080), rng.randint(1, 2))
+    binds: List[List] = []
+    for index, port in enumerate(ports):
+        binds.append(["sock", index, port])
+    body += _bracket("CapNetBindService", binds)
+    per_conn: List[List] = []
+    per_conn += _bracket("CapSetuid", [["sys1", "seteuid", 1000]])
+    for feature in features:
+        per_conn += _feature_stmts(feature, rng)
+    per_conn.append(["set", 0, ["bin", "+", ["var", 0], ["lit", 1]]])
+    per_conn += _bracket("CapSetuid", [["sys1", "seteuid", 0]])
+    body.append(["loop", rng.randint(3, 6), per_conn])
+    caps = ["CapNetBindService", "CapSetuid", "CapSetgid"]
+    return body, caps, 0, 0
+
+
+def _gen_container_shim_body(rng: random.Random, features: List[str]) -> Tuple[List, List[str], int, int]:
+    body: List[List] = []
+    body += _bracket("CapSysAdmin", [["set", 0, ["lit", 1]]])  # mount rootfs
+    body += _bracket(
+        "CapChown",
+        [["chmod", rng.choice(("/var/log/sulog", "/dev/null")), 0o755]],
+    )
+    for feature in features:
+        body += _feature_stmts(feature, rng)
+    body += _bracket("CapSetgid", [["sys1", "setgid", 1000]])
+    body += _bracket("CapSetuid", [["sys1", "setuid", rng.choice((1000, 1001))]])
+    body.append(_compute_loop(rng, 1, rng.randint(5, 9)))  # container workload
+    caps = ["CapSysAdmin", "CapChown", "CapSetgid", "CapSetuid"]
+    return body, caps, 0, 0
+
+
+def _gen_cron_body(rng: random.Random, features: List[str]) -> Tuple[List, List[str], int, int]:
+    job: List[List] = []
+    job += _bracket("CapSetuid", [["sys1", "seteuid", rng.choice((1000, 1001))]])
+    job.append(_compute_loop(rng, 1, rng.randint(2, 4)))
+    for feature in features:
+        job += _feature_stmts(feature, rng)
+    job += _bracket("CapSetuid", [["sys1", "seteuid", 0]])
+    body: List[List] = [["loop", rng.randint(2, 4), job]]
+    body.append(_compute_loop(rng, 0, rng.randint(2, 3)))
+    caps = ["CapSetuid", "CapSetgid"]
+    return body, caps, 0, 0
+
+
+_FAMILY_BUILDERS = {
+    "daemon": _gen_daemon_body,
+    "setuid-helper": _gen_setuid_helper_body,
+    "super-server": _gen_super_server_body,
+    "container-shim": _gen_container_shim_body,
+    "cron": _gen_cron_body,
+}
+
+
+def gen_corpus_program_case(
+    rng: random.Random,
+    max_size: int = 20,
+    family: Optional[str] = None,
+    violator: bool = False,
+) -> Case:
+    """One family-conditioned PrivC program, as a case.
+
+    Unlike :func:`gen_program_case`'s free-form grammar walk, the body
+    follows the named family's privilege template (bind-then-drop for
+    daemons, a tight DAC bracket for setuid helpers, …) with seeded
+    variation in loop counts, ports, paths and optional features.  With
+    ``violator=True`` the family's :data:`VIOLATOR_CAP` is raised before
+    the main work and lowered only at the very end — the planted
+    least-privilege violation peer-group analysis must flag.
+    """
+    if family is None:
+        family = rng.choice(PROGRAM_FAMILIES)
+    if family not in _FAMILY_BUILDERS:
+        raise ValueError(
+            f"unknown program family {family!r}; known: {', '.join(PROGRAM_FAMILIES)}"
+        )
+    features = subset(rng, _FAMILY_FEATURES[family], 0, 2)
+    body, caps, uid, gid = _FAMILY_BUILDERS[family](rng, features)
+    if violator:
+        hoarded = VIOLATOR_CAP[family]
+        if hoarded not in caps:
+            caps.append(hoarded)
+        body = (
+            [["priv", "raise", hoarded]]
+            + body
+            + [["priv", "lower", hoarded]]
+        )
+    return {
+        "family": family,
+        "violator": bool(violator),
+        "vars": 3,
+        "body": body,
+        "permitted": sorted(caps),
+        "uid": uid,
+        "gid": gid,
+    }
 
 
 # -- kernel syscall traces -----------------------------------------------------

@@ -23,7 +23,11 @@ Differential families (the default campaign):
   (the two production execution strategies) must agree on the same four
   sides, including exact error messages and budget-exhaustion points;
 * ``ledger`` — a run ledger **written, read back and diffed against
-  itself** must be clean.
+  itself** must be clean;
+* ``profile`` — the **privilege profile extracted from the live run vs
+  from its captured ledger** must agree bit for bit (the corpus sweep's
+  cache stores ledger-shaped profiles; a skew here silently poisons
+  every peer-group comparison).
 
 Metamorphic families (opt-in via ``--oracle``; slower, run whole
 pipelines or searches per case):
@@ -387,6 +391,59 @@ _register(
 )
 
 
+# -- profile: live extraction == ledger extraction ----------------------------
+
+
+def _gen_profile_case(rng: random.Random, max_size: int = 20) -> Case:
+    # Family-conditioned programs exercise realistic privilege shapes
+    # (brackets, credential flips, multi-phase daemons) — exactly the
+    # structures the profile extractor condenses.
+    return generators.gen_corpus_program_case(rng, max_size)
+
+
+def _run_profile(case: Case) -> OracleResult:
+    from repro.core.ledger import capture_analysis
+    from repro.core.pipeline import PrivAnalyzer
+    from repro.corpus.profile import profile_from_analysis, profile_from_ledger
+    from repro.rewriting import SearchBudget
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.enabled(audit=True)
+    analyzer = PrivAnalyzer(
+        budget=SearchBudget(max_states=20_000, max_seconds=10.0),
+        telemetry=telemetry,
+    )
+    analysis = analyzer.analyze(
+        generators.build_program_spec(case, name="fuzz-profile")
+    )
+    live = profile_from_analysis(analysis, audit=telemetry.audit).to_dict()
+    with tempfile.TemporaryDirectory(prefix="fuzz-profile-") as root:
+        # capture_analysis returns the ledger *re-loaded from disk*, so
+        # the comparison crosses the full write -> parse round trip.
+        ledger = capture_analysis(root, analysis, telemetry, timestamp=0.0)
+        persisted = profile_from_ledger(ledger).to_dict()
+    if live != persisted:
+        for key in sorted(set(live) | set(persisted)):
+            if live.get(key) != persisted.get(key):
+                return _mismatch(
+                    "profile",
+                    f"live.{key}", live.get(key),
+                    f"ledger.{key}", persisted.get(key),
+                )
+    return OracleResult("profile", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="profile",
+        description="privilege profile from the live run == from its ledger",
+        generate=_gen_profile_case,
+        run=_run_profile,
+        shrink_candidates=_shrink_program,
+    )
+)
+
+
 # -- priv-remove: dead-privilege insertion is inert ---------------------------
 
 
@@ -655,4 +712,5 @@ DEFAULT_FAMILIES: Tuple[str, ...] = (
     "compiled",
     "ledger",
     "reduction-parity",
+    "profile",
 )

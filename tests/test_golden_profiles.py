@@ -1,0 +1,111 @@
+"""Golden privilege profiles for the paper's study programs.
+
+One checked-in JSON per program under ``tests/golden/profiles/`` — the
+five Table III programs plus their post-refactor variants.  Any change
+to the pipeline, the exposure serialisation, or the profile extractor
+that moves a single feature shows up here as a readable per-key diff,
+not a silent drift of every downstream peer-group score.
+
+Regenerate deliberately after a reviewed change with::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_profiles.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PrivAnalyzer
+from repro.corpus import profile_from_analysis
+from repro.programs import spec_by_name
+from repro.rewriting import SearchBudget
+from repro.telemetry import Telemetry
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden" / "profiles"
+
+#: The paper's study set: pre-refactor programs and their privilege-
+#: separated/refactored counterparts.
+GOLDEN_PROGRAMS = (
+    "passwd",
+    "passwdRef",
+    "ping",
+    "sshd",
+    "sshdPrivsep",
+    "su",
+    "suRef",
+    "thttpd",
+)
+
+BUDGET = SearchBudget(max_states=20_000, max_seconds=10.0)
+
+
+def _current_profile(program: str) -> dict:
+    telemetry = Telemetry.enabled(audit=True)
+    analyzer = PrivAnalyzer(budget=BUDGET, telemetry=telemetry)
+    analysis = analyzer.analyze(spec_by_name(program))
+    return profile_from_analysis(analysis, audit=telemetry.audit).to_dict()
+
+
+def _diff(golden: dict, current: dict) -> str:
+    """A per-key description of what moved, for the failure message."""
+    lines = []
+    for key in sorted(set(golden) | set(current)):
+        expected, actual = golden.get(key), current.get(key)
+        if expected == actual:
+            continue
+        if isinstance(expected, dict) and isinstance(actual, dict):
+            for sub in sorted(set(expected) | set(actual)):
+                if expected.get(sub) != actual.get(sub):
+                    lines.append(
+                        f"  {key}.{sub}: golden={expected.get(sub)!r} "
+                        f"current={actual.get(sub)!r}"
+                    )
+        elif isinstance(expected, list) and isinstance(actual, list):
+            gone = sorted(set(map(str, expected)) - set(map(str, actual)))
+            new = sorted(set(map(str, actual)) - set(map(str, expected)))
+            detail = []
+            if gone:
+                detail.append(f"lost {gone}")
+            if new:
+                detail.append(f"gained {new}")
+            lines.append(f"  {key}: {'; '.join(detail) or 'reordered'}")
+        else:
+            lines.append(f"  {key}: golden={expected!r} current={actual!r}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("program", GOLDEN_PROGRAMS)
+def test_profile_matches_golden(program):
+    path = GOLDEN_DIR / f"{program}.json"
+    current = _current_profile(program)
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden profile for {program} rewritten")
+    assert path.exists(), (
+        f"no golden profile for {program}; generate with UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(path.read_text())
+    assert golden == current, (
+        f"privilege profile for {program} drifted from golden:\n"
+        + _diff(golden, current)
+    )
+
+
+def test_golden_set_is_exactly_the_study_programs():
+    on_disk = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+    assert on_disk == sorted(GOLDEN_PROGRAMS)
+
+
+def test_refactor_shrinks_the_hoard():
+    """The paper's point, as a profile delta: the refactored passwd and
+    su hold their powerful capabilities for far less of execution."""
+    for pre, post, cap in (
+        ("passwd", "passwdRef", "CapDacOverride"),
+        ("su", "suRef", "CapSetuid"),
+    ):
+        before = _current_profile(pre)["cap_hold"].get(cap, 0.0)
+        after = _current_profile(post)["cap_hold"].get(cap, 0.0)
+        assert after < before, (pre, post, cap, before, after)

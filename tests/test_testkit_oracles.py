@@ -41,7 +41,7 @@ class TestFamiliesPassOnCorrectCode:
         assert result.passed, [f.details for f in result.failures]
         assert result.executed == 4
 
-    def test_default_families_are_the_differential_six(self):
+    def test_default_families_are_the_differential_seven(self):
         assert DEFAULT_FAMILIES == (
             "cache",
             "pools",
@@ -49,6 +49,7 @@ class TestFamiliesPassOnCorrectCode:
             "compiled",
             "ledger",
             "reduction-parity",
+            "profile",
         )
         for name in DEFAULT_FAMILIES:
             assert name in ALL_FAMILIES
@@ -95,6 +96,25 @@ class TestFaultInjection:
         assert result.failed
         assert oracle.run(case).ok
 
+    def test_profile_fault_caught_by_profile_oracle(self):
+        oracle = family("profile")
+        case = oracle.generate(random.Random("0:profile:0"), 20)
+        assert oracle.run(case).ok
+        with install_fault("profile-ledger-skew"):
+            result = oracle.run(case)
+        assert result.failed
+        # A dropped phase shifts the count features first.
+        assert "phase_count" in result.details or "cred_tuples" in result.details
+        assert oracle.run(case).ok
+
+    def test_profile_fault_is_invisible_to_ledger_oracle(self):
+        # Both captures the ledger family self-diffs carry the same
+        # skew, so only the live-vs-ledger comparison can see it.
+        oracle = family("ledger")
+        case = oracle.generate(random.Random("0:ledger:0"), 20)
+        with install_fault("profile-ledger-skew"):
+            assert oracle.run(case).ok
+
     def test_unknown_fault_is_an_error(self):
         with pytest.raises(ValueError, match="unknown fault"):
             with install_fault("no-such-fault"):
@@ -104,6 +124,7 @@ class TestFaultInjection:
         assert "vm-mul-truncate" in FAULTS
         assert "compiled-mul-truncate" in FAULTS
         assert "cache-verdict-flip" in FAULTS
+        assert "profile-ledger-skew" in FAULTS
 
 
 class TestCampaignShrinkAndReplay:
