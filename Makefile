@@ -1,10 +1,11 @@
-.PHONY: install test bench bench-json perf-check perf-history examples reproduce trace-smoke ledger-smoke profile-smoke fleet-smoke fuzz-smoke fuzz corpus-smoke clean
+.PHONY: install test bench bench-json perf-check perf-history examples reproduce trace-smoke ledger-smoke profile-smoke fleet-smoke fuzz-smoke fuzz corpus-smoke serve-smoke clean
 
 TRACE_SMOKE_OUT := /tmp/privanalyzer-trace-smoke.jsonl
 LEDGER_SMOKE_DIR := /tmp/privanalyzer-ledger-smoke
 PROFILE_SMOKE_DIR := /tmp/privanalyzer-profile-smoke
 FLEET_SMOKE_DIR := /tmp/privanalyzer-fleet-smoke
 CORPUS_SMOKE_DIR := /tmp/privanalyzer-corpus-smoke
+SERVE_SMOKE_DIR := /tmp/privanalyzer-serve-smoke
 FUZZ_SEED ?= 0
 FUZZ_RUNS ?= 300
 
@@ -166,6 +167,15 @@ corpus-smoke:
 		|| { echo "corpus-smoke: warm sweep was not fully cached:"; \
 		     cat $(CORPUS_SMOKE_DIR)/warm-stats.txt; exit 1; }
 	@echo "corpus-smoke ok: warm sweep served 32/32 from the profile store"
+
+# Control-plane smoke test (CI gate): start `privanalyzer serve`, run
+# two concurrent cold clients over a corpus slice (no duplicated
+# publishes, identical answers), then a second-sweep client that must
+# be >= 90% store-served and verdict-identical, and snapshot the
+# Prometheus dashboard to serve-metrics.prom (see docs/SERVING.md).
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR)
+	PYTHONPATH=src python scripts/serve_smoke.py --dir $(SERVE_SMOKE_DIR)
 
 examples:
 	@for script in examples/*.py; do \

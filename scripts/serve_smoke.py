@@ -1,0 +1,151 @@
+"""``make serve-smoke``: the control plane's compute-once gate, end to end.
+
+Starts a real ``privanalyzer serve`` process, then:
+
+1. runs TWO CONCURRENT cold clients over the same corpus slice and
+   asserts they never duplicated work (publishes across both equal the
+   store's distinct objects) and answered identically;
+2. runs a third, "second sweep" client — fresh connection, fresh
+   per-request engine, only the on-disk store warm — and asserts it is
+   at least 90% store-served with responses bit-identical to the cold
+   run;
+3. snapshots ``{"op": "metrics"}`` into ``serve-metrics.prom`` (the CI
+   artifact: the live dashboard as Prometheus text exposition);
+4. shuts the server down over the protocol and waits for a clean exit.
+
+Any assertion failure exits nonzero; the server is killed on the way
+out regardless.  See docs/SERVING.md for the protocol and the runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+CORPUS = {"seed": 0, "generated": 3}
+SERVED_MIN = 0.9
+STARTUP_TIMEOUT = 30.0
+
+
+def wait_for_port(port_file: str, process: subprocess.Popen) -> tuple:
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(
+                f"serve-smoke: server died during startup "
+                f"(exit {process.returncode})"
+            )
+        if os.path.exists(port_file):
+            host, port = open(port_file).read().strip().rsplit(":", 1)
+            return host, int(port)
+        time.sleep(0.05)
+    raise SystemExit("serve-smoke: server never published its port")
+
+
+def served_fraction(response: dict) -> float:
+    served = response["served"]
+    lookups = served["store_hits"] + served["store_misses"]
+    return served["store_hits"] / lookups if lookups else 0.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="/tmp/privanalyzer-serve-smoke")
+    args = parser.parse_args()
+    os.makedirs(args.dir, exist_ok=True)
+    port_file = os.path.join(args.dir, "port")
+    store_dir = os.path.join(args.dir, "store")
+    metrics_path = os.path.join(args.dir, "serve-metrics.prom")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", store_dir, "--port-file", port_file,
+        ],
+        env=env,
+    )
+    try:
+        host, port = wait_for_port(port_file, server)
+        print(f"serve-smoke: server up on {host}:{port}")
+
+        # -- 1: two concurrent cold clients, one shared store ---------------
+        responses = []
+        lock = threading.Lock()
+
+        def cold_client() -> None:
+            with ServeClient(host, port, timeout=300.0) as client:
+                response = client.corpus(**CORPUS)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=cold_client) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert len(responses) == 2, "a cold client never answered"
+        assert responses[0]["result"] == responses[1]["result"], (
+            "concurrent cold clients answered differently"
+        )
+        with ServeClient(host, port, timeout=60.0) as client:
+            entries = client.stats()["store"]["entries"]
+        total_published = sum(r["served"]["published"] for r in responses)
+        assert total_published == entries, (
+            f"duplicated work: {total_published} publishes for "
+            f"{entries} distinct store objects"
+        )
+        print(
+            f"serve-smoke: 2 concurrent cold clients, "
+            f"{entries} distinct searches, {total_published} publishes "
+            f"(no duplicates), answers identical"
+        )
+
+        # -- 2: the second sweep — warm store, everything else cold ----------
+        with ServeClient(host, port, timeout=300.0) as client:
+            warm = client.corpus(**CORPUS)
+        fraction = served_fraction(warm)
+        assert fraction >= SERVED_MIN, (
+            f"second client only {fraction:.2f} store-served "
+            f"(floor {SERVED_MIN}): {warm['served']}"
+        )
+        assert warm["served"]["published"] == 0, warm["served"]
+        assert warm["result"] == responses[0]["result"], (
+            "store-served corpus differs from the live computation"
+        )
+        print(
+            f"serve-smoke: second client {fraction:.0%} store-served "
+            f"({warm['served']['store_hits']} hits), verdict-identical"
+        )
+
+        # -- 3: the dashboard artifact ---------------------------------------
+        with ServeClient(host, port, timeout=60.0) as client:
+            text = client.metrics_text()
+            with open(metrics_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            assert "privanalyzer_rosa_store_hits_total" in text
+            assert "privanalyzer_serve_requests_total" in text
+            client.shutdown()
+        print(f"serve-smoke: wrote {metrics_path}")
+
+        server.wait(timeout=30)
+        assert server.returncode == 0, f"server exited {server.returncode}"
+        print("serve-smoke ok")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="disable symmetry + partial-order state-space reduction; "
         "searches explore the raw state space (verdicts are identical)",
     )
+    group.add_argument(
+        "--verdict-store", metavar="DIR", default=None,
+        help="back the query engine with the fleet-wide shared verdict "
+        "store at DIR: distinct searches run once across every process "
+        "sharing the directory (see docs/SERVING.md)",
+    )
     _add_capsules_flag(group)
 
 
@@ -170,6 +176,7 @@ def _engine_kwargs(args) -> dict:
         "query_cache_path": getattr(args, "query_cache", None),
         "reduction": not getattr(args, "no_reduction", False),
         "capsules": not getattr(args, "no_capsules", False),
+        "verdict_store": getattr(args, "verdict_store", None),
     }
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
@@ -436,7 +443,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     peers.add_argument("--max-states", type=int, default=20_000)
     peers.add_argument("--max-seconds", type=float, default=10.0)
+    peers.add_argument(
+        "--verdict-store", metavar="DIR", default=None,
+        help="shared verdict store backing every sweep worker's query "
+        "engine (fleet-wide compute-once; see docs/SERVING.md)",
+    )
     _add_observability_flags(peers)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis-as-a-service control plane "
+        "(see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shared verdict store directory (created if missing); every "
+        "verdict the fleet computes is published here exactly once",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port; 0 (the default) picks a free one — read it back "
+        "with --port-file",
+    )
+    serve.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound host:port to PATH once listening (for "
+        "scripts starting the server with --port 0)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard each request's distinct cold searches over N process-"
+        "pool workers (default 1: serial per request; concurrency across "
+        "requests is always on)",
+    )
 
     for table in ("table3", "table5"):
         table_parser = sub.add_parser(table, help=f"regenerate the paper's {table}")
@@ -963,6 +1006,7 @@ def _cmd_peers(args, out, telemetry: Optional[Telemetry] = None) -> int:
             max_states=args.max_states, max_seconds=args.max_seconds
         ),
         telemetry=telemetry,
+        verdict_store=args.verdict_store,
     )
     report = peer_analysis(
         profiles,
@@ -984,6 +1028,27 @@ def _cmd_peers(args, out, telemetry: Optional[Telemetry] = None) -> int:
                 f"{stats['misses']} miss(es)",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.serve.server import VerdictServer
+
+    server = VerdictServer(
+        args.store, host=args.host, port=args.port, jobs=args.jobs
+    )
+    try:
+        server.run(port_file=args.port_file)
+    except KeyboardInterrupt:
+        pass
+    stats = server.store.stats()
+    print(
+        f"serve: {stats['hits']} store hit(s), {stats['misses']} miss(es), "
+        f"{stats['published']} published, {stats['rejected']} rejected, "
+        f"{stats['entries']} entr{'y' if stats['entries'] == 1 else 'ies'} "
+        f"on disk",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1038,6 +1103,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_corpus(args, out)
         if args.command == "peers":
             return _cmd_peers(args, out, telemetry)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "table3":
             return _cmd_table(
                 args, out, ("passwd", "ping", "sshd", "su", "thttpd"), telemetry

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.autopriv import TransformReport, transform_module
@@ -148,6 +149,7 @@ class PrivAnalyzer:
         reduction: bool = True,
         profiler=None,
         capsules: bool = True,
+        verdict_store=None,
     ) -> None:
         self.attacks = tuple(attacks)
         self.budget = budget or SearchBudget(max_states=200_000, max_seconds=60.0)
@@ -174,6 +176,15 @@ class PrivAnalyzer:
             engine_kwargs = {} if progress_interval is None else {
                 "progress_interval": progress_interval
             }
+            #: ``verdict_store`` is the fleet-wide L2 (see
+            #: :mod:`repro.rosa.store`): a store object, or a directory
+            #: path to open one at.  Sibling analyzers — other processes,
+            #: sweep workers, ``privanalyzer serve`` handlers — sharing
+            #: the directory compute each distinct search exactly once.
+            if isinstance(verdict_store, (str, os.PathLike)):
+                from repro.rosa.store import SharedVerdictStore
+
+                verdict_store = SharedVerdictStore(verdict_store)
             engine = QueryEngine(
                 budget=self.budget,
                 cache=cache,
@@ -183,6 +194,7 @@ class PrivAnalyzer:
                 reduction=reduction,
                 profiler=profiler,
                 capsules=capsules,
+                store=verdict_store,
                 **engine_kwargs,
             )
         self.engine = engine

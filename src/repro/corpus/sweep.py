@@ -43,7 +43,11 @@ from repro.telemetry import Telemetry
 DEFAULT_SWEEP_BUDGET = SearchBudget(max_states=20_000, max_seconds=10.0)
 
 
-def _entry_payload(entry: CorpusEntry, budget: SearchBudget) -> Dict[str, Any]:
+def _entry_payload(
+    entry: CorpusEntry,
+    budget: SearchBudget,
+    verdict_store: Optional[str] = None,
+) -> Dict[str, Any]:
     """A picklable description a pool worker can rebuild the task from."""
     return {
         "name": entry.name,
@@ -51,6 +55,7 @@ def _entry_payload(entry: CorpusEntry, budget: SearchBudget) -> Dict[str, Any]:
         "case": entry.case,
         "max_states": budget.max_states,
         "max_seconds": budget.max_seconds,
+        "verdict_store": verdict_store,
     }
 
 
@@ -59,7 +64,10 @@ def _profile_task(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
 
     Module-level and payload-driven so it pickles into process workers;
     each call builds its own analyzer and audited telemetry, so pooled
-    tasks never share mutable state.
+    tasks never share mutable state.  A ``verdict_store`` path in the
+    payload opens the fleet-wide shared store in the worker: distinct
+    ROSA searches across all sweep workers (and any concurrent server)
+    run exactly once fleet-wide.
     """
     if payload["kind"] == "generated":
         from repro.testkit.generators import build_program_spec
@@ -71,7 +79,11 @@ def _profile_task(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         max_states=payload["max_states"], max_seconds=payload["max_seconds"]
     )
     telemetry = Telemetry.enabled(audit=True)
-    analyzer = PrivAnalyzer(budget=budget, telemetry=telemetry)
+    analyzer = PrivAnalyzer(
+        budget=budget,
+        telemetry=telemetry,
+        verdict_store=payload.get("verdict_store"),
+    )
     analysis = analyzer.analyze(spec)
     profile = profile_from_analysis(analysis, audit=telemetry.audit)
     return payload["name"], profile.to_dict()
@@ -84,12 +96,18 @@ def sweep_corpus(
     mode: str = "thread",
     budget: SearchBudget = DEFAULT_SWEEP_BUDGET,
     telemetry: Optional[Telemetry] = None,
+    verdict_store: Optional[str] = None,
 ) -> List[PrivilegeProfile]:
     """Profiles for every corpus entry, in entry order.
 
     ``store=None`` disables caching (every entry is profiled live).
     ``jobs`` > 1 pools the cache misses; ``mode`` picks ``thread`` or
     ``process`` workers (``serial`` ignores ``jobs``).
+    ``verdict_store`` (a directory path) additionally backs every
+    worker's query engine with the fleet-wide shared verdict store —
+    profile-cache misses still rerun the pipeline, but their ROSA
+    searches are served for every (phase × attack) pair the fleet has
+    already answered.
     """
     if mode not in ("serial", "thread", "process"):
         raise ValueError(f"unknown sweep mode {mode!r}")
@@ -119,14 +137,17 @@ def sweep_corpus(
                 produced = []
                 for entry in misses:
                     with telemetry.tracer.span("corpus.profile", program=entry.name):
-                        produced.append(_profile_task(_entry_payload(entry, budget)))
+                        produced.append(_profile_task(_entry_payload(entry, budget, verdict_store)))
             else:
                 executor_type = (
                     concurrent.futures.ThreadPoolExecutor
                     if mode == "thread"
                     else concurrent.futures.ProcessPoolExecutor
                 )
-                payloads = [_entry_payload(entry, budget) for entry in misses]
+                payloads = [
+                    _entry_payload(entry, budget, verdict_store)
+                    for entry in misses
+                ]
                 with telemetry.tracer.span(
                     "corpus.profile.pool", tasks=len(payloads), workers=jobs
                 ):

@@ -29,15 +29,19 @@ exactly the conditions under which the bounded search is deterministic.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
+import errno
+import functools
 import hashlib
 import json
 import logging
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.rewriting import (
     PROGRESS_INTERVAL,
@@ -74,7 +78,61 @@ logger = logging.getLogger("repro.rosa.engine")
 #: changed the cost counters cached entries carry (symmetry_hits /
 #: por_pruned semantics), and the engine now downgrades tiny searches
 #: to the raw space, so reduction=True entries for them hold raw counts.
-CACHE_SCHEMA_VERSION = 3
+#: Version 4: keys hash per-element digests (memoized across queries)
+#: instead of re-``repr``-ing the whole configuration key per query —
+#: same determinism guarantees, different bytes under the hash.
+CACHE_SCHEMA_VERSION = 4
+
+
+# -- cross-process file locking ----------------------------------------------
+
+
+@contextlib.contextmanager
+def advisory_lock(
+    path: str, timeout: float = 10.0, stale_after: float = 30.0
+) -> Iterator[None]:
+    """An advisory cross-process lock around ``path`` (a ``.lock`` sibling).
+
+    Lockfile-based (``O_CREAT | O_EXCL``), so it works on any filesystem
+    the cache or the shared verdict store can live on — no ``fcntl``
+    dependency, no byte-range semantics to get wrong over NFS.  Waiting
+    processes poll; a lockfile older than ``stale_after`` seconds is
+    treated as an orphan (its holder crashed between acquire and
+    release) and broken.  Raises ``TimeoutError`` if the lock cannot be
+    won inside ``timeout`` seconds — callers must fail loudly rather
+    than scribble over a file another process is merging.
+    """
+    lock_path = path + ".lock"
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except OSError as error:
+            if error.errno != errno.EEXIST:
+                raise
+        try:
+            age = time.time() - os.stat(lock_path).st_mtime
+            if age > stale_after:
+                # The holder died without releasing; break the orphan.
+                # (A racing breaker just loses the unlink — harmless.)
+                logger.warning("breaking stale lock %s (age %.1fs)", lock_path, age)
+                os.unlink(lock_path)
+                continue
+        except OSError:
+            pass  # the holder released between our open and stat
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"could not acquire {lock_path} in {timeout}s")
+        time.sleep(0.002)
+    try:
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        yield
+    finally:
+        try:
+            os.unlink(lock_path)
+        except OSError:  # pragma: no cover - already broken as stale
+            pass
 
 
 # -- canonical query keys -----------------------------------------------------
@@ -123,6 +181,55 @@ def budget_identity(budget: SearchBudget) -> Tuple:
 _DEFAULT_SIGNATURE = None
 
 
+@functools.lru_cache(maxsize=131072)
+def _element_digest(element_key: Hashable) -> bytes:
+    """The sha256 digest of one element's canonical key, memoized.
+
+    Configurations across a batch (and across batches — phases repeat
+    the same users, files and capability sets endlessly) share most of
+    their elements, but every query used to pay a full ``repr`` of its
+    whole nested key.  Memoizing per *element key* makes the expensive
+    ``repr`` a once-per-distinct-element cost fleet-wide; equal element
+    keys hash to the same digest regardless of object identity, so the
+    derived query key is exactly as deterministic as before.
+    """
+    return hashlib.sha256(repr(element_key).encode("utf-8")).digest()
+
+
+def _config_digest(config) -> bytes:
+    """A content digest of a configuration's canonical (AC-equality) key.
+
+    Combines the memoized per-element digests in the key's sorted order;
+    counts are length-prefixed into the stream so ``(a, 2)`` can never
+    collide with ``(a, 1), (a, 1)``-style re-bracketings.
+    """
+    hasher = hashlib.sha256()
+    for element, count in config.key:
+        hasher.update(_element_digest(element))
+        hasher.update(b"#%d;" % count)
+    return hasher.digest()
+
+
+@functools.lru_cache(maxsize=64)
+def _signature_digest(signature: Hashable) -> bytes:
+    """Memoized digest of a rule-system signature tuple."""
+    return hashlib.sha256(repr(signature).encode("utf-8")).digest()
+
+
+def system_signature(system=None) -> Hashable:
+    """The rule-system signature keys and attestations bind to.
+
+    ``None`` means the default 17-rule UNIX module (cached — building it
+    per lookup would dominate small queries).
+    """
+    if system is not None:
+        return system.signature
+    global _DEFAULT_SIGNATURE
+    if _DEFAULT_SIGNATURE is None:
+        _DEFAULT_SIGNATURE = unix_system().signature
+    return _DEFAULT_SIGNATURE
+
+
 def query_cache_key(
     query: RosaQuery,
     budget: SearchBudget = DEFAULT_BUDGET,
@@ -136,25 +243,22 @@ def query_cache_key(
     *and its cost counters* (reduction never changes the verdict, but
     sharing entries across the flag would report the wrong state counts).
     The hash is stable across processes and interpreter runs (no
-    ``hash()`` involvement), so it keys the on-disk cache too.
+    ``hash()`` involvement), so it keys the on-disk cache and the
+    fleet-wide :class:`~repro.rosa.store.SharedVerdictStore` too.
     """
-    if query.system is not None:
-        signature = query.system.signature
-    else:
-        global _DEFAULT_SIGNATURE
-        if _DEFAULT_SIGNATURE is None:
-            _DEFAULT_SIGNATURE = unix_system().signature
-        signature = _DEFAULT_SIGNATURE
-    material = (
+    goal = query.goal_key if query.goal_key is not None else goal_identity(query.goal)
+    tail = (
         "rosa-query",
         CACHE_SCHEMA_VERSION,
-        query.initial.key,
-        query.goal_key if query.goal_key is not None else goal_identity(query.goal),
-        signature,
+        goal,
         budget_identity(budget),
         bool(reduction),
     )
-    return hashlib.sha256(repr(material).encode("utf-8")).hexdigest()
+    hasher = hashlib.sha256()
+    hasher.update(_config_digest(query.initial))
+    hasher.update(_signature_digest(system_signature(query.system)))
+    hasher.update(repr(tail).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 # -- the result cache ---------------------------------------------------------
@@ -244,6 +348,28 @@ class _CacheEntry:
     report: Optional[RosaReport] = None
 
 
+def read_cache_entries(path: str) -> Dict[str, Any]:
+    """Raw same-schema entry payloads from a cache file on disk.
+
+    Unreadable, corrupt or schema-skewed files come back empty — the
+    merge primitive (:meth:`QueryCache.save`, and the shared store's
+    index compaction) treats anything it cannot trust as absent rather
+    than propagating it forward.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        logger.warning("query cache %s unreadable, ignoring: %s", path, error)
+        return {}
+    if not isinstance(data, dict) or data.get("version") != CACHE_SCHEMA_VERSION:
+        return {}
+    entries = data.get("entries", {})
+    return dict(entries) if isinstance(entries, dict) else {}
+
+
 class QueryCache:
     """An LRU of search outcomes keyed by canonical query key.
 
@@ -328,27 +454,34 @@ class QueryCache:
         return loaded
 
     def save(self) -> bool:
-        """Write entries to ``path`` atomically; returns True if written."""
+        """Merge entries into ``path`` atomically; returns True if written.
+
+        Save is load-merge-replace under an :func:`advisory_lock`, not
+        last-writer-wins: same-schema entries already on disk are kept
+        and this cache's entries layered on top, so two processes
+        sharing one ``--query-cache`` path union their work instead of
+        silently dropping each other's batches.  Only the in-memory LRU
+        is capacity-bounded — the disk file keeps the fleet's union.
+        """
         if self.path is None or not self._dirty:
             return False
-        payload = {
-            "version": CACHE_SCHEMA_VERSION,
-            "entries": {
-                key: entry.outcome.to_json() for key, entry in self._entries.items()
-            },
-        }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp_path = tempfile.mkstemp(prefix=".rosa-cache-", dir=directory)
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=0, sort_keys=True)
-            os.replace(tmp_path, self.path)
-        except OSError:
+        with advisory_lock(self.path):
+            merged = read_cache_entries(self.path)
+            for key, entry in self._entries.items():
+                merged[key] = entry.outcome.to_json()
+            payload = {"version": CACHE_SCHEMA_VERSION, "entries": merged}
+            directory = os.path.dirname(os.path.abspath(self.path))
+            fd, tmp_path = tempfile.mkstemp(prefix=".rosa-cache-", dir=directory)
             try:
-                os.unlink(tmp_path)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=0, sort_keys=True)
+                os.replace(tmp_path, self.path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
         return True
 
@@ -461,10 +594,18 @@ class QueryEngine:
         reduction: bool = True,
         profiler=None,
         capsules: bool = True,
+        store=None,
     ) -> None:
         from repro.telemetry import Telemetry
 
         self.budget = budget
+        #: Optional fleet-wide L2 behind the in-memory LRU: any object
+        #: with ``get(key) -> Optional[CachedOutcome]`` and
+        #: ``put(key, outcome) -> bool`` (duck-typed so this module never
+        #: imports :mod:`repro.rosa.store`).  L1 misses consult it before
+        #: searching; fresh outcomes publish back so sibling processes
+        #: hit instead of recomputing.
+        self.store = store
         #: Optional :class:`repro.telemetry.Profiler`.  When live, every
         #: serial search gets per-rule/reduction-phase attribution (the
         #: ``profiler`` kwarg is forwarded to ``checker`` — only then, so
@@ -546,24 +687,62 @@ class QueryEngine:
         budget = budget or self.budget
         tracer = self.telemetry.tracer
         metrics = self.telemetry.metrics
-        if track_states or self.cache is None:
+        if track_states or (self.cache is None and self.store is None):
             return self._checked(query, budget, track_states=track_states)
-        key = query_cache_key(
-            query, budget, reduction=self._effective_reduction(query)
-        )
-        entry = self.cache.get(key)
-        if entry is not None:
-            metrics.counter("rosa.cache.hits").inc()
-            return self._served_from_cache(query, entry, tracer)
-        metrics.counter("rosa.cache.misses").inc()
-        report = self._checked(query, budget)
-        self.cache.put(key, CachedOutcome.from_report(report), report)
+        reduction = self._effective_reduction(query)
+        key = query_cache_key(query, budget, reduction=reduction)
+        if self.cache is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                metrics.counter("rosa.cache.hits").inc()
+                return self._served_from_cache(query, entry, tracer)
+            metrics.counter("rosa.cache.misses").inc()
+        outcome = self._store_get(key)
+        if outcome is not None:
+            if self.cache is not None:
+                self.cache.put(key, outcome)
+            return self._served_from_cache(
+                query, _CacheEntry(outcome=outcome), tracer
+            )
+        report = self._checked(query, budget, reduction=reduction)
+        outcome = CachedOutcome.from_report(report)
+        if self.cache is not None:
+            self.cache.put(key, outcome, report)
+        self._store_put(key, outcome)
         return report
 
+    def _store_get(self, key: str) -> Optional[CachedOutcome]:
+        """L2 lookup with hit/miss accounting (``None`` without a store)."""
+        if self.store is None:
+            return None
+        outcome = self.store.get(key)
+        if outcome is not None:
+            self.telemetry.metrics.counter("rosa.store.hits").inc()
+            return outcome
+        self.telemetry.metrics.counter("rosa.store.misses").inc()
+        return None
+
+    def _store_put(self, key: str, outcome: CachedOutcome) -> None:
+        """Publish one fresh outcome to the L2 store (no-op without one)."""
+        if self.store is None:
+            return
+        if self.store.put(key, outcome):
+            self.telemetry.metrics.counter("rosa.store.published").inc()
+
     def _checked(
-        self, query: RosaQuery, budget: SearchBudget, track_states: bool = False
+        self,
+        query: RosaQuery,
+        budget: SearchBudget,
+        track_states: bool = False,
+        reduction: Optional[bool] = None,
     ) -> RosaReport:
-        """One live search with the engine's tracer and progress wiring."""
+        """One live search with the engine's tracer and progress wiring.
+
+        ``reduction`` takes the precomputed effective flag when the
+        caller already derived it for key derivation — the estimate walk
+        is cheap but measurable on tiny batches, so it runs once per
+        query, not twice.
+        """
         extra = {}
         if self.profiler is not None:
             extra["profiler"] = self.profiler
@@ -574,7 +753,9 @@ class QueryEngine:
             tracer=self.telemetry.tracer,
             progress=self.progress,
             progress_interval=self.progress_interval,
-            reduction=self._effective_reduction(query),
+            reduction=(
+                self._effective_reduction(query) if reduction is None else reduction
+            ),
             **extra,
         )
         metrics = self.telemetry.metrics
@@ -621,18 +802,29 @@ class QueryEngine:
         if entries:
             metrics.counter("rosa.batch.queries").inc(len(entries))
 
+        # Per-batch setup hoisted out of the per-query path: the effective
+        # reduction flag is derived once per query (key derivation and the
+        # search both need it) and the counter objects once per batch —
+        # registry lookups per query were a measurable slice of the cold
+        # tiny-batch tax.
+        cache_hits = metrics.counter("rosa.cache.hits")
+        cache_misses = metrics.counter("rosa.cache.misses")
         with (profiler or NULL_PROFILER).section("engine", "key_derivation"):
+            reductions = [
+                self._effective_reduction(request.query) for request in entries
+            ]
             keys = [
                 query_cache_key(
-                    request.query, request.budget or self.budget,
-                    reduction=self._effective_reduction(request.query),
+                    request.query, request.budget or self.budget, reduction=reduced
                 )
-                for request in entries
+                for request, reduced in zip(entries, reductions)
             ]
         reports: List[Optional[RosaReport]] = [None] * len(entries)
 
         # 1. Serve cache hits and collect the distinct misses, preserving
-        #    first-occurrence order for deterministic scheduling.
+        #    first-occurrence order for deterministic scheduling.  A key's
+        #    first L1 miss consults the shared store (once per distinct
+        #    key); a store hit warms L1 so deduped siblings stay local.
         distinct: "OrderedDict[str, List[int]]" = OrderedDict()
         for index, (request, key) in enumerate(zip(entries, keys)):
             if self.cache is not None:
@@ -647,12 +839,21 @@ class QueryEngine:
                         "hits" if entry is not None else "misses",
                     )
                 if entry is not None:
-                    metrics.counter("rosa.cache.hits").inc()
+                    cache_hits.inc()
                     reports[index] = self._served_from_cache(
                         request.query, entry, tracer
                     )
                     continue
-                metrics.counter("rosa.cache.misses").inc()
+                cache_misses.inc()
+            if self.store is not None and key not in distinct:
+                outcome = self._store_get(key)
+                if outcome is not None:
+                    if self.cache is not None:
+                        self.cache.put(key, outcome)
+                    reports[index] = self._served_from_cache(
+                        request.query, _CacheEntry(outcome=outcome), tracer
+                    )
+                    continue
             distinct.setdefault(key, []).append(index)
         if distinct:
             metrics.counter("rosa.batch.unique").inc(len(distinct))
@@ -686,7 +887,11 @@ class QueryEngine:
                             ("engine", "worker:0", "queue_wait"), start - batch_start
                         )
                         leader_reports.append(
-                            self._checked(entries[index].query, budget_for(index))
+                            self._checked(
+                                entries[index].query,
+                                budget_for(index),
+                                reduction=reductions[index],
+                            )
                         )
                         profiler.account(
                             ("engine", "worker:0", "execute"),
@@ -694,18 +899,23 @@ class QueryEngine:
                         )
                 else:
                     leader_reports = [
-                        self._checked(entries[index].query, budget_for(index))
+                        self._checked(
+                            entries[index].query,
+                            budget_for(index),
+                            reduction=reductions[index],
+                        )
                         for index in leaders
                     ]
             else:
                 leader_reports = self._run_parallel(
-                    mode, entries, leaders, budget_for, profiler, keys
+                    mode, entries, leaders, budget_for, profiler, keys, reductions
                 )
             for key_indices, report in zip(distinct.values(), leader_reports):
-                if self.cache is not None:
-                    self.cache.put(
-                        keys[key_indices[0]], CachedOutcome.from_report(report), report
-                    )
+                if self.cache is not None or self.store is not None:
+                    outcome = CachedOutcome.from_report(report)
+                    if self.cache is not None:
+                        self.cache.put(keys[key_indices[0]], outcome, report)
+                    self._store_put(keys[key_indices[0]], outcome)
                 for position, index in enumerate(key_indices):
                     if position == 0:
                         reports[index] = report
@@ -789,7 +999,14 @@ class QueryEngine:
         }
 
     def _run_parallel(
-        self, mode, entries, leaders, budget_for, profiler=None, keys=None
+        self,
+        mode,
+        entries,
+        leaders,
+        budget_for,
+        profiler=None,
+        keys=None,
+        reductions=None,
     ) -> List[RosaReport]:
         """Fan distinct searches over an executor; returns leader-ordered reports.
 
@@ -814,6 +1031,11 @@ class QueryEngine:
         timed = profiler is not None or request is not None
         clock = profiler.clock if profiler is not None else tracer.clock
 
+        def reduction_for(index):
+            if reductions is not None:
+                return reductions[index]
+            return self._effective_reduction(entries[index].query)
+
         def request_for(index):
             # Trace-context propagation: the canonical query key is the
             # capsule's trace id, shared by every span the worker emits.
@@ -836,7 +1058,7 @@ class QueryEngine:
                     _run_spec_in_worker,
                     entries[index].spec,
                     budget_for(index),
-                    self._effective_reduction(entries[index].query),
+                    reduction_for(index),
                     request_for(index),
                 )
                 for index in leaders
@@ -877,7 +1099,7 @@ class QueryEngine:
                     run_in_thread,
                     entries[index].query,
                     budget_for(index),
-                    self._effective_reduction(entries[index].query),
+                    reduction_for(index),
                     request_for(index),
                 )
                 for index in leaders
@@ -1012,11 +1234,17 @@ class QueryEngine:
     def cache_stats(self) -> Dict[str, Any]:
         """Hit/miss counters for reports and benchmarks."""
         if self.cache is None:
-            return {"enabled": False, "hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0}
-        return {
-            "enabled": True,
-            "hits": self.cache.hits,
-            "misses": self.cache.misses,
-            "hit_rate": self.cache.hit_rate,
-            "entries": len(self.cache),
-        }
+            stats = {
+                "enabled": False, "hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0,
+            }
+        else:
+            stats = {
+                "enabled": True,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "entries": len(self.cache),
+            }
+        if self.store is not None and hasattr(self.store, "stats"):
+            stats["store"] = self.store.stats()
+        return stats

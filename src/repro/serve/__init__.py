@@ -1,0 +1,35 @@
+"""``privanalyzer serve``: the analysis-as-a-service control plane.
+
+A stdlib-only asyncio server (:mod:`repro.serve.server`) admits
+analyze / ROSA / corpus requests from many concurrent clients over a
+line-delimited JSON socket protocol (:mod:`repro.serve.protocol`),
+coalesces in-flight misses by canonical query key (single-flight), and
+backs every request's query engine with the fleet-wide
+:class:`~repro.rosa.store.SharedVerdictStore` — so each distinct search
+runs exactly once across all clients, sweeps and server restarts.
+:mod:`repro.serve.client` is the matching blocking client.
+
+See ``docs/SERVING.md`` for the protocol, the store layout and the
+operational runbook.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode,
+    encode,
+)
+from repro.serve.server import VerdictServer
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "VerdictServer",
+    "decode",
+    "encode",
+]

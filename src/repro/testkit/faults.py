@@ -177,6 +177,49 @@ def _profile_ledger_skew() -> Callable[[], None]:
     return undo
 
 
+@fault("store-attestation-skew")
+def _store_attestation_skew() -> Callable[[], None]:
+    """Every published store object is corrupted after attestation.
+
+    Models bit rot (or a hostile writer) between the attestation being
+    computed and the object landing on disk: the written outcome's
+    ``states_explored`` is bumped by one, so the recorded attestation no
+    longer covers what the file says.  The fail-closed read path rejects
+    every such entry and recomputes live — verdicts never flip — so the
+    ``store`` oracle family catches this as a serving-efficacy failure
+    (a warm engine with zero store hits and nonzero rejections), which
+    is exactly the behaviour the fail-closed design promises.  The
+    ``cache`` family is blind: the in-memory cache never touches disk.
+    """
+    import json
+
+    from repro.rosa.store import SharedVerdictStore
+
+    original = SharedVerdictStore.put
+
+    def corrupting_put(self, key, outcome):
+        published = original(self, key, outcome)
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            entry["outcome"]["states_explored"] = (
+                int(entry["outcome"].get("states_explored", 0)) + 1
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+        except (OSError, KeyError, TypeError, ValueError):
+            pass
+        return published
+
+    SharedVerdictStore.put = corrupting_put
+
+    def undo() -> None:
+        SharedVerdictStore.put = original
+
+    return undo
+
+
 @dataclasses.dataclass(frozen=True)
 class CrashingSpec:
     """A picklable query spec whose ``build()`` kills its process.

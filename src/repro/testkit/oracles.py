@@ -444,6 +444,70 @@ _register(
 )
 
 
+# -- store: live search == shared-store-served across engines -----------------
+
+
+def _run_store(case: Case) -> OracleResult:
+    """Three sides: no store, store-cold (publishes), store-warm served.
+
+    The served side is a *different* engine with an empty in-memory LRU
+    and a fresh store handle over the same directory — exactly a second
+    client or a server restart.  Besides bit-identical fingerprints, the
+    family asserts the store actually served (nonzero hits, zero
+    rejections): a fail-closed path that silently rejected everything
+    would be correct but useless, and that is a bug too.
+    """
+    from repro.rosa.engine import ParallelPolicy, QueryCache, QueryEngine
+    from repro.rosa.store import SharedVerdictStore
+
+    serial = ParallelPolicy(mode="serial")
+    live = QueryEngine(cache=None, parallel=serial)
+    reports_live = live.run_queries(generators.build_batch_requests(case))
+    with tempfile.TemporaryDirectory(prefix="fuzz-store-") as root:
+        first = QueryEngine(
+            cache=QueryCache(), parallel=serial, store=SharedVerdictStore(root)
+        )
+        reports_first = first.run_queries(generators.build_batch_requests(case))
+        warm_store = SharedVerdictStore(root)
+        warm = QueryEngine(cache=QueryCache(), parallel=serial, store=warm_store)
+        reports_warm = warm.run_queries(generators.build_batch_requests(case))
+        if warm_store.hits == 0:
+            return OracleResult(
+                "store", ok=False,
+                details=(
+                    "warm engine produced no store hits "
+                    f"(misses={warm_store.misses}, "
+                    f"rejected={warm_store.rejected})"
+                ),
+            )
+        if warm_store.rejected:
+            return OracleResult(
+                "store", ok=False,
+                details=f"{warm_store.rejected} published entr(y/ies) "
+                "failed attestation on re-read",
+            )
+    for index, (a, b, c) in enumerate(
+        zip(reports_live, reports_first, reports_warm)
+    ):
+        fa, fb, fc = (report_fingerprint(r) for r in (a, b, c))
+        if fa != fb:
+            return _mismatch("store", f"live[{index}]", fa, f"cold[{index}]", fb)
+        if fa != fc:
+            return _mismatch("store", f"live[{index}]", fa, f"served[{index}]", fc)
+    return OracleResult("store", ok=True)
+
+
+_register(
+    OracleFamily(
+        name="store",
+        description="shared verdict store: cold publish == warm serve == live",
+        generate=generators.gen_batch_case,
+        run=_run_store,
+        shrink_candidates=_shrink_batch,
+    )
+)
+
+
 # -- priv-remove: dead-privilege insertion is inert ---------------------------
 
 
@@ -713,4 +777,5 @@ DEFAULT_FAMILIES: Tuple[str, ...] = (
     "ledger",
     "reduction-parity",
     "profile",
+    "store",
 )

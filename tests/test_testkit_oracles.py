@@ -41,7 +41,7 @@ class TestFamiliesPassOnCorrectCode:
         assert result.passed, [f.details for f in result.failures]
         assert result.executed == 4
 
-    def test_default_families_are_the_differential_seven(self):
+    def test_default_families_are_the_differential_eight(self):
         assert DEFAULT_FAMILIES == (
             "cache",
             "pools",
@@ -50,6 +50,7 @@ class TestFamiliesPassOnCorrectCode:
             "ledger",
             "reduction-parity",
             "profile",
+            "store",
         )
         for name in DEFAULT_FAMILIES:
             assert name in ALL_FAMILIES
@@ -115,6 +116,26 @@ class TestFaultInjection:
         with install_fault("profile-ledger-skew"):
             assert oracle.run(case).ok
 
+    def test_store_fault_caught_by_store_oracle(self):
+        oracle = family("store")
+        case = oracle.generate(random.Random("0:store:0"), 20)
+        assert oracle.run(case).ok
+        with install_fault("store-attestation-skew"):
+            result = oracle.run(case)
+        assert result.failed
+        # Fail-closed means the fault never flips a verdict — it shows
+        # up as the store refusing to serve anything it cannot re-attest.
+        assert "no store hits" in result.details
+        assert oracle.run(case).ok
+
+    def test_store_fault_is_invisible_to_cache_oracle(self):
+        # The in-memory query cache never touches the shared store, so
+        # only the store family's warm-engine read path can see the skew.
+        oracle = family("cache")
+        case = oracle.generate(random.Random("0:cache:0"), 20)
+        with install_fault("store-attestation-skew"):
+            assert oracle.run(case).ok
+
     def test_unknown_fault_is_an_error(self):
         with pytest.raises(ValueError, match="unknown fault"):
             with install_fault("no-such-fault"):
@@ -125,6 +146,7 @@ class TestFaultInjection:
         assert "compiled-mul-truncate" in FAULTS
         assert "cache-verdict-flip" in FAULTS
         assert "profile-ledger-skew" in FAULTS
+        assert "store-attestation-skew" in FAULTS
 
 
 class TestCampaignShrinkAndReplay:
